@@ -1,0 +1,498 @@
+// Benchmarks reproducing every figure and measured claim in the Alpenhorn
+// paper's evaluation (§8). Each benchmark corresponds to an entry in the
+// experiment index of DESIGN.md; cmd/alpenhorn-bench prints the full series
+// the paper's figures plot. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics are the paper-comparable quantities (mailbox
+// bytes, requests/sec, projected latency seconds).
+package alpenhorn_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+	"time"
+
+	"alpenhorn/internal/bloom"
+	"alpenhorn/internal/cdn"
+	"alpenhorn/internal/coordinator"
+	"alpenhorn/internal/entry"
+	"alpenhorn/internal/ibe"
+	"alpenhorn/internal/keywheel"
+	"alpenhorn/internal/mixnet"
+	"alpenhorn/internal/model"
+	"alpenhorn/internal/noise"
+	"alpenhorn/internal/pkgserver"
+	"alpenhorn/internal/sim"
+	"alpenhorn/internal/wire"
+
+	emailpkg "alpenhorn/internal/email"
+)
+
+func testingNow() time.Time            { return time.Now() }
+func testingSince(t time.Time) float64 { return time.Since(t).Seconds() }
+
+// ---- Figure 6 / Figure 7: client bandwidth vs round duration ----
+
+// BenchmarkFig6AddFriendBandwidth regenerates Figure 6: add-friend client
+// bandwidth at 100K/1M/10M users. The mailbox model is driven by this
+// codebase's real message sizes; the benchmark measures the cost of
+// evaluating a full sweep and reports the headline bandwidth numbers.
+func BenchmarkFig6AddFriendBandwidth(b *testing.B) {
+	durations := []float64{1800, 3600, 2 * 3600, 4 * 3600, 8 * 3600, 24 * 3600}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, users := range []float64{1e5, 1e6, 1e7} {
+			p := model.PaperParams(users, 3)
+			for _, d := range durations {
+				last = p.AddFriendBandwidth(d)
+			}
+		}
+	}
+	_ = last
+	p := model.PaperParams(1e6, 3)
+	b.ReportMetric(p.AddFriendMailboxModel().Bytes/1e6, "MB/mailbox@1M")
+	b.ReportMetric(p.AddFriendBandwidth(3600)/1024, "KB/s@1M,1h")
+	b.ReportMetric(model.PaperParams(1e7, 3).AddFriendBandwidth(3600)/1024, "KB/s@10M,1h")
+}
+
+// BenchmarkFig7DialingBandwidth regenerates Figure 7: dialing client
+// bandwidth at 100K/1M/10M users.
+func BenchmarkFig7DialingBandwidth(b *testing.B) {
+	durations := []float64{60, 120, 180, 240, 300, 480, 600}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, users := range []float64{1e5, 1e6, 1e7} {
+			p := model.PaperParams(users, 3)
+			for _, d := range durations {
+				last = p.DialingBandwidth(d)
+			}
+		}
+	}
+	_ = last
+	b.ReportMetric(model.PaperParams(1e6, 3).DialingMailboxModel().Bytes/1e6, "MB/filter@1M")
+	b.ReportMetric(model.PaperParams(1e7, 3).DialingBandwidth(300)/1024, "KB/s@10M,5min")
+}
+
+// ---- Figures 8/9: round latency vs users and servers ----
+
+// runMixRound measures one real mix round over an in-process chain with
+// the given synthetic batch size, returning seconds per message.
+func runMixRound(b *testing.B, service wire.Service, numServers, batchSize int) float64 {
+	b.Helper()
+	nz := noise.Laplace{Mu: 2, B: 0}
+	var mixers []*mixnet.Server
+	for i := 0; i < numServers; i++ {
+		m, err := mixnet.New(mixnet.Config{
+			Name: "m", Position: i, ChainLength: numServers,
+			AddFriendNoise: &nz, DialingNoise: &nz,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mixers = append(mixers, m)
+	}
+	e := entry.New()
+	coord := coordinator.New(e, mixers, nil, cdn.NewStore(2))
+	coord.SetExpectedVolume(service, batchSize)
+
+	var settings *wire.RoundSettings
+	var err error
+	if service == wire.AddFriend {
+		b.Fatal("use dialing for mix-cost calibration (no PKGs needed)")
+	}
+	settings, err = coord.OpenDialingRound(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch, err := sim.GenerateBatch(nil, settings, sim.Workload{
+		Real:  batchSize / 20,
+		Cover: batchSize - batchSize/20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, onion := range batch {
+		if err := e.Submit(wire.Dialing, 1, onion); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := testingNow()
+	if _, err := coord.CloseRound(wire.Dialing, 1); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := testingSince(start)
+	return elapsed / float64(batchSize) / float64(numServers)
+}
+
+// BenchmarkFig8AddFriendLatency regenerates Figure 8's shape: measured
+// per-message mix cost at laptop scale, extrapolated to 10K-10M users via
+// the calibrated model, for 3/5/10 servers.
+func BenchmarkFig8AddFriendLatency(b *testing.B) {
+	var perMsg float64
+	for i := 0; i < b.N; i++ {
+		perMsg = runMixRound(b, wire.Dialing, 3, 4000)
+	}
+	cal := model.PaperCalibration()
+	cal.MixSecondsPerMessage = perMsg
+	// Our big.Int pairing decrypts ~25x slower than the paper's
+	// assembly; report both calibrations.
+	cal.IBEDecryptSeconds = measureIBEDecrypt(b)
+	ours := model.PaperParams(1e7, 3).AddFriendLatency(cal)
+	paper := model.PaperParams(1e7, 3).AddFriendLatency(model.PaperCalibration())
+	b.ReportMetric(perMsg*1e6, "µs/msg/server")
+	b.ReportMetric(ours, "s@10M,3srv(ours)")
+	b.ReportMetric(paper, "s@10M,3srv(papercal)")
+}
+
+// BenchmarkFig9DialingLatency regenerates Figure 9's shape.
+func BenchmarkFig9DialingLatency(b *testing.B) {
+	var perMsg float64
+	for i := 0; i < b.N; i++ {
+		perMsg = runMixRound(b, wire.Dialing, 3, 4000)
+	}
+	cal := model.PaperCalibration()
+	cal.MixSecondsPerMessage = perMsg
+	b.ReportMetric(perMsg*1e6, "µs/msg/server")
+	b.ReportMetric(model.PaperParams(1e7, 3).DialingLatency(cal, 1000, 10), "s@10M,3srv")
+	b.ReportMetric(model.PaperParams(1e7, 10).DialingLatency(cal, 1000, 10), "s@10M,10srv")
+}
+
+// ---- Figure 10: Zipf-skewed popularity ----
+
+// BenchmarkFig10ZipfSkew regenerates Figure 10: mailbox-size spread (which
+// drives per-user latency spread) as recipient popularity skews.
+func BenchmarkFig10ZipfSkew(b *testing.B) {
+	const users = 100000
+	const k = 4
+	var maxLoad int
+	for i := 0; i < b.N; i++ {
+		for _, s := range []float64{0, 0.5, 1, 1.5, 2} {
+			z := model.NewZipf(users, s)
+			counts, err := z.MailboxLoad(rand.Reader, users/20, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range counts {
+				if c > maxLoad {
+					maxLoad = c
+				}
+			}
+		}
+	}
+	// Paper: median latency constant; max grows with skew. Report the
+	// top-10 concentration at s=2 (paper: 94.2%).
+	b.ReportMetric(model.NewZipf(1000000, 2).TopShare(10)*100, "top10-share-%@s=2")
+}
+
+// ---- §8.2 microbenchmarks (T1-T4) ----
+
+func measureIBEDecrypt(b *testing.B) float64 {
+	pub, priv, err := ibe.Setup(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctxt, err := ibe.Encrypt(rand.Reader, pub, "bob@example.org", make([]byte, wire.FriendRequestSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := ibe.Extract(priv, "bob@example.org")
+	start := testingNow()
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		if _, ok := ibe.Decrypt(key, ctxt); !ok {
+			b.Fatal("decrypt failed")
+		}
+	}
+	return testingSince(start) / reps
+}
+
+// BenchmarkIBEDecrypt is T1: the paper's prototype does 800 decryptions
+// per second per core on BN-256 assembly; this measures our big.Int BN254
+// substitute (expect ~2 orders of magnitude slower; see EXPERIMENTS.md).
+func BenchmarkIBEDecrypt(b *testing.B) {
+	pub, priv, err := ibe.Setup(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctxt, err := ibe.Encrypt(rand.Reader, pub, "bob@example.org", make([]byte, wire.FriendRequestSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := ibe.Extract(priv, "bob@example.org")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ibe.Decrypt(key, ctxt)
+	}
+	b.ReportMetric(1/b.Elapsed().Seconds()*float64(b.N), "decrypts/sec")
+}
+
+// BenchmarkMailboxScan is T1's scan claim: time to trial-decrypt a
+// mailbox. The paper scans 24,000 requests in 8 s on 4 cores; we scan a
+// proportionally smaller mailbox and report the per-request cost.
+func BenchmarkMailboxScan(b *testing.B) {
+	pub, priv, err := ibe.Setup(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := ibe.Extract(priv, "bob@example.org")
+	const mailboxSize = 8
+	var mailbox []byte
+	for i := 0; i < mailboxSize-1; i++ {
+		c, err := ibe.RandomCiphertext(rand.Reader, wire.FriendRequestSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mailbox = append(mailbox, c...)
+	}
+	mine, err := ibe.Encrypt(rand.Reader, pub, "bob@example.org", make([]byte, wire.FriendRequestSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mailbox = append(mailbox, mine...)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := 0
+		for off := 0; off < len(mailbox); off += wire.EncryptedFriendRequestSize {
+			if _, ok := ibe.Decrypt(key, mailbox[off:off+wire.EncryptedFriendRequestSize]); ok {
+				found++
+			}
+		}
+		if found != 1 {
+			b.Fatalf("found %d of 1", found)
+		}
+	}
+	perReq := b.Elapsed().Seconds() / float64(b.N) / mailboxSize
+	b.ReportMetric(perReq, "sec/request")
+	b.ReportMetric(24000*perReq/4, "proj-sec/24k-mailbox/4cores")
+}
+
+// BenchmarkKeywheelAdvance is T2: the paper computes 1M keywheel hashes
+// per second per core.
+func BenchmarkKeywheelAdvance(b *testing.B) {
+	var secret [keywheel.SecretSize]byte
+	rand.Read(secret[:])
+	w := keywheel.New(0, &secret)
+	b.ResetTimer()
+	if err := w.Advance(uint32(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "hashes/sec")
+}
+
+// BenchmarkDialScan is T2's scan claim: 1000 friends x 10 intents against
+// one round's Bloom filter in under a second.
+func BenchmarkDialScan(b *testing.B) {
+	const friends = 1000
+	const intents = 10
+	var secret [keywheel.SecretSize]byte
+	rand.Read(secret[:])
+	wheels := make([]*keywheel.Wheel, friends)
+	for i := range wheels {
+		wheels[i] = keywheel.New(0, &secret)
+	}
+	f := bloom.New(125000, bloom.DefaultBitsPerElement)
+	tok, _ := wheels[7].DialToken(0, 3, "friend7")
+	f.Add(tok[:])
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := 0
+		for fi, w := range wheels {
+			for intent := uint32(0); intent < intents; intent++ {
+				tok, err := w.DialToken(0, intent, fmt.Sprintf("friend%d", fi))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if f.Test(tok[:]) {
+					hits++
+				}
+			}
+		}
+		if hits != 1 {
+			b.Fatalf("hits = %d", hits)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "sec/full-scan")
+}
+
+// BenchmarkKeyExtraction is T3: client-side combined key extraction
+// against 3 and 10 in-process PKGs (paper: 4.9 ms and 5.2 ms medians —
+// network-latency dominated; ours measures the computation).
+func BenchmarkKeyExtraction(b *testing.B) {
+	for _, numPKGs := range []int{3, 10} {
+		b.Run(fmt.Sprintf("pkgs=%d", numPKGs), func(b *testing.B) {
+			net, err := sim.NewNetwork(sim.Config{NumPKGs: numPKGs, NumMixers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := &sim.Handler{AcceptAll: true}
+			client, err := net.NewClient("bench@example.org", h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round := uint32(i + 1)
+				if _, err := net.Coord.OpenAddFriendRound(round); err != nil {
+					b.Fatal(err)
+				}
+				// Submit includes extraction of all PKG key shares
+				// plus attestation verification.
+				if err := client.SubmitAddFriendRound(round); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPKGExtract is T4: server-side extraction throughput (paper:
+// 4310 extractions/sec on 36 cores with assembly).
+func BenchmarkPKGExtract(b *testing.B) {
+	provider := emailpkg.NewInMemoryProvider()
+	pkg, err := pkgserver.New(pkgserver.Config{Name: "p", Provider: provider})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := sim.RegisterDirect(pkg, provider, "user@example.org")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pkg.NewRound(1); err != nil {
+		b.Fatal(err)
+	}
+	sig := client.SignExtract("user@example.org", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pkg.Extract("user@example.org", 1, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "extractions/sec")
+}
+
+// ---- T5: message sizes ----
+
+// TestPaperSizes records this implementation's message sizes next to the
+// paper's (see EXPERIMENTS.md): the paper's friend request is 308 bytes
+// (244 + 64-byte compressed BN-256 ciphertext element); ours is larger
+// because BN254 points are stored uncompressed.
+func TestPaperSizes(t *testing.T) {
+	t.Logf("friend request plaintext:  %d B (paper: 244 B)", wire.FriendRequestSize)
+	t.Logf("encrypted friend request:  %d B (paper: 308 B)", wire.EncryptedFriendRequestSize)
+	t.Logf("IBE ciphertext overhead:   %d B (paper: 64 B)", ibe.Overhead)
+	t.Logf("dial token:                %d B (paper: 32 B)", keywheel.TokenSize)
+	t.Logf("add-friend onion (3 hops): %d B", wire.OnionSize(wire.AddFriend, 3))
+	t.Logf("dialing onion (3 hops):    %d B", wire.OnionSize(wire.Dialing, 3))
+	if wire.EncryptedFriendRequestSize < 244+ibe.Overhead {
+		t.Fatal("request cannot be smaller than payload plus overhead")
+	}
+	if keywheel.TokenSize != 32 {
+		t.Fatal("dial tokens must be 256 bits (paper §5)")
+	}
+}
+
+// ---- T8/A1: IBE constructions ----
+
+// BenchmarkAnytrustVsOnion is ablation A1: Anytrust-IBE (the paper's
+// contribution) vs the naive onion construction it replaces (§4.2).
+// Anytrust decryption time and ciphertext size are constant in the number
+// of PKGs; onion grows linearly in both.
+func BenchmarkAnytrustVsOnion(b *testing.B) {
+	msg := make([]byte, 64)
+	for _, n := range []int{1, 3, 10} {
+		var pubs []*ibe.MasterPublicKey
+		var privs []*ibe.MasterPrivateKey
+		for i := 0; i < n; i++ {
+			pub, priv, err := ibe.Setup(rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pubs = append(pubs, pub)
+			privs = append(privs, priv)
+		}
+		var idKeys []*ibe.IdentityPrivateKey
+		for _, priv := range privs {
+			idKeys = append(idKeys, ibe.Extract(priv, "bob@x.org"))
+		}
+
+		b.Run(fmt.Sprintf("anytrust/pkgs=%d", n), func(b *testing.B) {
+			agg := ibe.AggregateMasterKeys(pubs...)
+			combined := ibe.AggregatePrivateKeys(idKeys...)
+			ctxt, err := ibe.Encrypt(rand.Reader, agg, "bob@x.org", msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := ibe.Decrypt(combined, ctxt); !ok {
+					b.Fatal("decrypt failed")
+				}
+			}
+			b.ReportMetric(float64(len(ctxt)), "ctxt-bytes")
+		})
+		b.Run(fmt.Sprintf("onion/pkgs=%d", n), func(b *testing.B) {
+			ctxt, err := ibe.OnionEncrypt(rand.Reader, pubs, "bob@x.org", msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := ibe.OnionDecrypt(idKeys, ctxt); !ok {
+					b.Fatal("decrypt failed")
+				}
+			}
+			b.ReportMetric(float64(len(ctxt)), "ctxt-bytes")
+		})
+	}
+}
+
+// BenchmarkIBESweep is T8 (§8.6): how Alpenhorn's costs scale with the
+// underlying IBE construction — encryption, extraction, decryption.
+func BenchmarkIBESweep(b *testing.B) {
+	pub, priv, err := ibe.Setup(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, wire.FriendRequestSize)
+	b.Run("encrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ibe.Encrypt(rand.Reader, pub, "bob@x.org", msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("extract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ibe.Extract(priv, "bob@x.org")
+		}
+	})
+}
+
+// ---- A2: Bloom filter vs raw tokens ----
+
+// BenchmarkBloomVsRaw is ablation A2 (§5.2): dialing mailbox size with and
+// without the Bloom filter encoding.
+func BenchmarkBloomVsRaw(b *testing.B) {
+	for _, tokens := range []int{10000, 125000} {
+		b.Run(fmt.Sprintf("tokens=%d", tokens), func(b *testing.B) {
+			var f *bloom.Filter
+			tok := make([]byte, keywheel.TokenSize)
+			for i := 0; i < b.N; i++ {
+				f = bloom.New(tokens, bloom.DefaultBitsPerElement)
+				for j := 0; j < tokens; j++ {
+					tok[0], tok[1], tok[2] = byte(j), byte(j>>8), byte(j>>16)
+					f.Add(tok)
+				}
+			}
+			bloomBytes := float64(f.SizeBytes())
+			rawBytes := float64(tokens * keywheel.TokenSize)
+			b.ReportMetric(bloomBytes/1e6, "bloom-MB")
+			b.ReportMetric(rawBytes/bloomBytes, "savings-x")
+		})
+	}
+}

@@ -1,0 +1,290 @@
+// Command alpenhorn-client is an interactive Alpenhorn client (the
+// command-line client the paper built for the Pond/PANDA integration,
+// §8.5). It connects to a live deployment through the entry daemon:
+//
+//	alpenhorn-client -email alice@example.org -entry localhost:7000 \
+//	    -inbox-dir /tmp/pkg-inbox -state alice.state
+//
+// Commands at the prompt:
+//
+//	addfriend <email>     queue a friend request
+//	call <email> [intent] queue a call
+//	friends               list the address book
+//	secret                print the last call's session key (for PANDA)
+//	quit                  save state and exit
+//
+// A background loop participates in every round (cover traffic included)
+// by polling the entry daemon for round status.
+package main
+
+import (
+	"bufio"
+	"encoding/base32"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"alpenhorn"
+	"alpenhorn/internal/core"
+	"alpenhorn/internal/rpc"
+	"alpenhorn/internal/wire"
+
+	"crypto/ed25519"
+	"flag"
+)
+
+// printHandler renders events to the terminal and auto-accepts friend
+// requests after printing them (an interactive accept prompt would race
+// with the round loop; the paper's CLI behaves the same way for demos).
+type printHandler struct {
+	mu       sync.Mutex
+	lastCall *alpenhorn.Call
+}
+
+func (h *printHandler) NewFriend(email string, key ed25519.PublicKey) bool {
+	fmt.Printf("\n[alpenhorn] friend request from %s (key %x…) — auto-accepting\n> ", email, key[:8])
+	return true
+}
+
+func (h *printHandler) ConfirmedFriend(email string) {
+	fmt.Printf("\n[alpenhorn] friendship with %s confirmed\n> ", email)
+}
+
+func (h *printHandler) IncomingCall(call alpenhorn.Call) {
+	h.mu.Lock()
+	h.lastCall = &call
+	h.mu.Unlock()
+	fmt.Printf("\n[alpenhorn] incoming call from %s (intent %d, round %d)\n> ", call.Friend, call.Intent, call.Round)
+}
+
+func (h *printHandler) OutgoingCall(call alpenhorn.Call) {
+	h.mu.Lock()
+	h.lastCall = &call
+	h.mu.Unlock()
+	fmt.Printf("\n[alpenhorn] call to %s sent (round %d)\n> ", call.Friend, call.Round)
+}
+
+func (h *printHandler) Error(err error) {
+	fmt.Printf("\n[alpenhorn] %v\n> ", err)
+}
+
+// statePersister writes client state to a file.
+type statePersister struct{ path string }
+
+func (p statePersister) Save(state []byte) error {
+	return os.WriteFile(p.path, state, 0o600)
+}
+
+func main() {
+	emailAddr := flag.String("email", "", "your Alpenhorn username (email address)")
+	entryAddr := flag.String("entry", "localhost:7000", "entry daemon address")
+	inboxDir := flag.String("inbox-dir", "", "directory where the PKG daemons write confirmation tokens")
+	statePath := flag.String("state", "", "client state file (default: <email>.state)")
+	flag.Parse()
+	if *emailAddr == "" {
+		log.Fatal("need -email")
+	}
+	if *statePath == "" {
+		*statePath = strings.ReplaceAll(*emailAddr, "@", "_at_") + ".state"
+	}
+
+	frontend := rpc.DialFrontend(*entryAddr)
+	dir, err := frontend.Directory()
+	if err != nil {
+		log.Fatalf("fetching deployment directory: %v", err)
+	}
+
+	cfg := alpenhorn.Config{
+		Email:      *emailAddr,
+		Entry:      frontend,
+		Mailboxes:  frontend,
+		NumIntents: 10,
+		Handler:    &printHandler{},
+		Persister:  statePersister{path: *statePath},
+	}
+	for _, a := range dir.PKGAddrs {
+		cfg.PKGs = append(cfg.PKGs, rpc.DialPKG(a))
+	}
+	for _, k := range dir.PKGKeys {
+		cfg.PKGKeys = append(cfg.PKGKeys, ed25519.PublicKey(k))
+	}
+	for _, k := range dir.PKGBLSKeys {
+		blsKey, err := rpc.UnmarshalBLSKey(k)
+		if err != nil {
+			log.Fatalf("bad PKG BLS key in directory: %v", err)
+		}
+		cfg.PKGBLSKeys = append(cfg.PKGBLSKeys, blsKey)
+	}
+	for _, k := range dir.MixerKeys {
+		cfg.MixerKeys = append(cfg.MixerKeys, ed25519.PublicKey(k))
+	}
+
+	var client *alpenhorn.Client
+	if data, err := os.ReadFile(*statePath); err == nil {
+		client, err = alpenhorn.LoadClient(cfg, data)
+		if err != nil {
+			log.Fatalf("loading state: %v", err)
+		}
+		fmt.Printf("restored state from %s\n", *statePath)
+	} else {
+		client, err = alpenhorn.NewClient(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("registering with PKGs...")
+		if err := client.Register(); err != nil {
+			log.Fatalf("registration: %v", err)
+		}
+		if err := confirmFromInbox(client, *emailAddr, *inboxDir, len(cfg.PKGs)); err != nil {
+			log.Fatalf("confirmation: %v", err)
+		}
+		fmt.Println("registered and confirmed")
+	}
+
+	stop := make(chan struct{})
+	go roundLoop(client, frontend, stop)
+
+	fmt.Printf("alpenhorn-client for %s — type 'help'\n", *emailAddr)
+	handler := cfg.Handler.(*printHandler)
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "help":
+			fmt.Println("commands: addfriend <email> | call <email> [intent] | friends | secret | quit")
+		case "addfriend":
+			if len(fields) < 2 {
+				fmt.Println("usage: addfriend <email>")
+				break
+			}
+			if err := client.AddFriend(fields[1], nil); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("friend request queued for the next add-friend round")
+			}
+		case "call":
+			if len(fields) < 2 {
+				fmt.Println("usage: call <email> [intent]")
+				break
+			}
+			intent := 0
+			if len(fields) > 2 {
+				intent, _ = strconv.Atoi(fields[2])
+			}
+			if err := client.Call(fields[1], uint32(intent)); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("call queued for the next dialing round")
+			}
+		case "friends":
+			for _, f := range client.Friends() {
+				status := "pending"
+				if f.Confirmed {
+					status = "confirmed"
+				}
+				fmt.Printf("  %s (%s)\n", f.Email, status)
+			}
+		case "secret":
+			handler.mu.Lock()
+			call := handler.lastCall
+			handler.mu.Unlock()
+			if call == nil {
+				fmt.Println("no call yet")
+			} else {
+				fmt.Printf("session key with %s: %s\n", call.Friend,
+					base32.StdEncoding.EncodeToString(call.SessionKey[:20]))
+			}
+		case "quit", "exit":
+			close(stop)
+			return
+		default:
+			fmt.Println("unknown command; type 'help'")
+		}
+		fmt.Print("> ")
+	}
+}
+
+// confirmFromInbox reads the per-PKG confirmation tokens written by
+// alpenhorn-pkg daemons into the inbox directory.
+func confirmFromInbox(client *alpenhorn.Client, emailAddr, inboxDir string, numPKGs int) error {
+	if inboxDir == "" {
+		return fmt.Errorf("need -inbox-dir to read confirmation tokens")
+	}
+	name := strings.ReplaceAll(emailAddr, "@", "_at_") + ".token"
+	// Every PKG daemon writes to its own inbox dir; accept either a
+	// shared dir (same token file overwritten — confirm each PKG with
+	// the freshest read) or per-PKG subdirectories pkg0/, pkg1/, ...
+	for i := 0; i < numPKGs; i++ {
+		candidates := []string{
+			filepath.Join(inboxDir, fmt.Sprintf("pkg%d", i), name),
+			filepath.Join(inboxDir, name),
+		}
+		var lastErr error
+		confirmed := false
+		for _, p := range candidates {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if err := client.ConfirmRegistration(i, strings.TrimSpace(string(data))); err != nil {
+				lastErr = err
+				continue
+			}
+			confirmed = true
+			break
+		}
+		if !confirmed {
+			return fmt.Errorf("PKG %d: %v", i, lastErr)
+		}
+	}
+	return nil
+}
+
+// roundLoop participates in every round the deployment announces.
+func roundLoop(client *core.Client, frontend *rpc.FrontendClient, stop <-chan struct{}) {
+	var lastAFSubmit, lastAFScan, lastDLSubmit, lastDLScan uint32
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if st, err := frontend.Status(wire.AddFriend); err == nil {
+			if st.CurrentOpen > lastAFSubmit {
+				if err := client.SubmitAddFriendRound(st.CurrentOpen); err == nil {
+					lastAFSubmit = st.CurrentOpen
+				}
+			}
+			if st.LatestPublished > lastAFScan && st.LatestPublished == lastAFSubmit {
+				if err := client.ScanAddFriendRound(st.LatestPublished); err == nil {
+					lastAFScan = st.LatestPublished
+				}
+			}
+		}
+		if st, err := frontend.Status(wire.Dialing); err == nil {
+			if st.CurrentOpen > lastDLSubmit {
+				if err := client.SubmitDialRound(st.CurrentOpen); err == nil {
+					lastDLSubmit = st.CurrentOpen
+				}
+			}
+			if st.LatestPublished > lastDLScan && st.LatestPublished == lastDLSubmit {
+				if err := client.ScanDialRound(st.LatestPublished); err == nil {
+					lastDLScan = st.LatestPublished
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command alpenhorn-entry runs the client-facing frontend of an Alpenhorn
+// deployment: the (untrusted) entry server, the mailbox CDN, and the round
+// coordinator that drives the PKG and mixer daemons.
+//
+//	alpenhorn-entry -addr :7000 \
+//	    -pkgs  localhost:7001,localhost:7002,localhost:7003 \
+//	    -mixers localhost:7101,localhost:7102,localhost:7103 \
+//	    -addfriend-interval 30s -dialing-interval 10s
+//
+// Clients connect here, fetch the deployment directory (server addresses
+// and pinned keys), and then poll round status to participate.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"alpenhorn/internal/cdn"
+	"alpenhorn/internal/coordinator"
+	"alpenhorn/internal/entry"
+	"alpenhorn/internal/rpc"
+	"alpenhorn/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":7000", "TCP address to listen on")
+	pkgAddrs := flag.String("pkgs", "", "comma-separated PKG daemon addresses")
+	mixerAddrs := flag.String("mixers", "", "comma-separated mixer daemon addresses (chain order)")
+	afInterval := flag.Duration("addfriend-interval", 30*time.Second, "add-friend round interval")
+	dlInterval := flag.Duration("dialing-interval", 10*time.Second, "dialing round interval")
+	submitWindow := flag.Duration("submit-window", 5*time.Second, "time clients have to submit before a round closes")
+	flag.Parse()
+
+	if *pkgAddrs == "" || *mixerAddrs == "" {
+		log.Fatal("need -pkgs and -mixers")
+	}
+
+	// Connect to the backend daemons and collect their pinned keys for
+	// the client directory.
+	dir := rpc.Directory{PKGAddrs: strings.Split(*pkgAddrs, ",")}
+	var pkgs []coordinator.PKG
+	for _, a := range dir.PKGAddrs {
+		pc := rpc.DialPKG(a)
+		info, err := pc.Info()
+		if err != nil {
+			log.Fatalf("connecting to PKG %s: %v", a, err)
+		}
+		log.Printf("PKG %s (%s) key %x…", a, info.Name, info.SigningKey[:8])
+		dir.PKGKeys = append(dir.PKGKeys, info.SigningKey)
+		dir.PKGBLSKeys = append(dir.PKGBLSKeys, info.BLSKey)
+		pkgs = append(pkgs, pc)
+	}
+	var mixers []coordinator.Mixer
+	for _, a := range strings.Split(*mixerAddrs, ",") {
+		mc, err := rpc.DialMixer(a)
+		if err != nil {
+			log.Fatalf("connecting to mixer %s: %v", a, err)
+		}
+		info := mc.Info()
+		log.Printf("mixer %s (%s, position %d) key %x…", a, info.Name, info.Position, info.SigningKey[:8])
+		dir.MixerKeys = append(dir.MixerKeys, info.SigningKey)
+		mixers = append(mixers, mc)
+	}
+	dir.NumMixers = len(mixers)
+
+	e := entry.New()
+	store := cdn.NewStore(64)
+	coord := &coordinator.Coordinator{
+		Entry:                    e,
+		Mixers:                   mixers,
+		PKGs:                     pkgs,
+		CDN:                      store,
+		TargetRequestsPerMailbox: 24000,
+	}
+
+	state := &rpc.FrontendState{}
+	server := rpc.NewServer()
+	rpc.RegisterFrontend(server, e, store, dir, state)
+	bound, err := server.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("alpenhorn-entry listening on %s", bound)
+
+	stop := make(chan struct{})
+	go runRounds(coord, state, wire.AddFriend, *afInterval, *submitWindow, stop)
+	go runRounds(coord, state, wire.Dialing, *dlInterval, *submitWindow, stop)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	log.Println("shutting down")
+	server.Close()
+}
+
+// runRounds drives one protocol's rounds on a timer: open, wait for the
+// submit window, close+mix+publish, then (for add-friend) destroy PKG
+// round keys one interval later so clients have time to extract.
+func runRounds(c *coordinator.Coordinator, state *rpc.FrontendState, service wire.Service, interval, window time.Duration, stop <-chan struct{}) {
+	round := uint32(1)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		var err error
+		if service == wire.AddFriend {
+			_, err = c.OpenAddFriendRound(round)
+		} else {
+			_, err = c.OpenDialingRound(round)
+		}
+		if err != nil {
+			log.Printf("%s round %d open: %v", service, round, err)
+			return
+		}
+		state.SetOpen(service, round)
+		log.Printf("%s round %d open (submit window %v)", service, round, window)
+
+		select {
+		case <-time.After(window):
+		case <-stop:
+			return
+		}
+
+		if _, err := c.CloseRound(service, round); err != nil {
+			log.Printf("%s round %d close: %v", service, round, err)
+			return
+		}
+		state.SetPublished(service, round)
+		log.Printf("%s round %d mailboxes published", service, round)
+
+		if service == wire.AddFriend && round > 1 {
+			// Destroy the PREVIOUS round's master keys: its scan
+			// window has passed.
+			c.FinishAddFriendRound(round - 1)
+		}
+
+		round++
+		select {
+		case <-ticker.C:
+		case <-stop:
+			return
+		}
+	}
+}

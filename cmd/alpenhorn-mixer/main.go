@@ -1,0 +1,63 @@
+// Command alpenhorn-mixer runs one Alpenhorn mixnet server as a network
+// daemon.
+//
+// Mixers form a fixed chain; each daemon is started with its position.
+// The anytrust guarantee needs only one honest mixer in the chain.
+//
+//	alpenhorn-mixer -addr :7101 -position 0 -chain 3
+//	alpenhorn-mixer -addr :7102 -position 1 -chain 3
+//	alpenhorn-mixer -addr :7103 -position 2 -chain 3
+//
+// The -addfriend-mu and -dialing-mu flags set the per-mailbox noise means
+// (paper defaults: 4000 and 25000; use small values for local testing).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"alpenhorn/internal/mixnet"
+	"alpenhorn/internal/noise"
+	"alpenhorn/internal/rpc"
+)
+
+func main() {
+	addr := flag.String("addr", ":7101", "TCP address to listen on")
+	name := flag.String("name", "mixer", "server name for logs")
+	position := flag.Int("position", 0, "position in the mix chain (0 = first)")
+	chain := flag.Int("chain", 3, "total servers in the chain")
+	afMu := flag.Float64("addfriend-mu", noise.AddFriendNoise.Mu, "mean add-friend noise per mailbox")
+	afB := flag.Float64("addfriend-b", noise.AddFriendNoise.B, "add-friend noise scale (0 = deterministic)")
+	dlMu := flag.Float64("dialing-mu", noise.DialingNoise.Mu, "mean dialing noise per mailbox")
+	dlB := flag.Float64("dialing-b", noise.DialingNoise.B, "dialing noise scale (0 = deterministic)")
+	flag.Parse()
+
+	m, err := mixnet.New(mixnet.Config{
+		Name:           *name,
+		Position:       *position,
+		ChainLength:    *chain,
+		AddFriendNoise: &noise.Laplace{Mu: *afMu, B: *afB},
+		DialingNoise:   &noise.Laplace{Mu: *dlMu, B: *dlB},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server := rpc.NewServer()
+	rpc.RegisterMixer(server, m)
+	bound, err := server.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("alpenhorn-mixer %q (position %d/%d) listening on %s", *name, *position, *chain, bound)
+	log.Printf("long-term signing key: %x", m.SigningKey())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	server.Close()
+}

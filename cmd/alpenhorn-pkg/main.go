@@ -1,0 +1,86 @@
+// Command alpenhorn-pkg runs one Alpenhorn private-key generator (PKG)
+// server as a network daemon.
+//
+// A deployment runs several of these, operated by independent parties; the
+// system stays private as long as any one of them is honest. Example:
+//
+//	alpenhorn-pkg -addr :7001 -name pkg0
+//
+// Registration confirmations are "delivered" through the in-memory email
+// provider and logged to stdout (a real deployment plugs in SMTP); the
+// -inbox-dir flag writes each confirmation message to a file so that local
+// clients can complete registration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"alpenhorn/internal/email"
+	"alpenhorn/internal/pkgserver"
+	"alpenhorn/internal/rpc"
+)
+
+// fileProvider writes confirmation emails to files so local test clients
+// can read their "inbox" — the single-machine stand-in for SMTP delivery.
+type fileProvider struct {
+	dir string
+}
+
+func (p fileProvider) Send(msg email.Message) error {
+	if !email.ValidAddress(msg.To) {
+		return fmt.Errorf("invalid address %q", msg.To)
+	}
+	log.Printf("confirmation email for %s (token delivered to inbox dir)", msg.To)
+	name := strings.ReplaceAll(msg.To, "@", "_at_") + ".token"
+	return os.WriteFile(filepath.Join(p.dir, name), []byte(msg.Body), 0o600)
+}
+
+func main() {
+	addr := flag.String("addr", ":7001", "TCP address to listen on")
+	name := flag.String("name", "pkg", "PKG name (appears in logs and email From lines)")
+	inboxDir := flag.String("inbox-dir", "", "directory for confirmation-token files (default: temp dir)")
+	flag.Parse()
+
+	dir := *inboxDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "alpenhorn-pkg-inbox-")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		log.Fatal(err)
+	}
+
+	pkg, err := pkgserver.New(pkgserver.Config{
+		Name:     *name,
+		Provider: fileProvider{dir: dir},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server := rpc.NewServer()
+	rpc.RegisterPKG(server, pkg)
+	bound, err := server.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("alpenhorn-pkg %q listening on %s", *name, bound)
+	log.Printf("long-term signing key: %x", pkg.SigningKey())
+	log.Printf("confirmation tokens written to %s", dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	server.Close()
+}

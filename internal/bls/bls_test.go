@@ -1,0 +1,137 @@
+package bls
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	pub, priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("alice@example.org|signing-key|round-42")
+	sig := Sign(priv, msg)
+	if !Verify(pub, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(pub, []byte("different message"), sig) {
+		t.Fatal("signature verified for wrong message")
+	}
+	otherPub, _, _ := GenerateKey(rand.Reader)
+	if Verify(otherPub, msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestMultisignature(t *testing.T) {
+	// The PKGSigs use case (§4.5): n PKGs sign the same message; the
+	// aggregate verifies under the aggregate public key.
+	msg := []byte("bob@example.org|key|round-7")
+	var pubs []*PublicKey
+	var sigs []*Signature
+	for i := 0; i < 3; i++ {
+		pub, priv, err := GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs = append(pubs, pub)
+		sigs = append(sigs, Sign(priv, msg))
+	}
+	aggSig := AggregateSignatures(sigs...)
+	aggPub := AggregatePublicKeys(pubs...)
+	if !Verify(aggPub, msg, aggSig) {
+		t.Fatal("multisignature rejected")
+	}
+
+	// Dropping one signature must break verification: a recipient is
+	// guaranteed that ALL PKGs (including the honest one) attested.
+	partial := AggregateSignatures(sigs[:2]...)
+	if Verify(aggPub, msg, partial) {
+		t.Fatal("partial multisignature accepted")
+	}
+}
+
+func TestMultisignatureForgeryByDishonestMajority(t *testing.T) {
+	// Even n−1 colluding PKGs cannot produce a multisignature that
+	// verifies under an aggregate including the honest PKG's key.
+	msg := []byte("victim@example.org|fake-key|round-9")
+	honestPub, _, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dishonestSigs []*Signature
+	var allPubs = []*PublicKey{honestPub}
+	for i := 0; i < 2; i++ {
+		pub, priv, _ := GenerateKey(rand.Reader)
+		allPubs = append(allPubs, pub)
+		dishonestSigs = append(dishonestSigs, Sign(priv, msg))
+	}
+	forged := AggregateSignatures(dishonestSigs...)
+	if Verify(AggregatePublicKeys(allPubs...), msg, forged) {
+		t.Fatal("forgery without honest PKG's signature accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	pub, priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("round-trip")
+	sig := Sign(priv, msg)
+
+	pub2, err := UnmarshalPublicKey(pub.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := UnmarshalSignature(sig.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(pub2, msg, sig2) {
+		t.Fatal("round-tripped signature rejected")
+	}
+	if !pub.Equal(pub2) {
+		t.Fatal("public key round-trip not equal")
+	}
+
+	priv2, err := UnmarshalPrivateKey(priv.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(pub, msg, Sign(priv2, msg)) {
+		t.Fatal("round-tripped private key produces bad signatures")
+	}
+	if !priv.Public().Equal(pub) {
+		t.Fatal("Public() disagrees with GenerateKey")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalPublicKey(make([]byte, 10)); err == nil {
+		t.Fatal("short public key accepted")
+	}
+	bad := make([]byte, PublicKeySize)
+	bad[0] = 0xff
+	if _, err := UnmarshalPublicKey(bad); err == nil {
+		t.Fatal("invalid public key accepted")
+	}
+	if _, err := UnmarshalPrivateKey(make([]byte, PrivateKeySize)); err == nil {
+		t.Fatal("zero private key accepted")
+	}
+}
+
+func TestSignatureSizeConstant(t *testing.T) {
+	// Multisig compactness: aggregating does not grow the signature.
+	msg := []byte("m")
+	var sigs []*Signature
+	for i := 0; i < 5; i++ {
+		_, priv, _ := GenerateKey(rand.Reader)
+		sigs = append(sigs, Sign(priv, msg))
+	}
+	agg := AggregateSignatures(sigs...)
+	if len(agg.Marshal()) != SignatureSize {
+		t.Fatalf("aggregate signature size %d, want %d", len(agg.Marshal()), SignatureSize)
+	}
+}

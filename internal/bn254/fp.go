@@ -1,0 +1,91 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+)
+
+// Base-field helpers. All functions return values fully reduced mod P.
+// Receiver-free helpers keep aliasing rules trivial: results are always
+// freshly allocated.
+
+func fpNew() *big.Int { return new(big.Int) }
+
+func fpAdd(a, b *big.Int) *big.Int {
+	z := new(big.Int).Add(a, b)
+	if z.Cmp(P) >= 0 {
+		z.Sub(z, P)
+	}
+	return z
+}
+
+func fpSub(a, b *big.Int) *big.Int {
+	z := new(big.Int).Sub(a, b)
+	if z.Sign() < 0 {
+		z.Add(z, P)
+	}
+	return z
+}
+
+func fpNeg(a *big.Int) *big.Int {
+	if a.Sign() == 0 {
+		return new(big.Int)
+	}
+	return new(big.Int).Sub(P, a)
+}
+
+func fpMul(a, b *big.Int) *big.Int {
+	z := new(big.Int).Mul(a, b)
+	return z.Mod(z, P)
+}
+
+func fpSquare(a *big.Int) *big.Int {
+	z := new(big.Int).Mul(a, a)
+	return z.Mod(z, P)
+}
+
+func fpDouble(a *big.Int) *big.Int { return fpAdd(a, a) }
+
+// fpInv returns a⁻¹ mod P. It panics on zero, which would indicate a bug in
+// a caller (all callers guard against zero denominators).
+func fpInv(a *big.Int) *big.Int {
+	if a.Sign() == 0 {
+		panic("bn254: inversion of zero")
+	}
+	return new(big.Int).ModInverse(a, P)
+}
+
+func fpExp(a, e *big.Int) *big.Int {
+	return new(big.Int).Exp(a, e, P)
+}
+
+// fpSqrt returns a square root of a mod P and true, or nil and false if a is
+// a quadratic non-residue. P ≡ 3 (mod 4), so the root is a^((P+1)/4).
+func fpSqrt(a *big.Int) (*big.Int, bool) {
+	exp := new(big.Int).Add(P, big.NewInt(1))
+	exp.Rsh(exp, 2)
+	r := fpExp(a, exp)
+	if fpSquare(r).Cmp(new(big.Int).Mod(a, P)) != 0 {
+		return nil, false
+	}
+	return r, true
+}
+
+// randFieldElement returns a uniform element of Fp read from r.
+func randFieldElement(r io.Reader) (*big.Int, error) {
+	return rand.Int(r, P)
+}
+
+// RandomScalar returns a uniform non-zero scalar in [1, Order-1] read from r.
+func RandomScalar(r io.Reader) (*big.Int, error) {
+	for {
+		k, err := rand.Int(r, Order)
+		if err != nil {
+			return nil, err
+		}
+		if k.Sign() != 0 {
+			return k, nil
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package bn254
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// gfP12 is an element of Fp12 = Fp6[w]/(w² − v), stored as c0 + c1·w.
+// Note w⁶ = v³ = ξ, so w is a sixth root of ξ.
+type gfP12 struct {
+	c0, c1 *gfP6
+}
+
+func newGFp12() *gfP12 {
+	return &gfP12{c0: newGFp6(), c1: newGFp6()}
+}
+
+func (e *gfP12) String() string {
+	return fmt.Sprintf("(%v + %v·w)", e.c0, e.c1)
+}
+
+func (e *gfP12) Set(a *gfP12) *gfP12 {
+	e.c0 = newGFp6().Set(a.c0)
+	e.c1 = newGFp6().Set(a.c1)
+	return e
+}
+
+func (e *gfP12) SetZero() *gfP12 {
+	e.c0 = newGFp6()
+	e.c1 = newGFp6()
+	return e
+}
+
+func (e *gfP12) SetOne() *gfP12 {
+	e.c0 = newGFp6().SetOne()
+	e.c1 = newGFp6()
+	return e
+}
+
+func (e *gfP12) IsZero() bool { return e.c0.IsZero() && e.c1.IsZero() }
+
+func (e *gfP12) IsOne() bool { return e.c0.IsOne() && e.c1.IsZero() }
+
+func (e *gfP12) Equal(a *gfP12) bool {
+	return e.c0.Equal(a.c0) && e.c1.Equal(a.c1)
+}
+
+func (e *gfP12) Add(a, b *gfP12) *gfP12 {
+	c0 := newGFp6().Add(a.c0, b.c0)
+	c1 := newGFp6().Add(a.c1, b.c1)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+func (e *gfP12) Sub(a, b *gfP12) *gfP12 {
+	c0 := newGFp6().Sub(a.c0, b.c0)
+	c1 := newGFp6().Sub(a.c1, b.c1)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+func (e *gfP12) Neg(a *gfP12) *gfP12 {
+	c0 := newGFp6().Neg(a.c0)
+	c1 := newGFp6().Neg(a.c1)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+// Mul sets e = a·b with the reduction w² = v, using Karatsuba (three Fp6
+// multiplications):
+//
+//	v0 = a0b0, v1 = a1b1
+//	e0 = v0 + v·v1
+//	e1 = (a0+a1)(b0+b1) − v0 − v1
+func (e *gfP12) Mul(a, b *gfP12) *gfP12 {
+	v0 := newGFp6().Mul(a.c0, b.c0)
+	v1 := newGFp6().Mul(a.c1, b.c1)
+	cross := newGFp6().Mul(newGFp6().Add(a.c0, a.c1), newGFp6().Add(b.c0, b.c1))
+	c1 := cross.Sub(cross.Sub(cross, v0), v1)
+	c0 := newGFp6().Add(v0, newGFp6().MulV(v1))
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+// Square sets e = a² using the complex squaring shortcut (two Fp6
+// multiplications): with t = a0·a1,
+//
+//	e0 = (a0+a1)(a0+v·a1) − t − v·t
+//	e1 = 2t
+func (e *gfP12) Square(a *gfP12) *gfP12 {
+	t := newGFp6().Mul(a.c0, a.c1)
+	s := newGFp6().Mul(
+		newGFp6().Add(a.c0, a.c1),
+		newGFp6().Add(a.c0, newGFp6().MulV(a.c1)))
+	s.Sub(s, t)
+	s.Sub(s, newGFp6().MulV(t))
+	e.c0 = s
+	e.c1 = newGFp6().Add(t, t)
+	return e
+}
+
+// Conjugate sets e = a0 − a1·w. For the quadratic extension Fp12/Fp6 this is
+// the nontrivial Galois automorphism, i.e. the p⁶-power Frobenius map.
+func (e *gfP12) Conjugate(a *gfP12) *gfP12 {
+	c0 := newGFp6().Set(a.c0)
+	c1 := newGFp6().Neg(a.c1)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+// Invert sets e = a⁻¹ = (a0 − a1·w) / (a0² − v·a1²).
+func (e *gfP12) Invert(a *gfP12) *gfP12 {
+	t := newGFp6().Sub(
+		newGFp6().Square(a.c0),
+		newGFp6().MulV(newGFp6().Square(a.c1)))
+	if t.IsZero() {
+		panic("bn254: inversion of zero in Fp12")
+	}
+	tInv := newGFp6().Invert(t)
+	e.c0 = newGFp6().Mul(a.c0, tInv)
+	e.c1 = newGFp6().Mul(newGFp6().Neg(a.c1), tInv)
+	return e
+}
+
+// Exp sets e = a^k using square-and-multiply. Negative k is not supported.
+func (e *gfP12) Exp(a *gfP12, k *big.Int) *gfP12 {
+	if k.Sign() < 0 {
+		panic("bn254: negative exponent in Fp12")
+	}
+	acc := newGFp12().SetOne()
+	base := newGFp12().Set(a)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc.Square(acc)
+		if k.Bit(i) == 1 {
+			acc.Mul(acc, base)
+		}
+	}
+	return e.Set(acc)
+}

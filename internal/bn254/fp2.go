@@ -1,0 +1,193 @@
+package bn254
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// gfP2 is an element of Fp2 = Fp[i]/(i²+1), stored as c0 + c1·i.
+type gfP2 struct {
+	c0, c1 *big.Int
+}
+
+func newGFp2() *gfP2 {
+	return &gfP2{c0: new(big.Int), c1: new(big.Int)}
+}
+
+func (e *gfP2) String() string {
+	return fmt.Sprintf("(%v + %v·i)", e.c0, e.c1)
+}
+
+func (e *gfP2) Set(a *gfP2) *gfP2 {
+	e.c0 = new(big.Int).Set(a.c0)
+	e.c1 = new(big.Int).Set(a.c1)
+	return e
+}
+
+func (e *gfP2) SetZero() *gfP2 {
+	e.c0 = new(big.Int)
+	e.c1 = new(big.Int)
+	return e
+}
+
+func (e *gfP2) SetOne() *gfP2 {
+	e.c0 = big.NewInt(1)
+	e.c1 = new(big.Int)
+	return e
+}
+
+// SetInts sets e to a0 + a1·i, reducing both coefficients mod P.
+func (e *gfP2) SetInts(a0, a1 *big.Int) *gfP2 {
+	e.c0 = new(big.Int).Mod(a0, P)
+	e.c1 = new(big.Int).Mod(a1, P)
+	return e
+}
+
+func (e *gfP2) IsZero() bool { return e.c0.Sign() == 0 && e.c1.Sign() == 0 }
+
+func (e *gfP2) IsOne() bool {
+	return e.c0.Cmp(big.NewInt(1)) == 0 && e.c1.Sign() == 0
+}
+
+func (e *gfP2) Equal(a *gfP2) bool {
+	return e.c0.Cmp(a.c0) == 0 && e.c1.Cmp(a.c1) == 0
+}
+
+func (e *gfP2) Add(a, b *gfP2) *gfP2 {
+	c0 := fpAdd(a.c0, b.c0)
+	c1 := fpAdd(a.c1, b.c1)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+func (e *gfP2) Sub(a, b *gfP2) *gfP2 {
+	c0 := fpSub(a.c0, b.c0)
+	c1 := fpSub(a.c1, b.c1)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+func (e *gfP2) Neg(a *gfP2) *gfP2 {
+	c0 := fpNeg(a.c0)
+	c1 := fpNeg(a.c1)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+// Conjugate sets e = a0 − a1·i.
+func (e *gfP2) Conjugate(a *gfP2) *gfP2 {
+	c0 := new(big.Int).Set(a.c0)
+	c1 := fpNeg(a.c1)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+// Mul sets e = a·b = (a0b0 − a1b1) + (a0b1 + a1b0)·i, computed with
+// Karatsuba (three base-field multiplications).
+func (e *gfP2) Mul(a, b *gfP2) *gfP2 {
+	t0 := fpMul(a.c0, b.c0)
+	t1 := fpMul(a.c1, b.c1)
+	cross := fpMul(fpAdd(a.c0, a.c1), fpAdd(b.c0, b.c1))
+	e.c0 = fpSub(t0, t1)
+	e.c1 = fpSub(fpSub(cross, t0), t1)
+	return e
+}
+
+// MulScalar sets e = a·k for k ∈ Fp.
+func (e *gfP2) MulScalar(a *gfP2, k *big.Int) *gfP2 {
+	c0 := fpMul(a.c0, k)
+	c1 := fpMul(a.c1, k)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+func (e *gfP2) Square(a *gfP2) *gfP2 {
+	// (a0² − a1²) + 2a0a1·i
+	t0 := fpMul(fpAdd(a.c0, a.c1), fpSub(a.c0, a.c1))
+	t1 := fpMul(a.c0, a.c1)
+	e.c0 = t0
+	e.c1 = fpDouble(t1)
+	return e
+}
+
+// Invert sets e = a⁻¹ = conj(a)/(a0² + a1²). Panics on zero.
+func (e *gfP2) Invert(a *gfP2) *gfP2 {
+	norm := fpAdd(fpSquare(a.c0), fpSquare(a.c1))
+	if norm.Sign() == 0 {
+		panic("bn254: inversion of zero in Fp2")
+	}
+	inv := fpInv(norm)
+	e.c0 = fpMul(a.c0, inv)
+	e.c1 = fpMul(fpNeg(a.c1), inv)
+	return e
+}
+
+// MulXi sets e = a·ξ where ξ = 9 + i is the Fp6 non-residue.
+func (e *gfP2) MulXi(a *gfP2) *gfP2 {
+	// (9a0 − a1) + (9a1 + a0)·i
+	nine := big.NewInt(9)
+	c0 := fpSub(fpMul(a.c0, nine), a.c1)
+	c1 := fpAdd(fpMul(a.c1, nine), a.c0)
+	e.c0, e.c1 = c0, c1
+	return e
+}
+
+// Exp sets e = a^k using square-and-multiply.
+func (e *gfP2) Exp(a *gfP2, k *big.Int) *gfP2 {
+	acc := newGFp2().SetOne()
+	base := newGFp2().Set(a)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc.Square(acc)
+		if k.Bit(i) == 1 {
+			acc.Mul(acc, base)
+		}
+	}
+	return e.Set(acc)
+}
+
+// Sqrt sets e to a square root of a and returns true, or returns false if a
+// is not a square in Fp2. Uses the complex method for p ≡ 3 (mod 4):
+// for a = a0 + a1·i, |a| = sqrt(a0²+a1²) must exist in Fp, then
+// x0 = sqrt((a0+|a|)/2) (or the variant with −|a|).
+func (e *gfP2) Sqrt(a *gfP2) bool {
+	if a.IsZero() {
+		e.SetZero()
+		return true
+	}
+	if a.c1.Sign() == 0 {
+		// a ∈ Fp: either sqrt(a0) exists in Fp, or a0 is a non-residue
+		// and sqrt(a) = sqrt(-a0)·i since i² = −1.
+		if r, ok := fpSqrt(a.c0); ok {
+			e.c0, e.c1 = r, new(big.Int)
+			return true
+		}
+		if r, ok := fpSqrt(fpNeg(a.c0)); ok {
+			e.c0, e.c1 = new(big.Int), r
+			return true
+		}
+		return false
+	}
+	norm := fpAdd(fpSquare(a.c0), fpSquare(a.c1))
+	alpha, ok := fpSqrt(norm)
+	if !ok {
+		return false
+	}
+	twoInv := fpInv(big.NewInt(2))
+	delta := fpMul(fpAdd(a.c0, alpha), twoInv)
+	x0, ok := fpSqrt(delta)
+	if !ok {
+		delta = fpMul(fpSub(a.c0, alpha), twoInv)
+		x0, ok = fpSqrt(delta)
+		if !ok {
+			return false
+		}
+	}
+	// x1 = a1 / (2·x0)
+	x1 := fpMul(a.c1, fpInv(fpDouble(x0)))
+	cand := &gfP2{c0: x0, c1: x1}
+	if !newGFp2().Square(cand).Equal(a) {
+		return false
+	}
+	e.Set(cand)
+	return true
+}

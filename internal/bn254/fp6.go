@@ -1,0 +1,153 @@
+package bn254
+
+import "fmt"
+
+// gfP6 is an element of Fp6 = Fp2[v]/(v³ − ξ), stored as c0 + c1·v + c2·v²
+// with ξ = 9 + i.
+type gfP6 struct {
+	c0, c1, c2 *gfP2
+}
+
+func newGFp6() *gfP6 {
+	return &gfP6{c0: newGFp2(), c1: newGFp2(), c2: newGFp2()}
+}
+
+func (e *gfP6) String() string {
+	return fmt.Sprintf("(%v + %v·v + %v·v²)", e.c0, e.c1, e.c2)
+}
+
+func (e *gfP6) Set(a *gfP6) *gfP6 {
+	e.c0 = newGFp2().Set(a.c0)
+	e.c1 = newGFp2().Set(a.c1)
+	e.c2 = newGFp2().Set(a.c2)
+	return e
+}
+
+func (e *gfP6) SetZero() *gfP6 {
+	e.c0 = newGFp2()
+	e.c1 = newGFp2()
+	e.c2 = newGFp2()
+	return e
+}
+
+func (e *gfP6) SetOne() *gfP6 {
+	e.c0 = newGFp2().SetOne()
+	e.c1 = newGFp2()
+	e.c2 = newGFp2()
+	return e
+}
+
+func (e *gfP6) IsZero() bool { return e.c0.IsZero() && e.c1.IsZero() && e.c2.IsZero() }
+
+func (e *gfP6) IsOne() bool { return e.c0.IsOne() && e.c1.IsZero() && e.c2.IsZero() }
+
+func (e *gfP6) Equal(a *gfP6) bool {
+	return e.c0.Equal(a.c0) && e.c1.Equal(a.c1) && e.c2.Equal(a.c2)
+}
+
+func (e *gfP6) Add(a, b *gfP6) *gfP6 {
+	c0 := newGFp2().Add(a.c0, b.c0)
+	c1 := newGFp2().Add(a.c1, b.c1)
+	c2 := newGFp2().Add(a.c2, b.c2)
+	e.c0, e.c1, e.c2 = c0, c1, c2
+	return e
+}
+
+func (e *gfP6) Sub(a, b *gfP6) *gfP6 {
+	c0 := newGFp2().Sub(a.c0, b.c0)
+	c1 := newGFp2().Sub(a.c1, b.c1)
+	c2 := newGFp2().Sub(a.c2, b.c2)
+	e.c0, e.c1, e.c2 = c0, c1, c2
+	return e
+}
+
+func (e *gfP6) Neg(a *gfP6) *gfP6 {
+	c0 := newGFp2().Neg(a.c0)
+	c1 := newGFp2().Neg(a.c1)
+	c2 := newGFp2().Neg(a.c2)
+	e.c0, e.c1, e.c2 = c0, c1, c2
+	return e
+}
+
+// Mul sets e = a·b with the reduction v³ = ξ, using the Karatsuba
+// interpolation of Devegili et al. (six Fp2 multiplications):
+//
+//	v0 = a0b0, v1 = a1b1, v2 = a2b2
+//	e0 = v0 + ξ((a1+a2)(b1+b2) − v1 − v2)
+//	e1 = (a0+a1)(b0+b1) − v0 − v1 + ξ·v2
+//	e2 = (a0+a2)(b0+b2) − v0 − v2 + v1
+func (e *gfP6) Mul(a, b *gfP6) *gfP6 {
+	v0 := newGFp2().Mul(a.c0, b.c0)
+	v1 := newGFp2().Mul(a.c1, b.c1)
+	v2 := newGFp2().Mul(a.c2, b.c2)
+
+	t := newGFp2().Mul(newGFp2().Add(a.c1, a.c2), newGFp2().Add(b.c1, b.c2))
+	t.Sub(t, v1)
+	t.Sub(t, v2)
+	c0 := newGFp2().Add(v0, t.MulXi(t))
+
+	t1 := newGFp2().Mul(newGFp2().Add(a.c0, a.c1), newGFp2().Add(b.c0, b.c1))
+	t1.Sub(t1, v0)
+	t1.Sub(t1, v1)
+	c1 := t1.Add(t1, newGFp2().MulXi(v2))
+
+	t2 := newGFp2().Mul(newGFp2().Add(a.c0, a.c2), newGFp2().Add(b.c0, b.c2))
+	t2.Sub(t2, v0)
+	t2.Sub(t2, v2)
+	c2 := t2.Add(t2, v1)
+
+	e.c0, e.c1, e.c2 = c0, c1, c2
+	return e
+}
+
+// MulScalarGFp2 sets e = a·k for k ∈ Fp2.
+func (e *gfP6) MulScalarGFp2(a *gfP6, k *gfP2) *gfP6 {
+	c0 := newGFp2().Mul(a.c0, k)
+	c1 := newGFp2().Mul(a.c1, k)
+	c2 := newGFp2().Mul(a.c2, k)
+	e.c0, e.c1, e.c2 = c0, c1, c2
+	return e
+}
+
+// MulV sets e = a·v: (c0 + c1·v + c2·v²)·v = ξ·c2 + c0·v + c1·v².
+func (e *gfP6) MulV(a *gfP6) *gfP6 {
+	c0 := newGFp2().MulXi(a.c2)
+	c1 := newGFp2().Set(a.c0)
+	c2 := newGFp2().Set(a.c1)
+	e.c0, e.c1, e.c2 = c0, c1, c2
+	return e
+}
+
+func (e *gfP6) Square(a *gfP6) *gfP6 {
+	return e.Mul(a, a)
+}
+
+// Invert sets e = a⁻¹ using the standard formula for cubic extensions:
+//
+//	A = c0² − ξ·c1·c2,  B = ξ·c2² − c0·c1,  C = c1² − c0·c2
+//	F = c0·A + ξ·c1·C + ξ·c2·B
+//	a⁻¹ = (A + B·v + C·v²) / F
+func (e *gfP6) Invert(a *gfP6) *gfP6 {
+	A := newGFp2().Sub(
+		newGFp2().Square(a.c0),
+		newGFp2().MulXi(newGFp2().Mul(a.c1, a.c2)))
+	B := newGFp2().Sub(
+		newGFp2().MulXi(newGFp2().Square(a.c2)),
+		newGFp2().Mul(a.c0, a.c1))
+	C := newGFp2().Sub(
+		newGFp2().Square(a.c1),
+		newGFp2().Mul(a.c0, a.c2))
+
+	F := newGFp2().Mul(a.c0, A)
+	F.Add(F, newGFp2().MulXi(newGFp2().Mul(a.c1, C)))
+	F.Add(F, newGFp2().MulXi(newGFp2().Mul(a.c2, B)))
+	if F.IsZero() {
+		panic("bn254: inversion of zero in Fp6")
+	}
+	Finv := newGFp2().Invert(F)
+
+	e.c0 = newGFp2().Mul(A, Finv)
+	e.c1 = newGFp2().Mul(B, Finv)
+	e.c2 = newGFp2().Mul(C, Finv)
+	return e
+}

@@ -1,0 +1,187 @@
+package bn254
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func randScalar(t testing.TB) *big.Int {
+	t.Helper()
+	k, err := RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestG1GeneratorOnCurve(t *testing.T) {
+	if !G1Generator().IsOnCurve() {
+		t.Fatal("G1 generator not on curve")
+	}
+}
+
+func TestG1Order(t *testing.T) {
+	if !new(G1).ScalarMult(G1Generator(), Order).IsInfinity() {
+		t.Fatal("Order·G1 != ∞")
+	}
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	g := G1Generator()
+	a, b := randScalar(t), randScalar(t)
+	pa := new(G1).ScalarMult(g, a)
+	pb := new(G1).ScalarMult(g, b)
+
+	// commutativity
+	if !new(G1).Add(pa, pb).Equal(new(G1).Add(pb, pa)) {
+		t.Fatal("G1 addition not commutative")
+	}
+	// aG + bG == (a+b)G
+	sum := new(G1).Add(pa, pb)
+	want := new(G1).ScalarMult(g, new(big.Int).Add(a, b))
+	if !sum.Equal(want) {
+		t.Fatal("aG + bG != (a+b)G")
+	}
+	// P + (−P) == ∞
+	if !new(G1).Add(pa, new(G1).Neg(pa)).IsInfinity() {
+		t.Fatal("P + (−P) != ∞")
+	}
+	// P + ∞ == P
+	if !new(G1).Add(pa, new(G1).SetInfinity()).Equal(pa) {
+		t.Fatal("P + ∞ != P")
+	}
+	// 2P == P + P
+	if !new(G1).Double(pa).Equal(new(G1).Add(pa, pa)) {
+		t.Fatal("Double != Add(P, P)")
+	}
+	// results stay on the curve
+	if !sum.IsOnCurve() {
+		t.Fatal("sum left the curve")
+	}
+}
+
+func TestG1MarshalRoundTrip(t *testing.T) {
+	p := new(G1).ScalarBaseMult(randScalar(t))
+	q := new(G1)
+	if err := q.Unmarshal(p.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatal("G1 marshal round-trip failed")
+	}
+
+	inf := new(G1).SetInfinity()
+	q2 := new(G1)
+	if err := q2.Unmarshal(inf.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !q2.IsInfinity() {
+		t.Fatal("infinity round-trip failed")
+	}
+}
+
+func TestG1UnmarshalRejectsBadPoints(t *testing.T) {
+	bad := make([]byte, g1MarshalledSize)
+	bad[31] = 5 // x=5, y=0: not on curve
+	if err := new(G1).Unmarshal(bad); err == nil {
+		t.Fatal("accepted off-curve point")
+	}
+	if err := new(G1).Unmarshal(bad[:10]); err == nil {
+		t.Fatal("accepted short encoding")
+	}
+	// coordinate ≥ P
+	tooBig := make([]byte, g1MarshalledSize)
+	P.FillBytes(tooBig[:32])
+	tooBig[63] = 2
+	if err := new(G1).Unmarshal(tooBig); err == nil {
+		t.Fatal("accepted out-of-range coordinate")
+	}
+}
+
+func TestHashToG1(t *testing.T) {
+	p := HashToG1("test", []byte("alice@example.org"))
+	if !p.IsOnCurve() || p.IsInfinity() {
+		t.Fatal("hash produced invalid point")
+	}
+	q := HashToG1("test", []byte("alice@example.org"))
+	if !p.Equal(q) {
+		t.Fatal("hash not deterministic")
+	}
+	r := HashToG1("test", []byte("bob@example.org"))
+	if p.Equal(r) {
+		t.Fatal("distinct messages hashed to same point")
+	}
+	s := HashToG1("other-domain", []byte("alice@example.org"))
+	if p.Equal(s) {
+		t.Fatal("domain separation failed")
+	}
+}
+
+func TestG2GeneratorOnCurve(t *testing.T) {
+	if !G2Generator().IsOnCurve() {
+		t.Fatal("G2 generator not on twist")
+	}
+}
+
+func TestG2Order(t *testing.T) {
+	if !new(G2).ScalarMult(G2Generator(), Order).IsInfinity() {
+		t.Fatal("Order·G2 != ∞")
+	}
+}
+
+func TestG2GroupLaws(t *testing.T) {
+	g := G2Generator()
+	a, b := randScalar(t), randScalar(t)
+	pa := new(G2).ScalarMult(g, a)
+	pb := new(G2).ScalarMult(g, b)
+
+	if !new(G2).Add(pa, pb).Equal(new(G2).Add(pb, pa)) {
+		t.Fatal("G2 addition not commutative")
+	}
+	sum := new(G2).Add(pa, pb)
+	want := new(G2).ScalarMult(g, new(big.Int).Add(a, b))
+	if !sum.Equal(want) {
+		t.Fatal("aG + bG != (a+b)G in G2")
+	}
+	if !new(G2).Add(pa, new(G2).Neg(pa)).IsInfinity() {
+		t.Fatal("P + (−P) != ∞ in G2")
+	}
+	if !sum.IsOnCurve() {
+		t.Fatal("G2 sum left the twist")
+	}
+}
+
+func TestG2MarshalRoundTrip(t *testing.T) {
+	p := new(G2).ScalarBaseMult(randScalar(t))
+	q := new(G2)
+	if err := q.Unmarshal(p.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatal("G2 marshal round-trip failed")
+	}
+	if !bytes.Equal(p.Marshal(), q.Marshal()) {
+		t.Fatal("re-marshal mismatch")
+	}
+}
+
+func TestG2UnmarshalRejectsBadPoints(t *testing.T) {
+	bad := make([]byte, g2MarshalledSize)
+	bad[31] = 7
+	if err := new(G2).Unmarshal(bad); err == nil {
+		t.Fatal("accepted off-twist point")
+	}
+}
+
+func TestGTMarshalRoundTrip(t *testing.T) {
+	g := Pair(G1Generator(), G2Generator())
+	h := new(GT)
+	if err := h.Unmarshal(g.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("GT marshal round-trip failed")
+	}
+}

@@ -1,0 +1,147 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over the group structure that the higher layers
+// (Anytrust-IBE key aggregation, BLS multisignatures, keywheel DH) depend
+// on. Scalars are kept small-ish so each property check stays fast; the
+// algebra is identical at any scalar size.
+
+func smallScalar(k uint16) *big.Int {
+	return big.NewInt(int64(k%1021) + 1)
+}
+
+func TestG1ScalarMultDistributes(t *testing.T) {
+	g := G1Generator()
+	prop := func(a, b uint16) bool {
+		ka, kb := smallScalar(a), smallScalar(b)
+		// (a+b)G == aG + bG
+		lhs := new(G1).ScalarMult(g, new(big.Int).Add(ka, kb))
+		rhs := new(G1).Add(new(G1).ScalarMult(g, ka), new(G1).ScalarMult(g, kb))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestG1ScalarMultAssociates(t *testing.T) {
+	g := G1Generator()
+	prop := func(a, b uint16) bool {
+		ka, kb := smallScalar(a), smallScalar(b)
+		// a(bG) == (ab)G
+		lhs := new(G1).ScalarMult(new(G1).ScalarMult(g, kb), ka)
+		rhs := new(G1).ScalarMult(g, new(big.Int).Mul(ka, kb))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestG2ScalarMultDistributes(t *testing.T) {
+	g := G2Generator()
+	prop := func(a, b uint16) bool {
+		ka, kb := smallScalar(a), smallScalar(b)
+		lhs := new(G2).ScalarMult(g, new(big.Int).Add(ka, kb))
+		rhs := new(G2).Add(new(G2).ScalarMult(g, ka), new(G2).ScalarMult(g, kb))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestG1MarshalRoundTripProperty(t *testing.T) {
+	g := G1Generator()
+	prop := func(a uint16) bool {
+		p := new(G1).ScalarMult(g, smallScalar(a))
+		q := new(G1)
+		if err := q.Unmarshal(p.Marshal()); err != nil {
+			return false
+		}
+		return p.Equal(q)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestG2MarshalRoundTripProperty(t *testing.T) {
+	g := G2Generator()
+	prop := func(a uint16) bool {
+		p := new(G2).ScalarMult(g, smallScalar(a))
+		q := new(G2)
+		if err := q.Unmarshal(p.Marshal()); err != nil {
+			return false
+		}
+		return p.Equal(q)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarMultMatchesRepeatedAddition(t *testing.T) {
+	g := G1Generator()
+	acc := new(G1).SetInfinity()
+	for k := 1; k <= 8; k++ {
+		acc.Add(acc, g)
+		if !acc.Equal(new(G1).ScalarMult(g, big.NewInt(int64(k)))) {
+			t.Fatalf("k=%d: repeated addition disagrees with ScalarMult", k)
+		}
+	}
+}
+
+func TestHashToG1Distribution(t *testing.T) {
+	// Different inputs nearly always hit different points; collect a few
+	// and ensure all distinct and on-curve.
+	seen := make(map[string]bool)
+	var buf [8]byte
+	for i := 0; i < 24; i++ {
+		if _, err := rand.Read(buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		p := HashToG1("dist", buf[:])
+		if !p.IsOnCurve() {
+			t.Fatal("hash output off-curve")
+		}
+		key := string(p.Marshal())
+		if seen[key] {
+			t.Fatal("hash collision on random inputs")
+		}
+		seen[key] = true
+	}
+}
+
+func TestRandomScalarRange(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		k, err := RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Sign() <= 0 || k.Cmp(Order) >= 0 {
+			t.Fatalf("scalar out of range: %v", k)
+		}
+	}
+}
+
+func TestGTExpDistributes(t *testing.T) {
+	e := Pair(G1Generator(), G2Generator())
+	a, b := big.NewInt(712), big.NewInt(3001)
+	lhs := new(GT).Mul(new(GT).Exp(e, a), new(GT).Exp(e, b))
+	rhs := new(GT).Exp(e, new(big.Int).Add(a, b))
+	if !lhs.Equal(rhs) {
+		t.Fatal("GT exponent addition law failed")
+	}
+	// Inverse law: e^a · (e^a)^-1 == 1
+	inv := new(GT).Invert(new(GT).Exp(e, a))
+	if !new(GT).Mul(new(GT).Exp(e, a), inv).IsOne() {
+		t.Fatal("GT inverse law failed")
+	}
+}

@@ -1,0 +1,127 @@
+// Package cdn simulates the content-distribution network that distributes
+// Alpenhorn mailboxes to clients (§7: "our prototype relies on a content
+// distribution network, such as Akamai").
+//
+// Semantically a CDN is a read-only, immutable, versioned blob store: the
+// last mixnet server publishes each round's mailboxes once, and any number
+// of clients fetch them. The in-memory implementation preserves exactly
+// those semantics (a round's content cannot be republished) and adds
+// byte-accounting so the benchmark harness can measure client bandwidth.
+package cdn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"alpenhorn/internal/wire"
+)
+
+type roundKey struct {
+	service wire.Service
+	round   uint32
+}
+
+// Store is an in-memory mailbox CDN. The zero value is not usable; call
+// NewStore.
+type Store struct {
+	mu     sync.RWMutex
+	rounds map[roundKey]map[uint32][]byte
+
+	// retention limits how many rounds per service are kept; older
+	// rounds are evicted. Mailbox contents are public, so retention is
+	// an availability knob, not a privacy one (§5.1: clients can fetch
+	// old mailboxes "for a relatively long time").
+	retention int
+	order     map[wire.Service][]uint32
+
+	bytesServed atomic.Uint64
+	fetches     atomic.Uint64
+}
+
+// NewStore creates a store retaining the given number of rounds per
+// service (0 means unlimited).
+func NewStore(retention int) *Store {
+	return &Store{
+		rounds:    make(map[roundKey]map[uint32][]byte),
+		retention: retention,
+		order:     make(map[wire.Service][]uint32),
+	}
+}
+
+// Publish stores all mailboxes for a round. It fails if the round was
+// already published: rounds are immutable.
+func (s *Store) Publish(service wire.Service, round uint32, mailboxes map[uint32][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := roundKey{service, round}
+	if _, ok := s.rounds[k]; ok {
+		return fmt.Errorf("cdn: round %d (%s) already published", round, service)
+	}
+	copied := make(map[uint32][]byte, len(mailboxes))
+	for id, data := range mailboxes {
+		b := make([]byte, len(data))
+		copy(b, data)
+		copied[id] = b
+	}
+	s.rounds[k] = copied
+	s.order[service] = append(s.order[service], round)
+	if s.retention > 0 {
+		for len(s.order[service]) > s.retention {
+			old := s.order[service][0]
+			s.order[service] = s.order[service][1:]
+			delete(s.rounds, roundKey{service, old})
+		}
+	}
+	return nil
+}
+
+// Fetch returns one mailbox's contents. A missing round and a missing
+// mailbox are distinct errors: an empty mailbox in a published round
+// returns empty bytes, not an error.
+func (s *Store) Fetch(service wire.Service, round uint32, mailbox uint32) ([]byte, error) {
+	s.mu.RLock()
+	boxes, ok := s.rounds[roundKey{service, round}]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("cdn: round %d (%s) not published", round, service)
+	}
+	data := boxes[mailbox]
+	s.mu.RUnlock()
+
+	out := make([]byte, len(data))
+	copy(out, data)
+	s.bytesServed.Add(uint64(len(out)))
+	s.fetches.Add(1)
+	return out, nil
+}
+
+// Published reports whether a round's mailboxes are available.
+func (s *Store) Published(service wire.Service, round uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.rounds[roundKey{service, round}]
+	return ok
+}
+
+// MailboxSizes returns the size in bytes of every mailbox in a round,
+// keyed by mailbox ID. Used by the benchmark harness (Figures 6, 7, 10).
+func (s *Store) MailboxSizes(service wire.Service, round uint32) (map[uint32]int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	boxes, ok := s.rounds[roundKey{service, round}]
+	if !ok {
+		return nil, fmt.Errorf("cdn: round %d (%s) not published", round, service)
+	}
+	sizes := make(map[uint32]int, len(boxes))
+	for id, data := range boxes {
+		sizes[id] = len(data)
+	}
+	return sizes, nil
+}
+
+// BytesServed returns the cumulative bytes served to clients.
+func (s *Store) BytesServed() uint64 { return s.bytesServed.Load() }
+
+// Fetches returns the cumulative number of Fetch calls.
+func (s *Store) Fetches() uint64 { return s.fetches.Load() }

@@ -1,0 +1,100 @@
+package cdn
+
+import (
+	"bytes"
+	"testing"
+
+	"alpenhorn/internal/wire"
+)
+
+func TestPublishFetch(t *testing.T) {
+	s := NewStore(0)
+	boxes := map[uint32][]byte{0: []byte("box0"), 1: []byte("box1")}
+	if err := s.Publish(wire.AddFriend, 1, boxes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Fetch(wire.AddFriend, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("box1")) {
+		t.Fatalf("got %q", got)
+	}
+	// Missing mailbox in a published round is empty, not an error.
+	empty, err := s.Fetch(wire.AddFriend, 1, 99)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("missing mailbox: %q, %v", empty, err)
+	}
+	// Unpublished round is an error.
+	if _, err := s.Fetch(wire.AddFriend, 2, 0); err == nil {
+		t.Fatal("unpublished round served")
+	}
+	if _, err := s.Fetch(wire.Dialing, 1, 0); err == nil {
+		t.Fatal("wrong service served")
+	}
+}
+
+func TestRoundsAreImmutable(t *testing.T) {
+	s := NewStore(0)
+	if err := s.Publish(wire.AddFriend, 1, map[uint32][]byte{0: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(wire.AddFriend, 1, map[uint32][]byte{0: []byte("v2")}); err == nil {
+		t.Fatal("republish accepted")
+	}
+}
+
+func TestContentsAreCopied(t *testing.T) {
+	s := NewStore(0)
+	data := []byte("original")
+	if err := s.Publish(wire.AddFriend, 1, map[uint32][]byte{0: data}); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	got, _ := s.Fetch(wire.AddFriend, 1, 0)
+	if string(got) != "original" {
+		t.Fatal("store aliases publisher buffer")
+	}
+	got[0] = 'Y'
+	got2, _ := s.Fetch(wire.AddFriend, 1, 0)
+	if string(got2) != "original" {
+		t.Fatal("store aliases fetcher buffer")
+	}
+}
+
+func TestRetention(t *testing.T) {
+	s := NewStore(2)
+	for r := uint32(1); r <= 3; r++ {
+		if err := s.Publish(wire.Dialing, r, map[uint32][]byte{0: {byte(r)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Published(wire.Dialing, 1) {
+		t.Fatal("evicted round still published")
+	}
+	if !s.Published(wire.Dialing, 2) || !s.Published(wire.Dialing, 3) {
+		t.Fatal("recent rounds missing")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	s := NewStore(0)
+	if err := s.Publish(wire.Dialing, 1, map[uint32][]byte{0: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Fetch(wire.Dialing, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.BytesServed() != 300 {
+		t.Fatalf("bytes served %d", s.BytesServed())
+	}
+	if s.Fetches() != 3 {
+		t.Fatalf("fetches %d", s.Fetches())
+	}
+	sizes, err := s.MailboxSizes(wire.Dialing, 1)
+	if err != nil || sizes[0] != 100 {
+		t.Fatalf("sizes %v, %v", sizes, err)
+	}
+}

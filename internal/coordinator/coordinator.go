@@ -1,0 +1,228 @@
+// Package coordinator drives Alpenhorn's periodic rounds (§3.1).
+//
+// The paper makes the first mixnet server coordinate rounds; this package
+// factors that role into its own type so it can run inside the first
+// mixer's process (as in the paper), as a standalone daemon, or — most
+// importantly for reproducibility — under direct control of tests and
+// benchmarks, which step rounds manually instead of on timers.
+//
+// One add-friend round proceeds as:
+//
+//  1. every PKG announces a fresh signed IBE master key,
+//  2. every mixer announces a fresh signed onion key,
+//  3. the coordinator picks the mailbox count, assembles the signed
+//     RoundSettings, and opens the round at the entry server,
+//  4. clients submit onions (real or cover),
+//  5. the coordinator closes intake, runs the batch through the mix
+//     chain, and publishes the resulting mailboxes to the CDN,
+//  6. mixers erase their round keys immediately; PKGs erase master keys
+//     once clients have had time to extract identity keys.
+//
+// Dialing rounds are the same minus the PKG steps.
+package coordinator
+
+import (
+	"fmt"
+	"sync"
+
+	"alpenhorn/internal/cdn"
+	"alpenhorn/internal/entry"
+	"alpenhorn/internal/mixnet"
+	"alpenhorn/internal/pkgserver"
+	"alpenhorn/internal/wire"
+)
+
+// Mixer is the coordinator's view of one mixnet server. It is satisfied by
+// *mixnet.Server (in-process) and *rpc.MixerClient (remote daemon).
+type Mixer interface {
+	NewRound(service wire.Service, round uint32) (wire.MixerRoundKey, error)
+	SetDownstreamKeys(service wire.Service, round uint32, keys [][]byte) error
+	Mix(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte) ([][]byte, error)
+	CloseRound(service wire.Service, round uint32)
+	NoiseMu(service wire.Service) float64
+}
+
+// PKG is the coordinator's view of one PKG server. It is satisfied by
+// *pkgserver.Server (in-process) and *rpc.PKGClient (remote daemon).
+type PKG interface {
+	NewRound(round uint32) (wire.PKGRoundKey, error)
+	CloseRound(round uint32)
+}
+
+// Coordinator orchestrates rounds across the servers. It is safe for
+// concurrent use, though rounds are typically driven sequentially.
+type Coordinator struct {
+	Entry  *entry.Server
+	Mixers []Mixer
+	PKGs   []PKG
+	CDN    *cdn.Store
+
+	// TargetRequestsPerMailbox controls how many requests (real + noise)
+	// the coordinator aims to put in one mailbox; the paper sizes
+	// add-friend mailboxes at roughly 24,000 requests (§8.2). Tests use
+	// small values.
+	TargetRequestsPerMailbox int
+
+	// ExpectedVolume estimates the next round's request count for
+	// mailbox sizing. Updated from each observed batch.
+	mu             sync.Mutex
+	expectedVolume map[wire.Service]int
+}
+
+// New creates a coordinator over in-process servers, the common case for
+// tests and single-machine deployments. For remote daemons, construct the
+// Coordinator literal with rpc.MixerClient / rpc.PKGClient values.
+func New(e *entry.Server, mixers []*mixnet.Server, pkgs []*pkgserver.Server, store *cdn.Store) *Coordinator {
+	c := &Coordinator{
+		Entry:                    e,
+		CDN:                      store,
+		TargetRequestsPerMailbox: 24000,
+		expectedVolume:           make(map[wire.Service]int),
+	}
+	for _, m := range mixers {
+		c.Mixers = append(c.Mixers, m)
+	}
+	for _, p := range pkgs {
+		c.PKGs = append(c.PKGs, p)
+	}
+	return c
+}
+
+// SetExpectedVolume seeds the mailbox-count heuristic (e.g. from the
+// previous round's batch size).
+func (c *Coordinator) SetExpectedVolume(service wire.Service, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.expectedVolume == nil {
+		c.expectedVolume = make(map[wire.Service]int)
+	}
+	c.expectedVolume[service] = n
+}
+
+// numMailboxes picks K: enough mailboxes that each holds roughly
+// TargetRequestsPerMailbox requests, counting per-mailbox noise from every
+// mixer. The paper's balance point puts "a roughly equal amount of noise
+// and real requests in each mailbox" (§6).
+func (c *Coordinator) numMailboxes(service wire.Service) uint32 {
+	c.mu.Lock()
+	expected := c.expectedVolume[service]
+	c.mu.Unlock()
+
+	perMailboxNoise := 0.0
+	for _, m := range c.Mixers {
+		perMailboxNoise += m.NoiseMu(service)
+	}
+	target := float64(c.TargetRequestsPerMailbox)
+	realPerMailbox := target - perMailboxNoise
+	if realPerMailbox <= 0 {
+		// Noise alone exceeds the target: use one mailbox.
+		return 1
+	}
+	k := uint32(float64(expected) / realPerMailbox)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// OpenAddFriendRound performs steps 1-3: key announcements and settings.
+func (c *Coordinator) OpenAddFriendRound(round uint32) (*wire.RoundSettings, error) {
+	settings := &wire.RoundSettings{
+		Service:      wire.AddFriend,
+		Round:        round,
+		NumMailboxes: c.numMailboxes(wire.AddFriend),
+	}
+	for i, pkg := range c.PKGs {
+		rk, err := pkg.NewRound(round)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: PKG %d: %w", i, err)
+		}
+		settings.PKGs = append(settings.PKGs, rk)
+	}
+	if err := c.openMixRound(settings); err != nil {
+		return nil, err
+	}
+	if err := c.Entry.OpenRound(settings); err != nil {
+		return nil, err
+	}
+	return settings, nil
+}
+
+// OpenDialingRound announces a dialing round.
+func (c *Coordinator) OpenDialingRound(round uint32) (*wire.RoundSettings, error) {
+	settings := &wire.RoundSettings{
+		Service:      wire.Dialing,
+		Round:        round,
+		NumMailboxes: c.numMailboxes(wire.Dialing),
+	}
+	if err := c.openMixRound(settings); err != nil {
+		return nil, err
+	}
+	if err := c.Entry.OpenRound(settings); err != nil {
+		return nil, err
+	}
+	return settings, nil
+}
+
+func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
+	keys := make([][]byte, len(c.Mixers))
+	for i, m := range c.Mixers {
+		rk, err := m.NewRound(settings.Service, settings.Round)
+		if err != nil {
+			return fmt.Errorf("coordinator: mixer %d: %w", i, err)
+		}
+		settings.Mixers = append(settings.Mixers, rk)
+		keys[i] = rk.OnionKey
+	}
+	// Each mixer needs the onion keys of the servers after it to wrap
+	// its noise.
+	for i, m := range c.Mixers {
+		if err := m.SetDownstreamKeys(settings.Service, settings.Round, keys[i+1:]); err != nil {
+			return fmt.Errorf("coordinator: mixer %d downstream keys: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CloseRound performs steps 5-6 for either service: close intake, mix,
+// publish mailboxes, and erase mixer round keys. For add-friend rounds the
+// PKG master keys remain open until FinishAddFriendRound.
+func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32][]byte, error) {
+	settings, err := c.Entry.Settings(service, round)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := c.Entry.CloseRound(service, round)
+	if err != nil {
+		return nil, err
+	}
+	c.SetExpectedVolume(service, len(batch))
+
+	cur := batch
+	for i, m := range c.Mixers {
+		cur, err = m.Mix(service, round, settings.NumMailboxes, cur)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: mixer %d: %w", i, err)
+		}
+	}
+	mailboxes, err := mixnet.BuildMailboxes(service, settings.NumMailboxes, cur)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CDN.Publish(service, round, mailboxes); err != nil {
+		return nil, err
+	}
+	for _, m := range c.Mixers {
+		m.CloseRound(service, round)
+	}
+	return mailboxes, nil
+}
+
+// FinishAddFriendRound erases every PKG's master secret for the round
+// (§4.4: "after a preconfigured amount of time or after all users have
+// obtained their private keys").
+func (c *Coordinator) FinishAddFriendRound(round uint32) {
+	for _, pkg := range c.PKGs {
+		pkg.CloseRound(round)
+	}
+}

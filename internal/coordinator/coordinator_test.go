@@ -1,0 +1,139 @@
+package coordinator
+
+import (
+	"testing"
+
+	"alpenhorn/internal/bloom"
+	"alpenhorn/internal/cdn"
+	emailpkg "alpenhorn/internal/email"
+	"alpenhorn/internal/entry"
+	"alpenhorn/internal/mixnet"
+	"alpenhorn/internal/noise"
+	"alpenhorn/internal/pkgserver"
+	"alpenhorn/internal/wire"
+)
+
+func newTestCoordinator(t *testing.T, numMixers, numPKGs int) *Coordinator {
+	t.Helper()
+	provider := emailpkg.NewInMemoryProvider()
+	var pkgs []*pkgserver.Server
+	for i := 0; i < numPKGs; i++ {
+		p, err := pkgserver.New(pkgserver.Config{Name: "p", Provider: provider})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	nz := noise.Laplace{Mu: 1, B: 0}
+	var mixers []*mixnet.Server
+	for i := 0; i < numMixers; i++ {
+		m, err := mixnet.New(mixnet.Config{
+			Name: "m", Position: i, ChainLength: numMixers,
+			AddFriendNoise: &nz, DialingNoise: &nz,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixers = append(mixers, m)
+	}
+	return New(entry.New(), mixers, pkgs, cdn.NewStore(0))
+}
+
+func TestAddFriendRoundLifecycle(t *testing.T) {
+	c := newTestCoordinator(t, 3, 2)
+	settings, err := c.OpenAddFriendRound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(settings.Mixers) != 3 || len(settings.PKGs) != 2 {
+		t.Fatalf("settings: %d mixers, %d PKGs", len(settings.Mixers), len(settings.PKGs))
+	}
+	// Settings are served by the entry server.
+	got, err := c.Entry.Settings(wire.AddFriend, 1)
+	if err != nil || got.NumMailboxes != settings.NumMailboxes {
+		t.Fatal("entry does not serve settings")
+	}
+
+	mailboxes, err := c.CloseRound(wire.AddFriend, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mailboxes) != int(settings.NumMailboxes) {
+		t.Fatalf("%d mailboxes, want %d", len(mailboxes), settings.NumMailboxes)
+	}
+	if !c.CDN.Published(wire.AddFriend, 1) {
+		t.Fatal("mailboxes not published")
+	}
+	// Mixer round keys erased; PKG keys still open until Finish.
+	for _, m := range c.Mixers {
+		if m.(*mixnet.Server).RoundOpen(wire.AddFriend, 1) {
+			t.Fatal("mixer round key survives close")
+		}
+	}
+	for _, p := range c.PKGs {
+		if !p.(*pkgserver.Server).RoundOpen(1) {
+			t.Fatal("PKG round closed too early")
+		}
+	}
+	c.FinishAddFriendRound(1)
+	for _, p := range c.PKGs {
+		if p.(*pkgserver.Server).RoundOpen(1) {
+			t.Fatal("PKG round open after finish")
+		}
+	}
+}
+
+func TestDialingRoundLifecycle(t *testing.T) {
+	c := newTestCoordinator(t, 2, 1)
+	settings, err := c.OpenDialingRound(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(settings.PKGs) != 0 {
+		t.Fatal("dialing settings should have no PKG keys")
+	}
+	mailboxes, err := c.CloseRound(wire.Dialing, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every mailbox is a valid Bloom filter.
+	for id, data := range mailboxes {
+		if _, err := bloom.Unmarshal(data); err != nil {
+			t.Fatalf("mailbox %d: %v", id, err)
+		}
+	}
+}
+
+func TestMailboxCountScalesWithVolume(t *testing.T) {
+	c := newTestCoordinator(t, 3, 1)
+	c.TargetRequestsPerMailbox = 10 // noise = 3 servers × 1 = 3/mailbox
+
+	c.SetExpectedVolume(wire.Dialing, 0)
+	s1, err := c.OpenDialingRound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.NumMailboxes != 1 {
+		t.Fatalf("empty volume: K = %d, want 1", s1.NumMailboxes)
+	}
+	if _, err := c.CloseRound(wire.Dialing, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	c.SetExpectedVolume(wire.Dialing, 700)
+	s2, err := c.OpenDialingRound(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// realPerMailbox target = 10 − 3 = 7 → K = 700/7 = 100.
+	if s2.NumMailboxes != 100 {
+		t.Fatalf("high volume: K = %d, want 100", s2.NumMailboxes)
+	}
+}
+
+func TestCloseUnopenedRoundFails(t *testing.T) {
+	c := newTestCoordinator(t, 1, 1)
+	if _, err := c.CloseRound(wire.Dialing, 42); err == nil {
+		t.Fatal("closing unopened round succeeded")
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"alpenhorn/internal/bls"
+	"alpenhorn/internal/ibe"
+	"alpenhorn/internal/keywheel"
+	"alpenhorn/internal/onionbox"
+	"alpenhorn/internal/pkgserver"
+	"alpenhorn/internal/wire"
+)
+
+// This file implements the client side of the add-friend protocol
+// (Algorithm 1 in the paper).
+
+// SubmitAddFriendRound performs the submission half of an add-friend round:
+// it verifies the round settings, extracts this round's identity key shares
+// and PKG attestations (step 1), builds either a real friend request
+// (steps 2a, 3) or cover traffic (step 2b), and submits the onion.
+//
+// The client calls this exactly once per round, whether or not the user is
+// adding anyone — the fixed-size cover request is what hides add-friend
+// activity.
+func (c *Client) SubmitAddFriendRound(round uint32) error {
+	settings, err := c.cfg.Entry.Settings(wire.AddFriend, round)
+	if err != nil {
+		return fmt.Errorf("core: fetching settings: %w", err)
+	}
+	if err := c.verifySettings(settings, true); err != nil {
+		return fmt.Errorf("core: round %d settings: %w", round, err)
+	}
+
+	// Step 1: acquire identity key shares and attestations from every
+	// PKG, verifying each PKG's BLS attestation before aggregating.
+	if err := c.extractRoundKeys(round); err != nil {
+		return fmt.Errorf("core: extracting round keys: %w", err)
+	}
+
+	payload, err := c.buildAddFriendPayload(round, settings)
+	if err != nil {
+		return err
+	}
+
+	// Step 3: onion-wrap for the mix chain and submit.
+	onion, err := c.wrapOnion(settings, payload)
+	if err != nil {
+		return err
+	}
+	return c.cfg.Entry.Submit(wire.AddFriend, round, onion)
+}
+
+// extractRoundKeys performs Algorithm 1 step 1 against every PKG and
+// caches the aggregated results for the round's scan phase.
+func (c *Client) extractRoundKeys(round uint32) error {
+	c.mu.Lock()
+	if _, done := c.roundKeys[round]; done {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	sig := ed25519.Sign(c.signingPriv, pkgserver.ExtractMessage(c.cfg.Email, round))
+	attMsg := wire.AttestationMessage(c.cfg.Email, c.signingPub, round)
+
+	idKeys := make([]*ibe.IdentityPrivateKey, len(c.cfg.PKGs))
+	sigs := make([]*bls.Signature, len(c.cfg.PKGs))
+	for i, pkg := range c.cfg.PKGs {
+		reply, err := pkg.Extract(c.cfg.Email, round, sig)
+		if err != nil {
+			return fmt.Errorf("PKG %d: %w", i, err)
+		}
+		// Verify this PKG's attestation share now: a bad share would
+		// poison the aggregate and is this PKG's fault.
+		if !bls.Verify(c.cfg.PKGBLSKeys[i], attMsg, reply.Attestation) {
+			return fmt.Errorf("PKG %d returned invalid attestation", i)
+		}
+		idKeys[i] = reply.IdentityKey
+		sigs[i] = reply.Attestation
+	}
+
+	c.mu.Lock()
+	c.roundKeys[round] = &roundSecrets{
+		identityKey: ibe.AggregatePrivateKeys(idKeys...),
+		pkgSigs:     bls.AggregateSignatures(sigs...),
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// buildAddFriendPayload creates the innermost mix payload: a real IBE-
+// encrypted friend request if one is queued (step 2a), else cover traffic
+// (step 2b).
+func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSettings) ([]byte, error) {
+	c.mu.Lock()
+	var target *pendingFriend
+	for _, p := range c.pending {
+		if p.queued {
+			target = p
+			break
+		}
+	}
+	var secrets = c.roundKeys[round]
+	dialRound := c.dialRound + c.cfg.DialRoundDelta
+	c.mu.Unlock()
+
+	if target == nil {
+		// Step 2b: fake request — all-zero body to the cover mailbox.
+		payload := &wire.MixPayload{
+			Mailbox: wire.CoverMailbox,
+			Body:    make([]byte, wire.EncryptedFriendRequestSize),
+		}
+		return payload.Marshal(), nil
+	}
+
+	// Step 2a: real request.
+	dhPriv, err := ecdh.X25519().GenerateKey(c.cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	req := &wire.FriendRequest{
+		SenderEmail:  c.cfg.Email,
+		SenderKey:    c.signingPub,
+		PKGSigs:      secrets.pkgSigs.Marshal(),
+		DialingKey:   dhPriv.PublicKey().Bytes(),
+		DialingRound: dialRound,
+	}
+	req.SenderSig = ed25519.Sign(c.signingPriv, req.SigningMessage())
+	plaintext, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+
+	// Encrypt to the friend's identity under the aggregated master key.
+	var masterKeys []*ibe.MasterPublicKey
+	for i, pk := range settings.PKGs {
+		mk, err := ibe.UnmarshalMasterPublicKey(pk.MasterKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: PKG %d round key: %w", i, err)
+		}
+		masterKeys = append(masterKeys, mk)
+	}
+	agg := ibe.AggregateMasterKeys(masterKeys...)
+	ctxt, err := ibe.Encrypt(c.cfg.Rand, agg, target.email, plaintext)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	target.queued = false
+	target.dhPriv = dhPriv
+	target.myDialRound = dialRound
+	// If this request answers an incoming one, we already have the
+	// friend's DH key: the keywheel exists as soon as our reply is on
+	// the wire (they will compute the same secret on receipt).
+	var confirmed string
+	if target.isResponse {
+		c.completeFriendshipLocked(target, target.theirKey, target.theirDH, target.theirDialRound)
+		confirmed = target.email
+	}
+	c.persistLocked()
+	c.mu.Unlock()
+	if confirmed != "" {
+		c.cfg.Handler.ConfirmedFriend(confirmed)
+	}
+
+	payload := &wire.MixPayload{
+		Mailbox: wire.MailboxID(target.email, settings.NumMailboxes),
+		Body:    ctxt,
+	}
+	return payload.Marshal(), nil
+}
+
+// wrapOnion wraps a payload for the round's mix chain (Algorithm 1 step 3).
+func (c *Client) wrapOnion(settings *wire.RoundSettings, payload []byte) ([]byte, error) {
+	hops := make([]*onionbox.PublicKey, len(settings.Mixers))
+	for i, m := range settings.Mixers {
+		pk, err := onionbox.UnmarshalPublicKey(m.OnionKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: mixer %d round key: %w", i, err)
+		}
+		hops[i] = pk
+	}
+	return onionbox.WrapOnion(c.cfg.Rand, hops, payload)
+}
+
+// ScanAddFriendRound performs the receive half of an add-friend round
+// (Algorithm 1 steps 4-5): download this user's mailbox, attempt to decrypt
+// every request with the round's aggregated identity key, authenticate and
+// process the ones addressed to us, then erase the round's identity key
+// (forward secrecy, §4.4).
+func (c *Client) ScanAddFriendRound(round uint32) error {
+	settings, err := c.cfg.Entry.Settings(wire.AddFriend, round)
+	if err != nil {
+		return fmt.Errorf("core: fetching settings: %w", err)
+	}
+	if err := c.verifySettings(settings, true); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	secrets := c.roundKeys[round]
+	c.mu.Unlock()
+	if secrets == nil {
+		return fmt.Errorf("core: no identity key for round %d (submit phase skipped?)", round)
+	}
+	defer func() {
+		// Erase the round's identity key whether or not the scan
+		// succeeded: the mailbox is retained by the CDN, but our
+		// ability to decrypt it must not outlive the round.
+		secrets.identityKey.Erase()
+		c.mu.Lock()
+		delete(c.roundKeys, round)
+		c.mu.Unlock()
+	}()
+
+	box, err := c.cfg.Mailboxes.Fetch(wire.AddFriend, round, wire.MailboxID(c.cfg.Email, settings.NumMailboxes))
+	if err != nil {
+		return fmt.Errorf("core: fetching mailbox: %w", err)
+	}
+	if len(box)%wire.EncryptedFriendRequestSize != 0 {
+		return fmt.Errorf("core: mailbox size %d not a multiple of request size", len(box))
+	}
+
+	// Step 4: trial-decrypt every request in the mailbox. Decryptions
+	// are independent pairing computations, so they fan out across
+	// cores (the paper's client scans on 4 cores, §8.2); the successful
+	// plaintexts are then processed in mailbox order for determinism.
+	n := len(box) / wire.EncryptedFriendRequestSize
+	plaintexts := make([][]byte, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				off := i * wire.EncryptedFriendRequestSize
+				ctxt := box[off : off+wire.EncryptedFriendRequestSize]
+				if pt, ok := ibe.Decrypt(secrets.identityKey, ctxt); ok {
+					plaintexts[i] = pt
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, plaintext := range plaintexts {
+		if plaintext == nil {
+			continue // someone else's request, or noise
+		}
+		req, err := wire.UnmarshalFriendRequest(plaintext)
+		if err != nil {
+			c.reportErr(fmt.Errorf("core: malformed friend request: %w", err))
+			continue
+		}
+		c.handleFriendRequest(round, req)
+	}
+	return nil
+}
+
+// handleFriendRequest authenticates and processes one decrypted friend
+// request (Algorithm 1 steps 4-5).
+func (c *Client) handleFriendRequest(round uint32, req *wire.FriendRequest) {
+	// ok1: the PKG multisignature proves SenderKey belongs to
+	// SenderEmail as long as one PKG is honest.
+	aggPKG := bls.AggregatePublicKeys(c.cfg.PKGBLSKeys...)
+	attMsg := wire.AttestationMessage(req.SenderEmail, req.SenderKey, round)
+	sig, err := bls.UnmarshalSignature(req.PKGSigs)
+	if err != nil || !bls.Verify(aggPKG, attMsg, sig) {
+		c.reportErr(fmt.Errorf("core: friend request from %q: invalid PKG multisignature", req.SenderEmail))
+		return
+	}
+	// ok2: the sender's own signature binds the DH key and dialing round.
+	if !ed25519.Verify(req.SenderKey, req.SigningMessage(), req.SenderSig) {
+		c.reportErr(fmt.Errorf("core: friend request from %q: invalid sender signature", req.SenderEmail))
+		return
+	}
+
+	c.mu.Lock()
+	p, outgoing := c.pending[req.SenderEmail]
+
+	if outgoing && !p.queued && p.dhPriv != nil && !p.isResponse {
+		// This is the confirmation of a request we initiated.
+		// Out-of-band key check (§3.2, worst-case security).
+		if p.expectedKey != nil && !bytes.Equal(p.expectedKey, req.SenderKey) {
+			delete(c.pending, req.SenderEmail)
+			c.persistLocked()
+			c.mu.Unlock()
+			c.reportErr(fmt.Errorf("core: %s responded with key that does not match out-of-band key (possible MITM)", req.SenderEmail))
+			return
+		}
+		c.completeFriendshipLocked(p, req.SenderKey, req.DialingKey, req.DialingRound)
+		c.persistLocked()
+		c.mu.Unlock()
+		c.cfg.Handler.ConfirmedFriend(req.SenderEmail)
+		return
+	}
+
+	if outgoing && p.queued && !p.isResponse {
+		// Simultaneous add: both users sent requests in the same (or
+		// overlapping) rounds. Convert our still-queued request into
+		// a response carrying their half.
+		p.isResponse = true
+		p.theirKey = req.SenderKey
+		p.theirDH = req.DialingKey
+		p.theirDialRound = req.DialingRound
+		if p.expectedKey != nil && !bytes.Equal(p.expectedKey, req.SenderKey) {
+			delete(c.pending, req.SenderEmail)
+			c.persistLocked()
+			c.mu.Unlock()
+			c.reportErr(fmt.Errorf("core: %s's key does not match out-of-band key (possible MITM)", req.SenderEmail))
+			return
+		}
+		c.persistLocked()
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+
+	// A brand-new incoming request: ask the application (§3's NewFriend
+	// callback). TOFU: the key we see now is the key we will remember.
+	if !c.cfg.Handler.NewFriend(req.SenderEmail, req.SenderKey) {
+		return
+	}
+	c.mu.Lock()
+	c.pending[req.SenderEmail] = &pendingFriend{
+		email:          req.SenderEmail,
+		queued:         true,
+		isResponse:     true,
+		theirKey:       req.SenderKey,
+		theirDH:        req.DialingKey,
+		theirDialRound: req.DialingRound,
+	}
+	c.persistLocked()
+	c.mu.Unlock()
+}
+
+// completeFriendshipLocked computes the shared secret (Algorithm 1 step 5),
+// creates the keywheel, and installs the friend. Caller holds c.mu.
+func (c *Client) completeFriendshipLocked(p *pendingFriend, theirKey ed25519.PublicKey, theirDH []byte, theirDialRound uint32) {
+	theirPub, err := ecdh.X25519().NewPublicKey(theirDH)
+	if err != nil {
+		c.reportErr(fmt.Errorf("core: %s sent invalid DH key: %v", p.email, err))
+		delete(c.pending, p.email)
+		return
+	}
+	shared, err := p.dhPriv.ECDH(theirPub)
+	if err != nil {
+		c.reportErr(fmt.Errorf("core: DH with %s failed: %v", p.email, err))
+		delete(c.pending, p.email)
+		return
+	}
+	var secret [keywheel.SecretSize]byte
+	copy(secret[:], shared)
+
+	// Both sides know both proposed dialing rounds; the keywheel starts
+	// at the later one so neither side needs erased history.
+	startRound := p.myDialRound
+	if theirDialRound > startRound {
+		startRound = theirDialRound
+	}
+
+	c.friends[p.email] = &Friend{
+		Email:      p.email,
+		SigningKey: theirKey,
+		Confirmed:  true,
+		wheel:      keywheel.New(startRound, &secret),
+	}
+	for i := range secret {
+		secret[i] = 0
+	}
+	delete(c.pending, p.email)
+}

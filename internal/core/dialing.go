@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"alpenhorn/internal/bloom"
+	"alpenhorn/internal/keywheel"
+	"alpenhorn/internal/wire"
+)
+
+// This file implements the client side of the dialing protocol (§5).
+
+// SubmitDialRound submits this round's dialing request: a real dial token
+// if a call is queued, otherwise cover traffic. Like the add-friend
+// protocol, every client submits exactly one fixed-size request per round.
+func (c *Client) SubmitDialRound(round uint32) error {
+	settings, err := c.cfg.Entry.Settings(wire.Dialing, round)
+	if err != nil {
+		return fmt.Errorf("core: fetching settings: %w", err)
+	}
+	if err := c.verifySettings(settings, false); err != nil {
+		return fmt.Errorf("core: round %d settings: %w", round, err)
+	}
+
+	payload, outgoing, err := c.buildDialPayload(round, settings)
+	if err != nil {
+		return err
+	}
+	onion, err := c.wrapOnion(settings, payload)
+	if err != nil {
+		return err
+	}
+	if err := c.cfg.Entry.Submit(wire.Dialing, round, onion); err != nil {
+		return err
+	}
+	// Report the outgoing call only after the token is actually on the
+	// wire.
+	if outgoing != nil {
+		c.cfg.Handler.OutgoingCall(*outgoing)
+	}
+	return nil
+}
+
+// buildDialPayload pops one queued call (if any) and builds the innermost
+// payload.
+func (c *Client) buildDialPayload(round uint32, settings *wire.RoundSettings) ([]byte, *Call, error) {
+	c.mu.Lock()
+	var call *queuedCall
+	for len(c.calls) > 0 {
+		cand := c.calls[0]
+		c.calls = c.calls[1:]
+		f, ok := c.friends[cand.friend]
+		if !ok || !f.Confirmed {
+			c.mu.Unlock()
+			c.reportErr(fmt.Errorf("core: dropping call to %s: not a confirmed friend", cand.friend))
+			c.mu.Lock()
+			continue
+		}
+		if f.wheel.Round() > round {
+			// Keywheel starts in a future round (friendship is
+			// brand new): requeue for later rounds.
+			c.calls = append(c.calls, cand)
+			c.reportErr(fmt.Errorf("core: call to %s deferred: keywheel starts at round %d > %d", cand.friend, f.wheel.Round(), round))
+			break
+		}
+		call = &cand
+		break
+	}
+
+	if call == nil {
+		c.persistLocked()
+		c.mu.Unlock()
+		// Cover traffic: a random token to the cover mailbox.
+		body := make([]byte, keywheel.TokenSize)
+		if _, err := io.ReadFull(c.cfg.Rand, body); err != nil {
+			return nil, nil, err
+		}
+		payload := &wire.MixPayload{Mailbox: wire.CoverMailbox, Body: body}
+		return payload.Marshal(), nil, nil
+	}
+
+	f := c.friends[call.friend]
+	token, err := f.wheel.DialToken(round, call.intent, c.cfg.Email)
+	if err != nil {
+		c.persistLocked()
+		c.mu.Unlock()
+		return nil, nil, fmt.Errorf("core: deriving dial token for %s: %w", call.friend, err)
+	}
+	sessionKey, err := f.wheel.SessionKey(round, call.intent, c.cfg.Email)
+	if err != nil {
+		c.persistLocked()
+		c.mu.Unlock()
+		return nil, nil, err
+	}
+	c.persistLocked()
+	c.mu.Unlock()
+
+	payload := &wire.MixPayload{
+		Mailbox: wire.MailboxID(call.friend, settings.NumMailboxes),
+		Body:    token[:],
+	}
+	out := &Call{
+		Friend:     call.friend,
+		Intent:     call.intent,
+		Round:      round,
+		SessionKey: sessionKey,
+	}
+	return payload.Marshal(), out, nil
+}
+
+// ScanDialRound downloads and scans this round's Bloom filter for dial
+// tokens from every friend and every intent (§5: "this is cheap to do
+// because hashing is fast and the number of intents is typically small"),
+// then advances every keywheel past the round for forward secrecy (§5.1).
+func (c *Client) ScanDialRound(round uint32) error {
+	settings, err := c.cfg.Entry.Settings(wire.Dialing, round)
+	if err != nil {
+		return fmt.Errorf("core: fetching settings: %w", err)
+	}
+	if err := c.verifySettings(settings, false); err != nil {
+		return err
+	}
+
+	box, err := c.cfg.Mailboxes.Fetch(wire.Dialing, round, wire.MailboxID(c.cfg.Email, settings.NumMailboxes))
+	if err != nil {
+		return fmt.Errorf("core: fetching dialing mailbox: %w", err)
+	}
+	filter, err := bloom.Unmarshal(box)
+	if err != nil {
+		return fmt.Errorf("core: decoding Bloom filter: %w", err)
+	}
+
+	var incoming []Call
+	c.mu.Lock()
+	for _, f := range c.friends {
+		if !f.Confirmed || f.wheel.Round() > round {
+			continue
+		}
+		for intent := uint32(0); intent < c.cfg.NumIntents; intent++ {
+			token, err := f.wheel.DialToken(round, intent, f.Email)
+			if err != nil {
+				continue
+			}
+			if !filter.Test(token[:]) {
+				continue
+			}
+			key, err := f.wheel.SessionKey(round, intent, f.Email)
+			if err != nil {
+				continue
+			}
+			incoming = append(incoming, Call{
+				Friend:     f.Email,
+				Intent:     intent,
+				Round:      round,
+				SessionKey: key,
+			})
+		}
+	}
+	c.advanceWheelsLocked(round + 1)
+	c.persistLocked()
+	c.mu.Unlock()
+
+	for _, call := range incoming {
+		c.cfg.Handler.IncomingCall(call)
+	}
+	return nil
+}
+
+// SkipDialRound advances keywheels past a round whose mailbox could not be
+// retrieved. §5.1: "After some time (e.g., a day), the Alpenhorn client
+// gives up trying to fetch the mailbox for an old round, and advances the
+// keywheels to preserve forward secrecy."
+func (c *Client) SkipDialRound(round uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceWheelsLocked(round + 1)
+	c.persistLocked()
+}
+
+// advanceWheelsLocked rolls every keywheel forward to the given round,
+// erasing old secrets. Wheels that start in the future are left alone.
+func (c *Client) advanceWheelsLocked(to uint32) {
+	for _, f := range c.friends {
+		if f.wheel != nil && f.wheel.Round() < to {
+			// Advance cannot fail here: to > wheel.Round().
+			_ = f.wheel.Advance(to)
+		}
+	}
+	if to > c.dialRound {
+		c.dialRound = to
+	}
+}
+
+// DialRound returns the next dialing round the client expects to process.
+func (c *Client) DialRound() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dialRound
+}
+
+// wheelSecretForTest exposes a friend's current wheel encoding to the
+// compromise tests in this module; it is unexported and test-only.
+func (c *Client) wheelSecretForTest(friend string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.friends[friend]
+	if !ok || f.wheel == nil {
+		return nil
+	}
+	return f.wheel.Marshal()
+}

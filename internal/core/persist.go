@@ -1,0 +1,183 @@
+package core
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+
+	"alpenhorn/internal/keywheel"
+)
+
+// Persister stores the client's serialized state after every mutation.
+// Implementations decide where it goes (a file, an encrypted blob, memory).
+//
+// Note on forward secrecy: the persisted state contains the current
+// keywheel positions. The client re-persists after every wheel advance,
+// and a real deployment must ensure the storage layer actually destroys
+// old versions (the paper's §3.3 discusses SSDs that do not overwrite in
+// place). That property belongs to the Persister implementation.
+type Persister interface {
+	Save(state []byte) error
+}
+
+// persistedState is the JSON (de)serialization schema.
+type persistedState struct {
+	Email       string            `json:"email"`
+	SigningPub  []byte            `json:"signing_pub"`
+	SigningPriv []byte            `json:"signing_priv"`
+	DialRound   uint32            `json:"dial_round"`
+	Friends     []persistedFriend `json:"friends"`
+	Pending     []persistedPend   `json:"pending"`
+	Calls       []persistedCall   `json:"calls"`
+}
+
+type persistedFriend struct {
+	Email      string `json:"email"`
+	SigningKey []byte `json:"signing_key"`
+	Confirmed  bool   `json:"confirmed"`
+	Wheel      []byte `json:"wheel"`
+}
+
+type persistedPend struct {
+	Email          string `json:"email"`
+	ExpectedKey    []byte `json:"expected_key,omitempty"`
+	Queued         bool   `json:"queued"`
+	DHPriv         []byte `json:"dh_priv,omitempty"`
+	MyDialRound    uint32 `json:"my_dial_round"`
+	IsResponse     bool   `json:"is_response"`
+	TheirKey       []byte `json:"their_key,omitempty"`
+	TheirDH        []byte `json:"their_dh,omitempty"`
+	TheirDialRound uint32 `json:"their_dial_round"`
+}
+
+type persistedCall struct {
+	Friend string `json:"friend"`
+	Intent uint32 `json:"intent"`
+}
+
+// persistLocked serializes state to the configured Persister. Caller holds
+// c.mu. Persistence failures are reported through the handler rather than
+// failing the protocol operation.
+func (c *Client) persistLocked() {
+	if c.cfg.Persister == nil {
+		return
+	}
+	state, err := c.marshalStateLocked()
+	if err == nil {
+		err = c.cfg.Persister.Save(state)
+	}
+	if err != nil {
+		go c.cfg.Handler.Error(fmt.Errorf("core: persisting state: %w", err))
+	}
+}
+
+func (c *Client) marshalStateLocked() ([]byte, error) {
+	st := persistedState{
+		Email:       c.cfg.Email,
+		SigningPub:  c.signingPub,
+		SigningPriv: c.signingPriv,
+		DialRound:   c.dialRound,
+	}
+	for _, f := range c.friends {
+		pf := persistedFriend{
+			Email:      f.Email,
+			SigningKey: f.SigningKey,
+			Confirmed:  f.Confirmed,
+		}
+		if f.wheel != nil {
+			pf.Wheel = f.wheel.Marshal()
+		}
+		st.Friends = append(st.Friends, pf)
+	}
+	for _, p := range c.pending {
+		pp := persistedPend{
+			Email:          p.email,
+			ExpectedKey:    p.expectedKey,
+			Queued:         p.queued,
+			MyDialRound:    p.myDialRound,
+			IsResponse:     p.isResponse,
+			TheirKey:       p.theirKey,
+			TheirDH:        p.theirDH,
+			TheirDialRound: p.theirDialRound,
+		}
+		if p.dhPriv != nil {
+			pp.DHPriv = p.dhPriv.Bytes()
+		}
+		st.Pending = append(st.Pending, pp)
+	}
+	for _, q := range c.calls {
+		st.Calls = append(st.Calls, persistedCall{Friend: q.friend, Intent: q.intent})
+	}
+	return json.Marshal(st)
+}
+
+// MarshalState returns the serialized client state (the address book,
+// keywheels, and long-term keys). Applications that manage persistence
+// themselves call this instead of configuring a Persister.
+func (c *Client) MarshalState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.marshalStateLocked()
+}
+
+// LoadClient restores a client from serialized state. The Config's Email
+// is overridden by the persisted one; server connections and handler come
+// from cfg.
+func LoadClient(cfg Config, state []byte) (*Client, error) {
+	var st persistedState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return nil, fmt.Errorf("core: decoding state: %w", err)
+	}
+	cfg.Email = st.Email
+	c, err := NewClient(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.SigningPub) != ed25519.PublicKeySize || len(st.SigningPriv) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("core: corrupt signing keys in state")
+	}
+	c.signingPub = ed25519.PublicKey(st.SigningPub)
+	c.signingPriv = ed25519.PrivateKey(st.SigningPriv)
+	c.dialRound = st.DialRound
+
+	for _, pf := range st.Friends {
+		f := &Friend{
+			Email:      pf.Email,
+			SigningKey: ed25519.PublicKey(pf.SigningKey),
+			Confirmed:  pf.Confirmed,
+		}
+		if len(pf.Wheel) > 0 {
+			w, err := keywheel.Unmarshal(pf.Wheel)
+			if err != nil {
+				return nil, fmt.Errorf("core: friend %s: %w", pf.Email, err)
+			}
+			f.wheel = w
+		}
+		c.friends[pf.Email] = f
+	}
+	for _, pp := range st.Pending {
+		p := &pendingFriend{
+			email:          pp.Email,
+			expectedKey:    pp.ExpectedKey,
+			queued:         pp.Queued,
+			myDialRound:    pp.MyDialRound,
+			isResponse:     pp.IsResponse,
+			theirKey:       pp.TheirKey,
+			theirDH:        pp.TheirDH,
+			theirDialRound: pp.TheirDialRound,
+		}
+		if len(pp.DHPriv) > 0 {
+			priv, err := ecdh.X25519().NewPrivateKey(pp.DHPriv)
+			if err != nil {
+				return nil, fmt.Errorf("core: pending %s: %w", pp.Email, err)
+			}
+			p.dhPriv = priv
+		}
+		c.pending[pp.Email] = p
+	}
+	for _, q := range st.Calls {
+		c.calls = append(c.calls, queuedCall{friend: q.Friend, intent: q.Intent})
+	}
+	return c, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+)
+
+// This file implements the client-compromise recovery procedure from §9 of
+// the paper ("Client compromise" / "Lost client state"):
+//
+//  1. The user deregisters their old signing key at every PKG (signed with
+//     the old key, so the thief cannot block it), which starts the 30-day
+//     lockout that keeps the thief from re-registering the address.
+//  2. The user generates a fresh long-term signing key.
+//  3. All keywheels are destroyed (their secrets are in the adversary's
+//     hands) and the friendship list — ideally restored from an offline
+//     backup of friends' long-term keys, which the paper recommends — is
+//     re-established by re-running the add-friend protocol with each
+//     friend, now with out-of-band key pinning.
+
+// RecoveryBackup is the offline backup the paper recommends keeping: the
+// friends' long-term signing keys, and nothing else (backing up keywheels
+// would defeat forward secrecy, §9).
+type RecoveryBackup struct {
+	Friends map[string]ed25519.PublicKey
+}
+
+// ExportBackup produces the offline backup for this client's address book.
+// Store it somewhere an adversary who compromises the machine cannot reach.
+func (c *Client) ExportBackup() *RecoveryBackup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := &RecoveryBackup{Friends: make(map[string]ed25519.PublicKey)}
+	for _, f := range c.friends {
+		if f.Confirmed && len(f.SigningKey) == ed25519.PublicKeySize {
+			key := make(ed25519.PublicKey, ed25519.PublicKeySize)
+			copy(key, f.SigningKey)
+			b.Friends[f.Email] = key
+		}
+	}
+	return b
+}
+
+// RecoverFromCompromise executes the §9 procedure. It deregisters the old
+// key everywhere, erases all local secrets, installs a fresh signing key,
+// and queues a pinned AddFriend request to every friend in the backup.
+//
+// After this call the client must re-Register() (and re-confirm via email)
+// before participating in rounds again; the PKGs' lockout windows admit the
+// new registration because the deregistration was signed by the old key.
+func (c *Client) RecoverFromCompromise(backup *RecoveryBackup) error {
+	// Step 1: revoke the old key while we still can.
+	if err := c.Deregister(); err != nil {
+		return fmt.Errorf("core: deregistering old key: %w", err)
+	}
+
+	c.mu.Lock()
+	// Step 2: fresh long-term key.
+	pub, priv, err := ed25519.GenerateKey(c.cfg.Rand)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.signingPub, c.signingPriv = pub, priv
+
+	// Step 3: burn everything the adversary saw.
+	for _, f := range c.friends {
+		if f.wheel != nil {
+			f.wheel.Erase()
+		}
+	}
+	c.friends = make(map[string]*Friend)
+	c.pending = make(map[string]*pendingFriend)
+	c.calls = nil
+	for round, rs := range c.roundKeys {
+		rs.identityKey.Erase()
+		delete(c.roundKeys, round)
+	}
+
+	// Step 4: queue re-friending with out-of-band pinned keys from the
+	// backup, so a MITM (who, after all, has our OLD key) cannot slip
+	// into the re-established friendships.
+	if backup != nil {
+		for email, key := range backup.Friends {
+			c.pending[email] = &pendingFriend{
+				email:       email,
+				expectedKey: key,
+				queued:      true,
+			}
+		}
+	}
+	c.persistLocked()
+	c.mu.Unlock()
+	return nil
+}

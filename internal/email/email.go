@@ -1,0 +1,119 @@
+// Package email simulates an email provider.
+//
+// The real Alpenhorn deployment relies on users' email providers to
+// bootstrap identity: each PKG mails a confirmation token to the address
+// being registered (§4.6). This repository cannot send real mail, so the
+// provider is an in-memory message queue that exercises the identical PKG
+// registration code path — including the adversarial case of a compromised
+// provider that intercepts or drops confirmation messages, which the
+// lockout-policy tests rely on.
+package email
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Message is a delivered email.
+type Message struct {
+	From    string
+	To      string
+	Subject string
+	Body    string
+}
+
+// Provider delivers mail to inboxes.
+type Provider interface {
+	// Send delivers a message, returning an error if the address is
+	// invalid or delivery fails.
+	Send(msg Message) error
+}
+
+// InMemoryProvider is a Provider backed by per-address in-memory inboxes.
+// It is safe for concurrent use. The zero value is ready to use.
+//
+// Compromise simulates an adversary with access to an inbox: delivered mail
+// is copied to the adversary, covering the threat discussed in §4.6.
+type InMemoryProvider struct {
+	mu          sync.Mutex
+	inboxes     map[string][]Message
+	compromised map[string]bool
+	stolen      map[string][]Message
+	dropped     map[string]bool
+}
+
+// NewInMemoryProvider returns an empty provider.
+func NewInMemoryProvider() *InMemoryProvider {
+	return &InMemoryProvider{
+		inboxes:     make(map[string][]Message),
+		compromised: make(map[string]bool),
+		stolen:      make(map[string][]Message),
+		dropped:     make(map[string]bool),
+	}
+}
+
+// ValidAddress performs the minimal syntactic check Alpenhorn needs: a
+// non-empty local part and domain.
+func ValidAddress(addr string) bool {
+	at := strings.IndexByte(addr, '@')
+	return at > 0 && at < len(addr)-1 && !strings.ContainsAny(addr, " \t\n")
+}
+
+// Send implements Provider.
+func (p *InMemoryProvider) Send(msg Message) error {
+	if !ValidAddress(msg.To) {
+		return fmt.Errorf("email: invalid address %q", msg.To)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.compromised[msg.To] {
+		p.stolen[msg.To] = append(p.stolen[msg.To], msg)
+		if p.dropped[msg.To] {
+			// The adversary withholds the message from the victim.
+			return nil
+		}
+	}
+	p.inboxes[msg.To] = append(p.inboxes[msg.To], msg)
+	return nil
+}
+
+// Inbox returns a copy of the messages delivered to addr.
+func (p *InMemoryProvider) Inbox(addr string) []Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	msgs := p.inboxes[addr]
+	out := make([]Message, len(msgs))
+	copy(out, msgs)
+	return out
+}
+
+// Compromise marks addr as controlled by the adversary. If drop is true the
+// legitimate user stops receiving mail entirely; otherwise the adversary
+// only eavesdrops.
+func (p *InMemoryProvider) Compromise(addr string, drop bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.compromised[addr] = true
+	p.dropped[addr] = drop
+}
+
+// Stolen returns the messages the adversary captured for addr.
+func (p *InMemoryProvider) Stolen(addr string) []Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	msgs := p.stolen[addr]
+	out := make([]Message, len(msgs))
+	copy(out, msgs)
+	return out
+}
+
+// FailingProvider always fails; used to test PKG behaviour when mail
+// delivery is down.
+type FailingProvider struct{}
+
+// Send implements Provider by failing.
+func (FailingProvider) Send(Message) error {
+	return errors.New("email: delivery unavailable")
+}

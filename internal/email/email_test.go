@@ -1,0 +1,75 @@
+package email
+
+import "testing"
+
+func TestDelivery(t *testing.T) {
+	p := NewInMemoryProvider()
+	msg := Message{From: "pkg@alpenhorn", To: "alice@example.org", Subject: "s", Body: "token"}
+	if err := p.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	inbox := p.Inbox("alice@example.org")
+	if len(inbox) != 1 || inbox[0].Body != "token" {
+		t.Fatalf("inbox: %v", inbox)
+	}
+	if len(p.Inbox("bob@example.org")) != 0 {
+		t.Fatal("mail leaked to wrong inbox")
+	}
+}
+
+func TestValidAddress(t *testing.T) {
+	valid := []string{"a@b", "alice@example.org", "x.y+z@sub.domain.io"}
+	invalid := []string{"", "nope", "@x", "x@", "sp ace@x.org", "tab\t@x.org"}
+	for _, a := range valid {
+		if !ValidAddress(a) {
+			t.Errorf("%q rejected", a)
+		}
+	}
+	for _, a := range invalid {
+		if ValidAddress(a) {
+			t.Errorf("%q accepted", a)
+		}
+	}
+}
+
+func TestSendToInvalidAddress(t *testing.T) {
+	p := NewInMemoryProvider()
+	if err := p.Send(Message{To: "not-an-address"}); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}
+
+func TestCompromiseEavesdrop(t *testing.T) {
+	p := NewInMemoryProvider()
+	p.Compromise("victim@example.org", false)
+	if err := p.Send(Message{From: "a@b", To: "victim@example.org", Body: "secret"}); err != nil {
+		t.Fatal(err)
+	}
+	// Victim still receives mail; adversary has a copy.
+	if len(p.Inbox("victim@example.org")) != 1 {
+		t.Fatal("victim lost mail under eavesdrop-only compromise")
+	}
+	if len(p.Stolen("victim@example.org")) != 1 {
+		t.Fatal("adversary missing copy")
+	}
+}
+
+func TestCompromiseDrop(t *testing.T) {
+	p := NewInMemoryProvider()
+	p.Compromise("victim@example.org", true)
+	if err := p.Send(Message{From: "a@b", To: "victim@example.org", Body: "secret"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Inbox("victim@example.org")) != 0 {
+		t.Fatal("victim received mail the adversary withheld")
+	}
+	if len(p.Stolen("victim@example.org")) != 1 {
+		t.Fatal("adversary missing stolen mail")
+	}
+}
+
+func TestFailingProvider(t *testing.T) {
+	if err := (FailingProvider{}).Send(Message{To: "a@b"}); err == nil {
+		t.Fatal("failing provider succeeded")
+	}
+}

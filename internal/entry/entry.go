@@ -1,0 +1,152 @@
+// Package entry implements Alpenhorn's entry server (§7).
+//
+// The entry server is UNTRUSTED: it manages client connections, announces
+// round settings, and aggregates each round's client onions into a single
+// batch for the mixnet. It sees only fixed-size ciphertexts — one per
+// client per round, real or cover — so a malicious entry server learns
+// nothing beyond liveness, and a censoring one can only mount denial of
+// service (which Alpenhorn explicitly does not defend against, §3.2).
+package entry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"alpenhorn/internal/wire"
+)
+
+type roundKey struct {
+	service wire.Service
+	round   uint32
+}
+
+type roundState struct {
+	settings  *wire.RoundSettings
+	onionSize int
+	batch     [][]byte
+	open      bool
+}
+
+// Announcement notifies subscribers that a round is accepting requests.
+type Announcement struct {
+	Settings *wire.RoundSettings
+}
+
+// Server is an entry server. It is safe for concurrent use.
+type Server struct {
+	mu     sync.Mutex
+	rounds map[roundKey]*roundState
+	subs   []chan Announcement
+
+	// MaxBatch bounds the number of requests per round (0 = unlimited).
+	// A deployment sets this to its provisioned capacity.
+	MaxBatch int
+}
+
+// New creates an entry server.
+func New() *Server {
+	return &Server{rounds: make(map[roundKey]*roundState)}
+}
+
+// Subscribe returns a channel on which the server announces new rounds.
+// The channel is buffered; slow subscribers miss announcements rather than
+// blocking the system (clients can also poll Settings).
+func (s *Server) Subscribe() <-chan Announcement {
+	ch := make(chan Announcement, 64)
+	s.mu.Lock()
+	s.subs = append(s.subs, ch)
+	s.mu.Unlock()
+	return ch
+}
+
+// OpenRound announces a round and starts accepting requests for it.
+func (s *Server) OpenRound(settings *wire.RoundSettings) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := roundKey{settings.Service, settings.Round}
+	if _, ok := s.rounds[k]; ok {
+		return fmt.Errorf("entry: round %d (%s) already opened", settings.Round, settings.Service)
+	}
+	s.rounds[k] = &roundState{
+		settings:  settings,
+		onionSize: wire.OnionSize(settings.Service, len(settings.Mixers)),
+		open:      true,
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- Announcement{Settings: settings}:
+		default: // drop for slow subscribers
+		}
+	}
+	return nil
+}
+
+// Settings returns the announced settings for a round, or an error if the
+// round is unknown.
+func (s *Server) Settings(service wire.Service, round uint32) (*wire.RoundSettings, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok {
+		return nil, fmt.Errorf("entry: round %d (%s) not announced", round, service)
+	}
+	return st.settings, nil
+}
+
+// ErrRoundClosed is returned for submissions to a closed or unknown round.
+var ErrRoundClosed = errors.New("entry: round not accepting requests")
+
+// ErrWrongSize is returned for onions that are not exactly the round's
+// request size. Accepting odd-sized requests would let an adversary mark
+// messages, so the check is strict.
+var ErrWrongSize = errors.New("entry: request has wrong size")
+
+// Submit adds one client onion to the round's batch.
+func (s *Server) Submit(service wire.Service, round uint32, onion []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok || !st.open {
+		return ErrRoundClosed
+	}
+	if len(onion) != st.onionSize {
+		return fmt.Errorf("%w: got %d, want %d", ErrWrongSize, len(onion), st.onionSize)
+	}
+	if s.MaxBatch > 0 && len(st.batch) >= s.MaxBatch {
+		return errors.New("entry: round batch full")
+	}
+	owned := make([]byte, len(onion))
+	copy(owned, onion)
+	st.batch = append(st.batch, owned)
+	return nil
+}
+
+// CloseRound stops accepting requests and returns the batch for the mixnet.
+func (s *Server) CloseRound(service wire.Service, round uint32) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok {
+		return nil, fmt.Errorf("entry: round %d (%s) not announced", round, service)
+	}
+	if !st.open {
+		return nil, fmt.Errorf("entry: round %d (%s) already closed", round, service)
+	}
+	st.open = false
+	batch := st.batch
+	st.batch = nil
+	return batch, nil
+}
+
+// BatchSize reports the number of requests submitted to an open round so
+// far, used by the coordinator for capacity planning.
+func (s *Server) BatchSize(service wire.Service, round uint32) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok {
+		return 0
+	}
+	return len(st.batch)
+}

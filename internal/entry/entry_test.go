@@ -1,0 +1,137 @@
+package entry
+
+import (
+	"bytes"
+	"testing"
+
+	"alpenhorn/internal/wire"
+)
+
+func testSettings(round uint32) *wire.RoundSettings {
+	return &wire.RoundSettings{
+		Service:      wire.Dialing,
+		Round:        round,
+		NumMailboxes: 1,
+		Mixers: []wire.MixerRoundKey{
+			{OnionKey: make([]byte, 32), Sig: make([]byte, 64)},
+			{OnionKey: make([]byte, 32), Sig: make([]byte, 64)},
+		},
+	}
+}
+
+func TestRoundLifecycle(t *testing.T) {
+	s := New()
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Settings(wire.Dialing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 1 {
+		t.Fatal("wrong settings")
+	}
+
+	onion := make([]byte, wire.OnionSize(wire.Dialing, 2))
+	if err := s.Submit(wire.Dialing, 1, onion); err != nil {
+		t.Fatal(err)
+	}
+	if s.BatchSize(wire.Dialing, 1) != 1 {
+		t.Fatal("batch size wrong")
+	}
+	batch, err := s.CloseRound(wire.Dialing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 || !bytes.Equal(batch[0], onion) {
+		t.Fatal("batch contents wrong")
+	}
+	// After close, submissions fail.
+	if err := s.Submit(wire.Dialing, 1, onion); err == nil {
+		t.Fatal("submission accepted after close")
+	}
+	// Double close fails.
+	if _, err := s.CloseRound(wire.Dialing, 1); err == nil {
+		t.Fatal("double close accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New()
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown round.
+	if err := s.Submit(wire.Dialing, 99, make([]byte, 10)); err == nil {
+		t.Fatal("unknown round accepted")
+	}
+	// Wrong size: metadata-safe batching requires exact sizes.
+	if err := s.Submit(wire.Dialing, 1, make([]byte, 10)); err == nil {
+		t.Fatal("wrong-size onion accepted")
+	}
+	if err := s.Submit(wire.Dialing, 1, make([]byte, wire.OnionSize(wire.Dialing, 2)+1)); err == nil {
+		t.Fatal("oversized onion accepted")
+	}
+}
+
+func TestMaxBatch(t *testing.T) {
+	s := New()
+	s.MaxBatch = 2
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	onion := make([]byte, wire.OnionSize(wire.Dialing, 2))
+	for i := 0; i < 2; i++ {
+		if err := s.Submit(wire.Dialing, 1, onion); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Submit(wire.Dialing, 1, onion); err == nil {
+		t.Fatal("batch overflow accepted")
+	}
+}
+
+func TestSubscribeAnnouncements(t *testing.T) {
+	s := New()
+	ch := s.Subscribe()
+	if err := s.OpenRound(testSettings(5)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ann := <-ch:
+		if ann.Settings.Round != 5 {
+			t.Fatalf("announced round %d", ann.Settings.Round)
+		}
+	default:
+		t.Fatal("no announcement delivered")
+	}
+}
+
+func TestDuplicateOpenRejected(t *testing.T) {
+	s := New()
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenRound(testSettings(1)); err == nil {
+		t.Fatal("duplicate open accepted")
+	}
+}
+
+func TestBatchIsCopied(t *testing.T) {
+	// The entry server must own its copy: a client mutating its buffer
+	// after Submit must not corrupt the batch.
+	s := New()
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	onion := make([]byte, wire.OnionSize(wire.Dialing, 2))
+	onion[0] = 42
+	if err := s.Submit(wire.Dialing, 1, onion); err != nil {
+		t.Fatal(err)
+	}
+	onion[0] = 99
+	batch, _ := s.CloseRound(wire.Dialing, 1)
+	if batch[0][0] != 42 {
+		t.Fatal("batch aliases caller buffer")
+	}
+}

@@ -1,0 +1,231 @@
+// Package ibe implements Boneh-Franklin identity-based encryption over the
+// bn254 pairing group, extended with Alpenhorn's Anytrust-IBE construction
+// (§4.2 of the paper, Appendix A).
+//
+// In Anytrust-IBE there are n independent private-key generators (PKGs).
+// Clients encrypt to the SUM of the master public keys and decrypt with the
+// SUM of the identity private keys obtained from each PKG. The scheme stays
+// secure as long as any single PKG keeps its master secret private, and —
+// unlike the naive onion construction, also provided here as the paper's
+// baseline (OnionEncrypt) — ciphertext size and decryption time are
+// independent of the number of PKGs.
+//
+// Ciphertexts are anonymous (§4.3): they consist of a uniformly distributed
+// group element and an AEAD blob keyed by the pairing value, so they reveal
+// nothing about the recipient identity. This property is what lets the
+// Alpenhorn mixnet generate indistinguishable noise messages.
+package ibe
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"errors"
+	"io"
+	"math/big"
+
+	"alpenhorn/internal/bn254"
+)
+
+// hashToG1Domain domain-separates identity hashing from other uses of the
+// curve.
+const hashToG1Domain = "bf-ibe-identity"
+
+// Overhead is the ciphertext expansion in bytes: a marshalled G2 point plus
+// an AES-GCM tag.
+const Overhead = 128 + 16
+
+// MasterPublicKey is a PKG's per-round master public key (or an aggregation
+// of several PKGs' keys).
+type MasterPublicKey struct {
+	p *bn254.G2
+}
+
+// MasterPrivateKey is a PKG's per-round master secret.
+type MasterPrivateKey struct {
+	s *big.Int
+}
+
+// IdentityPrivateKey is the decryption key for one identity under one master
+// key (or an aggregation of such keys under several masters).
+type IdentityPrivateKey struct {
+	d *bn254.G1
+}
+
+// Setup generates a fresh master key pair for one PKG.
+func Setup(rand io.Reader) (*MasterPublicKey, *MasterPrivateKey, error) {
+	s, err := bn254.RandomScalar(rand)
+	if err != nil {
+		return nil, nil, err
+	}
+	pub := new(bn254.G2).ScalarBaseMult(s)
+	return &MasterPublicKey{p: pub}, &MasterPrivateKey{s: s}, nil
+}
+
+// Extract computes the identity private key d = s·H1(id) for an identity.
+func Extract(msk *MasterPrivateKey, identity string) *IdentityPrivateKey {
+	q := bn254.HashToG1(hashToG1Domain, []byte(identity))
+	return &IdentityPrivateKey{d: new(bn254.G1).ScalarMult(q, msk.s)}
+}
+
+// AggregateMasterKeys sums master public keys from independent PKGs,
+// producing the Anytrust-IBE encryption key Σ Mᵢpub.
+func AggregateMasterKeys(keys ...*MasterPublicKey) *MasterPublicKey {
+	sum := new(bn254.G2).SetInfinity()
+	for _, k := range keys {
+		sum.Add(sum, k.p)
+	}
+	return &MasterPublicKey{p: sum}
+}
+
+// AggregatePrivateKeys sums identity private keys issued by independent
+// PKGs, producing the Anytrust-IBE decryption key Σ identityᵢpriv.
+func AggregatePrivateKeys(keys ...*IdentityPrivateKey) *IdentityPrivateKey {
+	sum := new(bn254.G1).SetInfinity()
+	for _, k := range keys {
+		sum.Add(sum, k.d)
+	}
+	return &IdentityPrivateKey{d: sum}
+}
+
+// sealKey derives the AEAD key from the pairing value.
+func sealKey(g *bn254.GT) []byte {
+	h := sha256.New()
+	h.Write([]byte("alpenhorn/ibe/seal-key:"))
+	h.Write(g.Marshal())
+	return h.Sum(nil)
+}
+
+// aeadSeal encrypts msg under key with a fixed nonce. The key is unique per
+// encryption (it is derived from a fresh pairing value), so a fixed nonce is
+// safe, mirroring NaCl's ephemeral-key box construction.
+func aeadSeal(key, msg []byte) []byte {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("ibe: " + err.Error())
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		panic("ibe: " + err.Error())
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	return gcm.Seal(nil, nonce, msg, nil)
+}
+
+func aeadOpen(key, box []byte) ([]byte, bool) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("ibe: " + err.Error())
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		panic("ibe: " + err.Error())
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	msg, err := gcm.Open(nil, nonce, box, nil)
+	if err != nil {
+		return nil, false
+	}
+	return msg, true
+}
+
+// Encrypt encrypts msg to the given identity under the (possibly aggregated)
+// master public key. The ciphertext is len(msg)+Overhead bytes and reveals
+// nothing about the identity it is encrypted to.
+func Encrypt(rand io.Reader, mpk *MasterPublicKey, identity string, msg []byte) ([]byte, error) {
+	r, err := bn254.RandomScalar(rand)
+	if err != nil {
+		return nil, err
+	}
+	u := new(bn254.G2).ScalarBaseMult(r)
+	q := bn254.HashToG1(hashToG1Domain, []byte(identity))
+	g := bn254.Pair(q, mpk.p)
+	g.Exp(g, r)
+
+	out := make([]byte, 0, len(msg)+Overhead)
+	out = append(out, u.Marshal()...)
+	out = append(out, aeadSeal(sealKey(g), msg)...)
+	return out, nil
+}
+
+// Decrypt attempts to decrypt a ciphertext with the given (possibly
+// aggregated) identity private key. It returns ok=false if the ciphertext
+// is malformed or was not encrypted to this key's identity — callers scan
+// whole mailboxes with exactly this check (Algorithm 1, step 4).
+func Decrypt(ipk *IdentityPrivateKey, ctxt []byte) ([]byte, bool) {
+	if len(ctxt) < Overhead {
+		return nil, false
+	}
+	u := new(bn254.G2)
+	if err := u.Unmarshal(ctxt[:128]); err != nil {
+		return nil, false
+	}
+	g := bn254.Pair(ipk.d, u)
+	return aeadOpen(sealKey(g), ctxt[128:])
+}
+
+// MasterPublicKeySize and IdentityPrivateKeySize are the marshalled sizes.
+const (
+	MasterPublicKeySize    = 128
+	IdentityPrivateKeySize = 64
+)
+
+// Marshal encodes the master public key.
+func (k *MasterPublicKey) Marshal() []byte { return k.p.Marshal() }
+
+// UnmarshalMasterPublicKey decodes and validates a master public key.
+func UnmarshalMasterPublicKey(data []byte) (*MasterPublicKey, error) {
+	p := new(bn254.G2)
+	if err := p.Unmarshal(data); err != nil {
+		return nil, err
+	}
+	return &MasterPublicKey{p: p}, nil
+}
+
+// Marshal encodes the identity private key.
+func (k *IdentityPrivateKey) Marshal() []byte { return k.d.Marshal() }
+
+// UnmarshalIdentityPrivateKey decodes and validates an identity private key.
+func UnmarshalIdentityPrivateKey(data []byte) (*IdentityPrivateKey, error) {
+	d := new(bn254.G1)
+	if err := d.Unmarshal(data); err != nil {
+		return nil, err
+	}
+	return &IdentityPrivateKey{d: d}, nil
+}
+
+// Marshal encodes the master private key (used only for tests and for
+// in-memory transfer between a PKG's round structures; master secrets are
+// never sent on the wire).
+func (k *MasterPrivateKey) Marshal() []byte {
+	out := make([]byte, 32)
+	k.s.FillBytes(out)
+	return out
+}
+
+// UnmarshalMasterPrivateKey decodes a master private key.
+func UnmarshalMasterPrivateKey(data []byte) (*MasterPrivateKey, error) {
+	if len(data) != 32 {
+		return nil, errors.New("ibe: wrong master private key length")
+	}
+	s := new(big.Int).SetBytes(data)
+	if s.Sign() == 0 || s.Cmp(bn254.Order) >= 0 {
+		return nil, errors.New("ibe: master private key out of range")
+	}
+	return &MasterPrivateKey{s: s}, nil
+}
+
+// Erase zeroes the master secret. After Erase the key is unusable; this is
+// how PKGs implement forward secrecy for past rounds (§4.4).
+func (k *MasterPrivateKey) Erase() {
+	k.s.SetInt64(0)
+}
+
+// Erase zeroes the identity private key in place. Clients erase round keys
+// after scanning their mailbox (§4.4).
+func (k *IdentityPrivateKey) Erase() {
+	k.d.SetInfinity()
+}
+
+// Erased reports whether the key has been erased.
+func (k *MasterPrivateKey) Erased() bool { return k.s.Sign() == 0 }

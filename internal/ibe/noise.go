@@ -1,0 +1,30 @@
+package ibe
+
+import (
+	"io"
+
+	"alpenhorn/internal/bn254"
+)
+
+// RandomCiphertext returns a blob indistinguishable from a real encryption
+// of a msgLen-byte message: a uniformly random G2 point where rP would be,
+// followed by uniformly random bytes where the AEAD output would be.
+//
+// This is how mixnet servers manufacture noise for add-friend mailboxes
+// (§6). Indistinguishability relies on the ciphertext anonymity of
+// Boneh-Franklin IBE (§4.3): real ciphertexts carry no recipient- or
+// sender-dependent structure.
+func RandomCiphertext(rand io.Reader, msgLen int) ([]byte, error) {
+	r, err := bn254.RandomScalar(rand)
+	if err != nil {
+		return nil, err
+	}
+	u := new(bn254.G2).ScalarBaseMult(r)
+	out := make([]byte, 0, msgLen+Overhead)
+	out = append(out, u.Marshal()...)
+	tail := make([]byte, msgLen+Overhead-128)
+	if _, err := io.ReadFull(rand, tail); err != nil {
+		return nil, err
+	}
+	return append(out, tail...), nil
+}

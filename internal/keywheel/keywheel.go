@@ -1,0 +1,168 @@
+// Package keywheel implements Alpenhorn's keywheel construction (§5 and
+// Figure 4 of the paper).
+//
+// A keywheel holds a pairwise shared secret that two friends established via
+// the add-friend protocol. Every dialing round, both sides evolve the secret
+// with a one-way function (erasing the previous value for forward secrecy).
+// From the current secret, a client can derive:
+//
+//   - dial tokens — per-round, per-intent values sent through the mixnet to
+//     signal a call (H2 in Figure 4), and
+//   - session keys — fresh conversation keys handed to the application (H3
+//     in Figure 4), separated from the wheel state so that an application
+//     leaking a session key does not compromise future rounds.
+//
+// Because the evolution is deterministic, two friends that agree on a
+// starting (round, secret) pair can compute identical tokens forever without
+// further communication.
+package keywheel
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SecretSize is the size of the wheel secret, dial tokens, and session keys.
+const SecretSize = 32
+
+// TokenSize is the size of a dial token in bytes (256 bits, §5).
+const TokenSize = 32
+
+var (
+	// ErrPastRound is returned when a caller asks for state from a round
+	// that has already been erased. Old rounds are unrecoverable by
+	// design: that is the forward-secrecy guarantee.
+	ErrPastRound = errors.New("keywheel: round precedes current wheel state (erased for forward secrecy)")
+)
+
+// Wheel is the keywheel for a single friend. The zero value is invalid; use
+// New. Wheel is not safe for concurrent use; the owning address book
+// serializes access.
+type Wheel struct {
+	secret [SecretSize]byte
+	round  uint32
+}
+
+// New creates a wheel starting at the given round with the given shared
+// secret (the Diffie-Hellman result of the add-friend exchange, §4.7). The
+// caller's copy of secret may be erased afterwards.
+func New(round uint32, secret *[SecretSize]byte) *Wheel {
+	w := &Wheel{round: round}
+	copy(w.secret[:], secret[:])
+	return w
+}
+
+// Round returns the round the wheel currently stores the secret for.
+func (w *Wheel) Round() uint32 { return w.round }
+
+// hmacDerive computes HMAC-SHA256(key, label ‖ args).
+func hmacDerive(key []byte, label string, args ...[]byte) [SecretSize]byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(label))
+	for _, a := range args {
+		mac.Write(a)
+	}
+	var out [SecretSize]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// Advance evolves the wheel to the given round, erasing all intermediate
+// state (H1 in Figure 4). Advancing to the current round is a no-op;
+// advancing backwards returns ErrPastRound.
+func (w *Wheel) Advance(to uint32) error {
+	if to < w.round {
+		return ErrPastRound
+	}
+	for w.round < to {
+		next := hmacDerive(w.secret[:], "alpenhorn/keywheel/advance")
+		copy(w.secret[:], next[:])
+		zero(next[:])
+		w.round++
+	}
+	return nil
+}
+
+// DialToken derives the dial token for the given round, intent, and caller
+// (H2 in Figure 4). The wheel must not have advanced past the round.
+//
+// The caller identity is hashed into the token so that tokens are
+// DIRECTIONAL: if two friends happen to share a mailbox (mailbox IDs are
+// H(email) mod K, so collisions are routine), a client scanning its mailbox
+// cannot mistake its own outgoing token for an incoming call.
+func (w *Wheel) DialToken(round uint32, intent uint32, caller string) ([TokenSize]byte, error) {
+	k, err := w.secretAt(round)
+	if err != nil {
+		return [TokenSize]byte{}, err
+	}
+	defer zero(k[:])
+	var intentBuf [4]byte
+	binary.BigEndian.PutUint32(intentBuf[:], intent)
+	return hmacDerive(k[:], "alpenhorn/keywheel/dial-token", intentBuf[:], []byte(caller)), nil
+}
+
+// SessionKey derives the conversation session key for the given round,
+// intent, and caller (H3 in Figure 4). Both endpoints pass the CALLER's
+// identity, so they derive the same key.
+func (w *Wheel) SessionKey(round uint32, intent uint32, caller string) ([SecretSize]byte, error) {
+	k, err := w.secretAt(round)
+	if err != nil {
+		return [SecretSize]byte{}, err
+	}
+	defer zero(k[:])
+	var intentBuf [4]byte
+	binary.BigEndian.PutUint32(intentBuf[:], intent)
+	return hmacDerive(k[:], "alpenhorn/keywheel/session-key", intentBuf[:], []byte(caller)), nil
+}
+
+// secretAt computes the wheel secret for a round at or after the current
+// one, without mutating the wheel. This lets a client look ahead (e.g. a
+// friend added with a future DialingRound, Figure 5) while the wheel itself
+// only advances when the client is done with a round.
+func (w *Wheel) secretAt(round uint32) ([SecretSize]byte, error) {
+	if round < w.round {
+		return [SecretSize]byte{}, ErrPastRound
+	}
+	var k [SecretSize]byte
+	copy(k[:], w.secret[:])
+	for r := w.round; r < round; r++ {
+		next := hmacDerive(k[:], "alpenhorn/keywheel/advance")
+		copy(k[:], next[:])
+		zero(next[:])
+	}
+	return k, nil
+}
+
+// Erase destroys the wheel state. Used when a friend is removed from the
+// address book (§3.2: removing a friend makes past friendship undetectable).
+func (w *Wheel) Erase() {
+	zero(w.secret[:])
+	w.round = 0
+}
+
+// Marshal encodes the wheel for persistence: round ‖ secret.
+func (w *Wheel) Marshal() []byte {
+	out := make([]byte, 4+SecretSize)
+	binary.BigEndian.PutUint32(out[:4], w.round)
+	copy(out[4:], w.secret[:])
+	return out
+}
+
+// Unmarshal decodes a wheel encoded with Marshal.
+func Unmarshal(data []byte) (*Wheel, error) {
+	if len(data) != 4+SecretSize {
+		return nil, fmt.Errorf("keywheel: wrong encoding length %d", len(data))
+	}
+	w := &Wheel{round: binary.BigEndian.Uint32(data[:4])}
+	copy(w.secret[:], data[4:])
+	return w, nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

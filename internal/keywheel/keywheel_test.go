@@ -1,0 +1,187 @@
+package keywheel
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestWheel(t testing.TB, round uint32) (*Wheel, *Wheel) {
+	t.Helper()
+	var secret [SecretSize]byte
+	if _, err := rand.Read(secret[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Two friends each construct a wheel from the same DH result.
+	return New(round, &secret), New(round, &secret)
+}
+
+func TestFriendsStayInSync(t *testing.T) {
+	alice, bob := newTestWheel(t, 10)
+
+	// Same round, same intent → same token and session key.
+	at, err := alice.DialToken(10, 0, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := bob.DialToken(10, 0, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != bt {
+		t.Fatal("friends derived different dial tokens")
+	}
+	ak, _ := alice.SessionKey(10, 0, "alice")
+	bk, _ := bob.SessionKey(10, 0, "alice")
+	if ak != bk {
+		t.Fatal("friends derived different session keys")
+	}
+}
+
+func TestSyncAcrossAsymmetricAdvance(t *testing.T) {
+	// Bob's client was offline: Alice advanced to round 15; Bob is at 10.
+	// Tokens for round 15+ must still match (Figure 5's semantics).
+	alice, bob := newTestWheel(t, 10)
+	if err := alice.Advance(15); err != nil {
+		t.Fatal(err)
+	}
+	at, err := alice.DialToken(17, 3, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := bob.DialToken(17, 3, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != bt {
+		t.Fatal("tokens diverged after asymmetric advance")
+	}
+}
+
+func TestIntentsProduceDistinctTokens(t *testing.T) {
+	w, _ := newTestWheel(t, 1)
+	seen := make(map[[TokenSize]byte]bool)
+	for intent := uint32(0); intent < 10; intent++ {
+		tok, err := w.DialToken(1, intent, "caller")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[tok] {
+			t.Fatalf("intent %d produced duplicate token", intent)
+		}
+		seen[tok] = true
+	}
+}
+
+func TestRoundsProduceDistinctTokens(t *testing.T) {
+	w, _ := newTestWheel(t, 1)
+	t1, _ := w.DialToken(1, 0, "caller")
+	t2, _ := w.DialToken(2, 0, "caller")
+	if t1 == t2 {
+		t.Fatal("different rounds produced same token")
+	}
+}
+
+func TestTokenAndSessionKeyAreIndependent(t *testing.T) {
+	w, _ := newTestWheel(t, 1)
+	tok, _ := w.DialToken(1, 0, "caller")
+	key, _ := w.SessionKey(1, 0, "caller")
+	if tok == key {
+		t.Fatal("dial token equals session key")
+	}
+}
+
+func TestForwardSecrecyErasesPastRounds(t *testing.T) {
+	w, _ := newTestWheel(t, 5)
+	before, _ := w.DialToken(5, 0, "caller")
+	if err := w.Advance(8); err != nil {
+		t.Fatal(err)
+	}
+	// Round 5's token must be unrecoverable.
+	if _, err := w.DialToken(5, 0, "caller"); err != ErrPastRound {
+		t.Fatalf("got err %v, want ErrPastRound", err)
+	}
+	if _, err := w.SessionKey(7, 0, "caller"); err != ErrPastRound {
+		t.Fatalf("got err %v, want ErrPastRound", err)
+	}
+	// And the wheel state must no longer contain the old secret bytes.
+	enc := w.Marshal()
+	if bytes.Contains(enc, before[:16]) {
+		t.Fatal("old token material present in advanced wheel state")
+	}
+}
+
+func TestAdvanceBackwardsRejected(t *testing.T) {
+	w, _ := newTestWheel(t, 10)
+	if err := w.Advance(9); err != ErrPastRound {
+		t.Fatalf("got %v, want ErrPastRound", err)
+	}
+	if err := w.Advance(10); err != nil {
+		t.Fatalf("no-op advance failed: %v", err)
+	}
+}
+
+func TestLookAheadDoesNotMutate(t *testing.T) {
+	w, _ := newTestWheel(t, 10)
+	if _, err := w.DialToken(20, 0, "caller"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Round() != 10 {
+		t.Fatal("look-ahead advanced the wheel")
+	}
+	// Token for round 10 still available.
+	if _, err := w.DialToken(10, 0, "caller"); err != nil {
+		t.Fatal("current round unavailable after look-ahead")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	w, _ := newTestWheel(t, 33)
+	w2, err := Unmarshal(w.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := w.DialToken(40, 2, "caller")
+	t2, _ := w2.DialToken(40, 2, "caller")
+	if t1 != t2 {
+		t.Fatal("round-tripped wheel derives different tokens")
+	}
+	if _, err := Unmarshal(make([]byte, 5)); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+}
+
+func TestErase(t *testing.T) {
+	w, _ := newTestWheel(t, 3)
+	w.Erase()
+	enc := w.Marshal()
+	for _, b := range enc[4:] {
+		if b != 0 {
+			t.Fatal("erase left secret bytes")
+		}
+	}
+}
+
+func TestAdvanceEquivalentToLookAhead(t *testing.T) {
+	prop := func(seed [SecretSize]byte, delta uint8) bool {
+		w1 := New(0, &seed)
+		w2 := New(0, &seed)
+		target := uint32(delta % 64)
+		tok1, err := w1.DialToken(target, 1, "c") // look-ahead
+		if err != nil {
+			return false
+		}
+		if err := w2.Advance(target); err != nil { // advance then derive
+			return false
+		}
+		tok2, err := w2.DialToken(target, 1, "c")
+		if err != nil {
+			return false
+		}
+		return tok1 == tok2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

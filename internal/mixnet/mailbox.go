@@ -1,0 +1,101 @@
+package mixnet
+
+import (
+	"fmt"
+
+	"alpenhorn/internal/bloom"
+	"alpenhorn/internal/wire"
+)
+
+// BuildMailboxes is the last mixnet server's final step (§3.1 step 3): it
+// parses the fully peeled payloads, discards cover traffic and anything
+// addressed to a nonexistent mailbox, and groups the remaining request
+// bodies by mailbox.
+//
+// For the add-friend service each mailbox is the concatenation of its
+// fixed-size encrypted friend requests. For the dialing service each
+// mailbox is a Bloom filter over its dial tokens, with parameters chosen by
+// this server for the number of tokens actually present (§5.2).
+//
+// Every mailbox ID in [0, numMailboxes) is present in the result, even if
+// empty, so that fetching clients never learn anything from a missing key.
+func BuildMailboxes(service wire.Service, numMailboxes uint32, batch [][]byte) (map[uint32][]byte, error) {
+	grouped := make(map[uint32][][]byte)
+	for _, data := range batch {
+		payload, err := wire.UnmarshalMixPayload(service, data)
+		if err != nil {
+			// A client slipped a malformed innermost payload past
+			// the onion layers; drop it.
+			continue
+		}
+		if payload.Mailbox == wire.CoverMailbox {
+			continue // cover traffic needs no further processing
+		}
+		if payload.Mailbox >= numMailboxes {
+			continue
+		}
+		grouped[payload.Mailbox] = append(grouped[payload.Mailbox], payload.Body)
+	}
+
+	out := make(map[uint32][]byte, numMailboxes)
+	for mb := uint32(0); mb < numMailboxes; mb++ {
+		bodies := grouped[mb]
+		switch service {
+		case wire.AddFriend:
+			var box []byte
+			for _, b := range bodies {
+				box = append(box, b...)
+			}
+			out[mb] = box
+		case wire.Dialing:
+			f := bloom.New(len(bodies), bloom.DefaultBitsPerElement)
+			for _, b := range bodies {
+				f.Add(b)
+			}
+			out[mb] = f.Marshal()
+		default:
+			return nil, fmt.Errorf("mixnet: unknown service %v", service)
+		}
+	}
+	return out, nil
+}
+
+// RawDialMailboxes builds dialing mailboxes WITHOUT the Bloom filter
+// encoding (raw concatenated 256-bit tokens). This is the §5.2 baseline
+// used by the BloomVsRaw ablation benchmark; the real protocol always uses
+// Bloom filters.
+func RawDialMailboxes(numMailboxes uint32, batch [][]byte) (map[uint32][]byte, error) {
+	grouped := make(map[uint32][][]byte)
+	for _, data := range batch {
+		payload, err := wire.UnmarshalMixPayload(wire.Dialing, data)
+		if err != nil || payload.Mailbox == wire.CoverMailbox || payload.Mailbox >= numMailboxes {
+			continue
+		}
+		grouped[payload.Mailbox] = append(grouped[payload.Mailbox], payload.Body)
+	}
+	out := make(map[uint32][]byte, numMailboxes)
+	for mb := uint32(0); mb < numMailboxes; mb++ {
+		var box []byte
+		for _, b := range grouped[mb] {
+			box = append(box, b...)
+		}
+		out[mb] = box
+	}
+	return out, nil
+}
+
+// Chain runs a batch through an ordered list of mixnet servers and returns
+// the final mailboxes. It is the in-process equivalent of the servers
+// streaming batches to one another over TCP; cmd/alpenhorn-mixer wraps the
+// same Server type with a network transport.
+func Chain(servers []*Server, service wire.Service, round uint32, numMailboxes uint32, batch [][]byte) (map[uint32][]byte, error) {
+	cur := batch
+	var err error
+	for i, s := range servers {
+		cur, err = s.Mix(service, round, numMailboxes, cur)
+		if err != nil {
+			return nil, fmt.Errorf("mixnet: server %d (%s): %w", i, s.Name, err)
+		}
+	}
+	return BuildMailboxes(service, numMailboxes, cur)
+}

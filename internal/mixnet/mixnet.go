@@ -1,0 +1,305 @@
+// Package mixnet implements Alpenhorn's anytrust mix network (§6), which
+// follows the Vuvuzela mixnet design.
+//
+// A small, fixed chain of servers processes each round's batch of
+// fixed-size client onions. Every server peels one encryption layer,
+// shuffles the batch with a cryptographically random permutation, and adds
+// Laplace-distributed noise requests addressed to every mailbox. As long as
+// one server keeps its round key and permutation secret, an adversary
+// cannot link an incoming request to an outgoing one — and the noise makes
+// mailbox-size observations differentially private.
+//
+// The LAST server in the chain builds the round's mailboxes: for the
+// add-friend protocol, a mailbox is the concatenation of the encrypted
+// friend requests routed to it; for the dialing protocol, the server
+// encodes each mailbox's dial tokens into a Bloom filter (§5.2).
+package mixnet
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"alpenhorn/internal/ibe"
+	"alpenhorn/internal/keywheel"
+	"alpenhorn/internal/noise"
+	"alpenhorn/internal/onionbox"
+	"alpenhorn/internal/wire"
+)
+
+type roundKey struct {
+	service wire.Service
+	round   uint32
+}
+
+type roundState struct {
+	priv *onionbox.PrivateKey
+	pub  *onionbox.PublicKey
+	// downstream holds the onion keys of the servers after this one in
+	// the chain, used to wrap this server's noise messages.
+	downstream []*onionbox.PublicKey
+	closed     bool
+}
+
+// Server is one mixnet server. It is safe for concurrent use. Position in
+// the chain is fixed at construction.
+type Server struct {
+	// Name identifies the server in logs.
+	Name string
+	// Position is this server's index in the chain (0 = first).
+	Position int
+	// ChainLength is the total number of servers in the chain.
+	ChainLength int
+
+	signingPub  ed25519.PublicKey
+	signingPriv ed25519.PrivateKey
+
+	// AddFriendNoise and DialingNoise are the per-mailbox noise
+	// distributions (µ per server per mailbox, §8.1).
+	AddFriendNoise noise.Laplace
+	DialingNoise   noise.Laplace
+
+	randSrc io.Reader
+
+	mu     sync.Mutex
+	rounds map[roundKey]*roundState
+
+	// stats
+	processed uint64
+	noiseSent uint64
+}
+
+// Config configures a mixnet server.
+type Config struct {
+	Name        string
+	Position    int
+	ChainLength int
+	// Noise overrides; zero values fall back to the paper's parameters.
+	AddFriendNoise *noise.Laplace
+	DialingNoise   *noise.Laplace
+	Rand           io.Reader
+}
+
+// New creates a mixnet server with a fresh long-term signing key.
+func New(cfg Config) (*Server, error) {
+	if cfg.Position < 0 || cfg.ChainLength <= 0 || cfg.Position >= cfg.ChainLength {
+		return nil, errors.New("mixnet: invalid chain position")
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Reader
+	}
+	pub, priv, err := ed25519.GenerateKey(cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Name:           cfg.Name,
+		Position:       cfg.Position,
+		ChainLength:    cfg.ChainLength,
+		signingPub:     pub,
+		signingPriv:    priv,
+		AddFriendNoise: noise.AddFriendNoise,
+		DialingNoise:   noise.DialingNoise,
+		randSrc:        cfg.Rand,
+		rounds:         make(map[roundKey]*roundState),
+	}
+	if cfg.AddFriendNoise != nil {
+		s.AddFriendNoise = *cfg.AddFriendNoise
+	}
+	if cfg.DialingNoise != nil {
+		s.DialingNoise = *cfg.DialingNoise
+	}
+	return s, nil
+}
+
+// SigningKey returns the server's long-term ed25519 key (pinned in the
+// client software package).
+func (s *Server) SigningKey() ed25519.PublicKey { return s.signingPub }
+
+// NewRound generates the server's per-round onion key pair and returns the
+// signed announcement. Idempotent while the round is open.
+func (s *Server) NewRound(service wire.Service, round uint32) (wire.MixerRoundKey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := roundKey{service, round}
+	st, ok := s.rounds[k]
+	if ok && st.closed {
+		return wire.MixerRoundKey{}, fmt.Errorf("mixnet: round %d (%s) closed", round, service)
+	}
+	if !ok {
+		pub, priv, err := onionbox.GenerateKey(s.randSrc)
+		if err != nil {
+			return wire.MixerRoundKey{}, err
+		}
+		st = &roundState{priv: priv, pub: pub}
+		s.rounds[k] = st
+	}
+	kb := st.pub.Bytes()
+	return wire.MixerRoundKey{
+		OnionKey: kb,
+		Sig:      ed25519.Sign(s.signingPriv, wire.MixerKeyMessage(service, round, kb)),
+	}, nil
+}
+
+// SetDownstreamKeys tells the server the round onion keys of the servers
+// AFTER it in the chain, which it needs to wrap its own noise messages.
+// The coordinator distributes these once all servers have announced keys.
+func (s *Server) SetDownstreamKeys(service wire.Service, round uint32, keys [][]byte) error {
+	if len(keys) != s.ChainLength-s.Position-1 {
+		return fmt.Errorf("mixnet: expected %d downstream keys, got %d",
+			s.ChainLength-s.Position-1, len(keys))
+	}
+	parsed := make([]*onionbox.PublicKey, len(keys))
+	for i, kb := range keys {
+		pk, err := onionbox.UnmarshalPublicKey(kb)
+		if err != nil {
+			return fmt.Errorf("mixnet: downstream key %d: %w", i, err)
+		}
+		parsed[i] = pk
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok || st.closed {
+		return fmt.Errorf("mixnet: round %d (%s) not open", round, service)
+	}
+	st.downstream = parsed
+	return nil
+}
+
+// CloseRound erases the round's onion private key (forward secrecy: the
+// recorded ciphertexts of a closed round can never be decrypted again) and
+// the server's memory of its permutation (which was never stored).
+func (s *Server) CloseRound(service wire.Service, round uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok || st.closed {
+		return
+	}
+	st.priv = nil // dropped; GC'd. X25519 keys have no explicit erase API.
+	st.closed = true
+}
+
+// RoundOpen reports whether the round key still exists.
+func (s *Server) RoundOpen(service wire.Service, round uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rounds[roundKey{service, round}]
+	return ok && !st.closed
+}
+
+// Mix peels one onion layer from every message in the batch, drops
+// malformed messages, adds this server's noise, and shuffles. The returned
+// batch is what the next server in the chain (or BuildMailboxes, at the
+// last server) consumes.
+//
+// numMailboxes is the round's mailbox count K; noise is generated per
+// mailbox. Fully processed messages at the last server are MixPayload
+// encodings.
+func (s *Server) Mix(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte) ([][]byte, error) {
+	s.mu.Lock()
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok || st.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("mixnet: round %d (%s) not open", round, service)
+	}
+	priv := st.priv
+	downstream := st.downstream
+	s.mu.Unlock()
+
+	out := make([][]byte, 0, len(batch))
+	for _, onion := range batch {
+		msg, err := onionbox.Open(priv, onion)
+		if err != nil {
+			// Malformed or replayed onion: drop silently. Clients
+			// that misbehave only hurt themselves.
+			continue
+		}
+		out = append(out, msg)
+	}
+
+	// Noise: Laplace(µ, b) fresh fake requests per mailbox, plus the
+	// cover mailbox, wrapped for the rest of the chain so that
+	// downstream servers cannot tell noise from real traffic (§6).
+	noiseMsgs, err := s.generateNoise(service, numMailboxes, downstream)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, noiseMsgs...)
+
+	if err := shuffle(s.randSrc, out); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	s.processed += uint64(len(batch))
+	s.noiseSent += uint64(len(noiseMsgs))
+	s.mu.Unlock()
+	return out, nil
+}
+
+// generateNoise creates the server's fake requests for a round: for every
+// real mailbox, a Laplace-distributed number of plausible request bodies.
+// Fake add-friend requests are random IBE-ciphertext-shaped blobs (a random
+// G2 point plus random AEAD bytes — indistinguishable from real ciphertexts
+// by ciphertext anonymity, §4.3); fake dial requests are random tokens.
+func (s *Server) generateNoise(service wire.Service, numMailboxes uint32, downstream []*onionbox.PublicKey) ([][]byte, error) {
+	dist := s.AddFriendNoise
+	if service == wire.Dialing {
+		dist = s.DialingNoise
+	}
+	var msgs [][]byte
+	for mb := uint32(0); mb < numMailboxes; mb++ {
+		n, err := dist.Sample(s.randSrc)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			body, err := s.noiseBody(service)
+			if err != nil {
+				return nil, err
+			}
+			payload := (&wire.MixPayload{Mailbox: mb, Body: body}).Marshal()
+			wrapped, err := onionbox.WrapOnion(s.randSrc, downstream, payload)
+			if err != nil {
+				return nil, err
+			}
+			msgs = append(msgs, wrapped)
+		}
+	}
+	return msgs, nil
+}
+
+func (s *Server) noiseBody(service wire.Service) ([]byte, error) {
+	switch service {
+	case wire.AddFriend:
+		return ibe.RandomCiphertext(s.randSrc, wire.FriendRequestSize)
+	case wire.Dialing:
+		tok := make([]byte, keywheel.TokenSize)
+		_, err := io.ReadFull(s.randSrc, tok)
+		return tok, err
+	default:
+		return nil, fmt.Errorf("mixnet: unknown service %v", service)
+	}
+}
+
+// Stats returns cumulative counts of (client messages processed, noise
+// messages generated).
+func (s *Server) Stats() (processed, noiseSent uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.processed, s.noiseSent
+}
+
+// NoiseMu returns the server's mean per-mailbox noise for a service; the
+// coordinator uses it to size mailbox counts.
+func (s *Server) NoiseMu(service wire.Service) float64 {
+	if service == wire.Dialing {
+		return s.DialingNoise.Mu
+	}
+	return s.AddFriendNoise.Mu
+}

@@ -1,0 +1,143 @@
+// Package onionbox provides public-key authenticated encryption (a NaCl-box
+// equivalent built from X25519 + AES-GCM) and the layered onion wrapping
+// that Alpenhorn clients apply to requests before submitting them to the
+// mixnet (Algorithm 1, step 3).
+//
+// Each layer uses a FRESH ephemeral sender key pair, so onions provide
+// forward secrecy: once a mixnet server rotates its round key, recorded
+// onions for that round become undecryptable.
+package onionbox
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/sha256"
+	"errors"
+	"io"
+)
+
+// Overhead is the per-layer size expansion: a 32-byte ephemeral public key
+// plus a 16-byte AEAD tag.
+const Overhead = 32 + 16
+
+// PublicKey is an X25519 public key used to receive boxes.
+type PublicKey struct {
+	k *ecdh.PublicKey
+}
+
+// PrivateKey is an X25519 private key.
+type PrivateKey struct {
+	k *ecdh.PrivateKey
+}
+
+// GenerateKey creates a new box key pair.
+func GenerateKey(rand io.Reader) (*PublicKey, *PrivateKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &PublicKey{k: priv.PublicKey()}, &PrivateKey{k: priv}, nil
+}
+
+// Public returns the public key for k.
+func (k *PrivateKey) Public() *PublicKey { return &PublicKey{k: k.k.PublicKey()} }
+
+// Bytes returns the 32-byte encoding of the public key.
+func (p *PublicKey) Bytes() []byte { return p.k.Bytes() }
+
+// UnmarshalPublicKey decodes a 32-byte X25519 public key.
+func UnmarshalPublicKey(data []byte) (*PublicKey, error) {
+	k, err := ecdh.X25519().NewPublicKey(data)
+	if err != nil {
+		return nil, err
+	}
+	return &PublicKey{k: k}, nil
+}
+
+// deriveKey computes the AEAD key from the DH shared secret and the
+// transcript of both public keys.
+func deriveKey(shared, ephPub, recvPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("alpenhorn/onionbox/key:"))
+	h.Write(shared)
+	h.Write(ephPub)
+	h.Write(recvPub)
+	return h.Sum(nil)
+}
+
+func newGCM(key []byte) cipher.AEAD {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("onionbox: " + err.Error())
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		panic("onionbox: " + err.Error())
+	}
+	return gcm
+}
+
+// Seal encrypts msg to the recipient with a fresh ephemeral key. The output
+// is len(msg)+Overhead bytes: ephemeral public key ‖ AEAD ciphertext.
+func Seal(rand io.Reader, to *PublicKey, msg []byte) ([]byte, error) {
+	eph, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := eph.ECDH(to.k)
+	if err != nil {
+		return nil, err
+	}
+	ephPub := eph.PublicKey().Bytes()
+	key := deriveKey(shared, ephPub, to.k.Bytes())
+	gcm := newGCM(key)
+	nonce := make([]byte, gcm.NonceSize()) // fresh key per message: zero nonce is safe
+	out := make([]byte, 0, len(msg)+Overhead)
+	out = append(out, ephPub...)
+	out = append(out, gcm.Seal(nil, nonce, msg, nil)...)
+	return out, nil
+}
+
+// Open decrypts a box sealed to priv's public key.
+func Open(priv *PrivateKey, box []byte) ([]byte, error) {
+	if len(box) < Overhead {
+		return nil, errors.New("onionbox: box too short")
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(box[:32])
+	if err != nil {
+		return nil, err
+	}
+	shared, err := priv.k.ECDH(ephPub)
+	if err != nil {
+		return nil, err
+	}
+	key := deriveKey(shared, box[:32], priv.k.PublicKey().Bytes())
+	gcm := newGCM(key)
+	nonce := make([]byte, gcm.NonceSize())
+	msg, err := gcm.Open(nil, nonce, box[32:], nil)
+	if err != nil {
+		return nil, errors.New("onionbox: decryption failed")
+	}
+	return msg, nil
+}
+
+// WrapOnion encrypts msg under each hop key from last to first, so that
+// hops[0] peels the outermost layer. This is exactly Algorithm 1 step 3:
+// "Encryption happens in reverse, from server n to server 1."
+func WrapOnion(rand io.Reader, hops []*PublicKey, msg []byte) ([]byte, error) {
+	out := msg
+	var err error
+	for i := len(hops) - 1; i >= 0; i-- {
+		out, err = Seal(rand, hops[i], out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// OnionSize returns the size of an onion wrapping a msgLen-byte payload
+// through n hops. All clients produce identical sizes, which is what makes
+// cover traffic indistinguishable from real requests.
+func OnionSize(msgLen, n int) int { return msgLen + n*Overhead }

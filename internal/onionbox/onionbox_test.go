@@ -1,0 +1,139 @@
+package onionbox
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpen(t *testing.T) {
+	pub, priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("request payload")
+	box, err := Seal(rand.Reader, pub, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(box) != len(msg)+Overhead {
+		t.Fatalf("box length %d, want %d", len(box), len(msg)+Overhead)
+	}
+	got, err := Open(priv, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("wrong plaintext")
+	}
+}
+
+func TestOpenWrongKeyFails(t *testing.T) {
+	pub, _, _ := GenerateKey(rand.Reader)
+	_, wrongPriv, _ := GenerateKey(rand.Reader)
+	box, _ := Seal(rand.Reader, pub, []byte("secret"))
+	if _, err := Open(wrongPriv, box); err == nil {
+		t.Fatal("opened with wrong key")
+	}
+}
+
+func TestOpenCorruptedFails(t *testing.T) {
+	pub, priv, _ := GenerateKey(rand.Reader)
+	box, _ := Seal(rand.Reader, pub, []byte("secret"))
+	for _, i := range []int{0, 31, 32, len(box) - 1} {
+		bad := bytes.Clone(box)
+		bad[i] ^= 1
+		if _, err := Open(priv, bad); err == nil {
+			t.Fatalf("opened corrupted box (byte %d)", i)
+		}
+	}
+	if _, err := Open(priv, box[:Overhead-1]); err == nil {
+		t.Fatal("opened truncated box")
+	}
+}
+
+func TestSealRandomized(t *testing.T) {
+	// Two seals of the same message must differ (fresh ephemeral keys),
+	// otherwise the mixnet could link repeated requests.
+	pub, _, _ := GenerateKey(rand.Reader)
+	b1, _ := Seal(rand.Reader, pub, []byte("m"))
+	b2, _ := Seal(rand.Reader, pub, []byte("m"))
+	if bytes.Equal(b1, b2) {
+		t.Fatal("sealing is deterministic")
+	}
+}
+
+func TestWrapOnionPeelsInOrder(t *testing.T) {
+	const hops = 3
+	var pubs []*PublicKey
+	var privs []*PrivateKey
+	for i := 0; i < hops; i++ {
+		pub, priv, err := GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs = append(pubs, pub)
+		privs = append(privs, priv)
+	}
+	msg := []byte("inner request")
+	onion, err := WrapOnion(rand.Reader, pubs, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onion) != OnionSize(len(msg), hops) {
+		t.Fatalf("onion size %d, want %d", len(onion), OnionSize(len(msg), hops))
+	}
+	// Peel in order: server 0 first.
+	cur := onion
+	for i := 0; i < hops; i++ {
+		cur, err = Open(privs[i], cur)
+		if err != nil {
+			t.Fatalf("hop %d failed to peel: %v", i, err)
+		}
+	}
+	if !bytes.Equal(cur, msg) {
+		t.Fatal("wrong inner message")
+	}
+
+	// Peeling out of order must fail.
+	if _, err := Open(privs[1], onion); err == nil {
+		t.Fatal("hop 1 peeled hop 0's layer")
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	pub, priv, _ := GenerateKey(rand.Reader)
+	pub2, err := UnmarshalPublicKey(pub.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, _ := Seal(rand.Reader, pub2, []byte("m"))
+	if _, err := Open(priv, box); err != nil {
+		t.Fatal("round-tripped public key broke sealing")
+	}
+	if !bytes.Equal(priv.Public().Bytes(), pub.Bytes()) {
+		t.Fatal("Public() mismatch")
+	}
+	if _, err := UnmarshalPublicKey([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	pub, priv, _ := GenerateKey(rand.Reader)
+	roundTrip := func(msg []byte) bool {
+		box, err := Seal(rand.Reader, pub, msg)
+		if err != nil {
+			return false
+		}
+		got, err := Open(priv, box)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,404 @@
+package rpc
+
+import (
+	"crypto/ed25519"
+
+	"alpenhorn/internal/bls"
+	"alpenhorn/internal/cdn"
+	"alpenhorn/internal/entry"
+	"alpenhorn/internal/ibe"
+	"alpenhorn/internal/mixnet"
+	"alpenhorn/internal/pkgserver"
+	"alpenhorn/internal/wire"
+)
+
+// This file defines the daemon RPC surface: argument/reply structs and
+// registration helpers on the server side, plus client adapters that
+// satisfy core.PKG / core.EntryServer / core.MailboxStore and the
+// coordinator's Mixer interface across the network.
+
+// ---- PKG daemon API ----
+
+// PKGInfo advertises a PKG's pinned long-term keys.
+type PKGInfo struct {
+	Name       string `json:"name"`
+	SigningKey []byte `json:"signing_key"`
+	BLSKey     []byte `json:"bls_key"`
+}
+
+type registerArgs struct {
+	Email      string `json:"email"`
+	SigningKey []byte `json:"signing_key"`
+}
+
+type confirmArgs struct {
+	Email string `json:"email"`
+	Token string `json:"token"`
+}
+
+type extractArgs struct {
+	Email string `json:"email"`
+	Round uint32 `json:"round"`
+	Sig   []byte `json:"sig"`
+}
+
+type extractReply struct {
+	IdentityKey []byte `json:"identity_key"`
+	Attestation []byte `json:"attestation"`
+}
+
+type deregisterArgs struct {
+	Email string `json:"email"`
+	Sig   []byte `json:"sig"`
+}
+
+type roundArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+}
+
+// RegisterPKG exposes a pkgserver.Server over RPC.
+func RegisterPKG(s *Server, pkg *pkgserver.Server) {
+	HandleFunc(s, "pkg.info", func(struct{}) (any, error) {
+		return PKGInfo{
+			Name:       pkg.Name,
+			SigningKey: pkg.SigningKey(),
+			BLSKey:     pkg.BLSKey().Marshal(),
+		}, nil
+	})
+	HandleFunc(s, "pkg.register", func(a registerArgs) (any, error) {
+		return nil, pkg.Register(a.Email, ed25519.PublicKey(a.SigningKey))
+	})
+	HandleFunc(s, "pkg.confirm", func(a confirmArgs) (any, error) {
+		return nil, pkg.ConfirmRegistration(a.Email, a.Token)
+	})
+	HandleFunc(s, "pkg.extract", func(a extractArgs) (any, error) {
+		reply, err := pkg.Extract(a.Email, a.Round, a.Sig)
+		if err != nil {
+			return nil, err
+		}
+		return extractReply{
+			IdentityKey: reply.IdentityKey.Marshal(),
+			Attestation: reply.Attestation.Marshal(),
+		}, nil
+	})
+	HandleFunc(s, "pkg.deregister", func(a deregisterArgs) (any, error) {
+		return nil, pkg.Deregister(a.Email, a.Sig)
+	})
+	HandleFunc(s, "pkg.newround", func(a roundArgs) (any, error) {
+		return pkg.NewRound(a.Round)
+	})
+	HandleFunc(s, "pkg.closeround", func(a roundArgs) (any, error) {
+		pkg.CloseRound(a.Round)
+		return nil, nil
+	})
+}
+
+// PKGClient talks to a remote PKG daemon. It satisfies core.PKG and the
+// coordinator's PKG interface.
+type PKGClient struct {
+	c *Client
+}
+
+// DialPKG connects to a PKG daemon.
+func DialPKG(addr string) *PKGClient { return &PKGClient{c: Dial(addr)} }
+
+// Info fetches the PKG's pinned keys.
+func (p *PKGClient) Info() (*PKGInfo, error) {
+	var info PKGInfo
+	if err := p.c.Call("pkg.info", struct{}{}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Register implements core.PKG.
+func (p *PKGClient) Register(email string, signingKey ed25519.PublicKey) error {
+	return p.c.Call("pkg.register", registerArgs{Email: email, SigningKey: signingKey}, nil)
+}
+
+// ConfirmRegistration implements core.PKG.
+func (p *PKGClient) ConfirmRegistration(email, token string) error {
+	return p.c.Call("pkg.confirm", confirmArgs{Email: email, Token: token}, nil)
+}
+
+// Extract implements core.PKG.
+func (p *PKGClient) Extract(email string, round uint32, sig []byte) (*pkgserver.ExtractReply, error) {
+	var raw extractReply
+	if err := p.c.Call("pkg.extract", extractArgs{Email: email, Round: round, Sig: sig}, &raw); err != nil {
+		return nil, err
+	}
+	idKey, err := ibe.UnmarshalIdentityPrivateKey(raw.IdentityKey)
+	if err != nil {
+		return nil, err
+	}
+	att, err := bls.UnmarshalSignature(raw.Attestation)
+	if err != nil {
+		return nil, err
+	}
+	return &pkgserver.ExtractReply{IdentityKey: idKey, Attestation: att}, nil
+}
+
+// Deregister implements core.PKG.
+func (p *PKGClient) Deregister(email string, sig []byte) error {
+	return p.c.Call("pkg.deregister", deregisterArgs{Email: email, Sig: sig}, nil)
+}
+
+// NewRound asks the PKG for its signed round key (coordinator side).
+func (p *PKGClient) NewRound(round uint32) (wire.PKGRoundKey, error) {
+	var rk wire.PKGRoundKey
+	err := p.c.Call("pkg.newround", roundArgs{Round: round}, &rk)
+	return rk, err
+}
+
+// CloseRound erases the PKG's round master key (coordinator side).
+func (p *PKGClient) CloseRound(round uint32) {
+	_ = p.c.Call("pkg.closeround", roundArgs{Round: round}, nil)
+}
+
+// ---- Mixer daemon API ----
+
+// MixerInfo advertises a mixer's pinned key and chain position.
+type MixerInfo struct {
+	Name        string  `json:"name"`
+	Position    int     `json:"position"`
+	SigningKey  []byte  `json:"signing_key"`
+	AddFriendMu float64 `json:"add_friend_mu"`
+	DialingMu   float64 `json:"dialing_mu"`
+}
+
+type downstreamArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	Keys    [][]byte     `json:"keys"`
+}
+
+type mixArgs struct {
+	Service      wire.Service `json:"service"`
+	Round        uint32       `json:"round"`
+	NumMailboxes uint32       `json:"num_mailboxes"`
+	Batch        [][]byte     `json:"batch"`
+}
+
+// RegisterMixer exposes a mixnet.Server over RPC.
+func RegisterMixer(s *Server, m *mixnet.Server) {
+	HandleFunc(s, "mix.info", func(struct{}) (any, error) {
+		return MixerInfo{
+			Name:        m.Name,
+			Position:    m.Position,
+			SigningKey:  m.SigningKey(),
+			AddFriendMu: m.AddFriendNoise.Mu,
+			DialingMu:   m.DialingNoise.Mu,
+		}, nil
+	})
+	HandleFunc(s, "mix.newround", func(a roundArgs) (any, error) {
+		return m.NewRound(a.Service, a.Round)
+	})
+	HandleFunc(s, "mix.setdownstream", func(a downstreamArgs) (any, error) {
+		return nil, m.SetDownstreamKeys(a.Service, a.Round, a.Keys)
+	})
+	HandleFunc(s, "mix.mix", func(a mixArgs) (any, error) {
+		return m.Mix(a.Service, a.Round, a.NumMailboxes, a.Batch)
+	})
+	HandleFunc(s, "mix.closeround", func(a roundArgs) (any, error) {
+		m.CloseRound(a.Service, a.Round)
+		return nil, nil
+	})
+}
+
+// MixerClient talks to a remote mixer daemon; it satisfies the
+// coordinator's Mixer interface.
+type MixerClient struct {
+	c    *Client
+	info *MixerInfo
+}
+
+// DialMixer connects to a mixer daemon and caches its info.
+func DialMixer(addr string) (*MixerClient, error) {
+	m := &MixerClient{c: Dial(addr)}
+	var info MixerInfo
+	if err := m.c.Call("mix.info", struct{}{}, &info); err != nil {
+		return nil, err
+	}
+	m.info = &info
+	return m, nil
+}
+
+// Info returns the mixer's advertised identity.
+func (m *MixerClient) Info() *MixerInfo { return m.info }
+
+// NewRound implements coordinator.Mixer.
+func (m *MixerClient) NewRound(service wire.Service, round uint32) (wire.MixerRoundKey, error) {
+	var rk wire.MixerRoundKey
+	err := m.c.Call("mix.newround", roundArgs{Service: service, Round: round}, &rk)
+	return rk, err
+}
+
+// SetDownstreamKeys implements coordinator.Mixer.
+func (m *MixerClient) SetDownstreamKeys(service wire.Service, round uint32, keys [][]byte) error {
+	return m.c.Call("mix.setdownstream", downstreamArgs{Service: service, Round: round, Keys: keys}, nil)
+}
+
+// Mix implements coordinator.Mixer.
+func (m *MixerClient) Mix(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte) ([][]byte, error) {
+	var out [][]byte
+	err := m.c.Call("mix.mix", mixArgs{Service: service, Round: round, NumMailboxes: numMailboxes, Batch: batch}, &out)
+	return out, err
+}
+
+// CloseRound implements coordinator.Mixer.
+func (m *MixerClient) CloseRound(service wire.Service, round uint32) {
+	_ = m.c.Call("mix.closeround", roundArgs{Service: service, Round: round}, nil)
+}
+
+// NoiseMu implements coordinator.Mixer.
+func (m *MixerClient) NoiseMu(service wire.Service) float64 {
+	if service == wire.Dialing {
+		return m.info.DialingMu
+	}
+	return m.info.AddFriendMu
+}
+
+// ---- Entry/CDN daemon API (the client-facing frontend) ----
+
+// Directory describes a full deployment to connecting clients: addresses
+// and pinned keys for every server. Served by the entry daemon.
+type Directory struct {
+	PKGAddrs   []string `json:"pkg_addrs"`
+	PKGKeys    [][]byte `json:"pkg_keys"`
+	PKGBLSKeys [][]byte `json:"pkg_bls_keys"`
+	MixerKeys  [][]byte `json:"mixer_keys"`
+	NumMixers  int      `json:"num_mixers"`
+}
+
+type settingsArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+}
+
+type submitArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	Onion   []byte       `json:"onion"`
+}
+
+type fetchArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	Mailbox uint32       `json:"mailbox"`
+}
+
+// RoundStatus reports the frontend's view of round progress so polling
+// clients know when to submit and when to scan.
+type RoundStatus struct {
+	CurrentOpen     uint32 `json:"current_open"`     // 0 if none yet
+	LatestPublished uint32 `json:"latest_published"` // 0 if none yet
+}
+
+// FrontendState tracks open/published rounds for the status endpoint.
+// The entry daemon updates it as the coordinator advances rounds.
+type FrontendState struct {
+	addFriend RoundStatus
+	dialing   RoundStatus
+}
+
+// SetOpen records a newly opened round.
+func (f *FrontendState) SetOpen(service wire.Service, round uint32) {
+	if service == wire.Dialing {
+		f.dialing.CurrentOpen = round
+	} else {
+		f.addFriend.CurrentOpen = round
+	}
+}
+
+// SetPublished records a published round.
+func (f *FrontendState) SetPublished(service wire.Service, round uint32) {
+	if service == wire.Dialing {
+		f.dialing.LatestPublished = round
+	} else {
+		f.addFriend.LatestPublished = round
+	}
+}
+
+// RegisterFrontend exposes the entry server, CDN, and deployment directory
+// over RPC.
+func RegisterFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Directory, state *FrontendState) {
+	HandleFunc(s, "frontend.directory", func(struct{}) (any, error) {
+		return dir, nil
+	})
+	HandleFunc(s, "frontend.status", func(a settingsArgs) (any, error) {
+		if a.Service == wire.Dialing {
+			return state.dialing, nil
+		}
+		return state.addFriend, nil
+	})
+	HandleFunc(s, "entry.settings", func(a settingsArgs) (any, error) {
+		settings, err := e.Settings(a.Service, a.Round)
+		if err != nil {
+			return nil, err
+		}
+		return settings.Marshal(), nil
+	})
+	HandleFunc(s, "entry.submit", func(a submitArgs) (any, error) {
+		return nil, e.Submit(a.Service, a.Round, a.Onion)
+	})
+	HandleFunc(s, "cdn.fetch", func(a fetchArgs) (any, error) {
+		return store.Fetch(a.Service, a.Round, a.Mailbox)
+	})
+}
+
+// UnmarshalBLSKey decodes a BLS public key from a directory entry; it
+// exists so daemon binaries need not import internal/bls directly.
+func UnmarshalBLSKey(data []byte) (*bls.PublicKey, error) {
+	return bls.UnmarshalPublicKey(data)
+}
+
+// FrontendClient talks to the entry daemon; it satisfies core.EntryServer
+// and core.MailboxStore.
+type FrontendClient struct {
+	c *Client
+}
+
+// DialFrontend connects to the entry daemon.
+func DialFrontend(addr string) *FrontendClient { return &FrontendClient{c: Dial(addr)} }
+
+// Directory fetches the deployment directory.
+func (f *FrontendClient) Directory() (*Directory, error) {
+	var dir Directory
+	if err := f.c.Call("frontend.directory", struct{}{}, &dir); err != nil {
+		return nil, err
+	}
+	return &dir, nil
+}
+
+// Status returns round progress for a service.
+func (f *FrontendClient) Status(service wire.Service) (*RoundStatus, error) {
+	var st RoundStatus
+	if err := f.c.Call("frontend.status", settingsArgs{Service: service}, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Settings implements core.EntryServer.
+func (f *FrontendClient) Settings(service wire.Service, round uint32) (*wire.RoundSettings, error) {
+	var raw []byte
+	if err := f.c.Call("entry.settings", settingsArgs{Service: service, Round: round}, &raw); err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalRoundSettings(raw)
+}
+
+// Submit implements core.EntryServer.
+func (f *FrontendClient) Submit(service wire.Service, round uint32, onion []byte) error {
+	return f.c.Call("entry.submit", submitArgs{Service: service, Round: round, Onion: onion}, nil)
+}
+
+// Fetch implements core.MailboxStore.
+func (f *FrontendClient) Fetch(service wire.Service, round uint32, mailbox uint32) ([]byte, error) {
+	var out []byte
+	if err := f.c.Call("cdn.fetch", fetchArgs{Service: service, Round: round, Mailbox: mailbox}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

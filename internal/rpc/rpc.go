@@ -1,0 +1,298 @@
+// Package rpc is the network transport for Alpenhorn's daemons: a minimal
+// length-prefixed JSON request/response protocol over TCP.
+//
+// The in-process server types (pkgserver.Server, mixnet.Server, ...) hold
+// all protocol logic; this package only moves their arguments across
+// machine boundaries. cmd/alpenhorn-pkg and friends register method
+// handlers on a Server; clients use Client.Call with mirrored argument
+// structs. Security note: Alpenhorn's protocol messages authenticate
+// themselves (signatures, AEADs), so the transport adds no cryptography;
+// a deployment would still wrap it in TLS for hygiene.
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxMessageSize bounds a single request or response (64 MB: a full
+// add-friend mailbox batch fits comfortably).
+const maxMessageSize = 64 << 20
+
+// request is the wire format of one call.
+type request struct {
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params"`
+}
+
+// response is the wire format of one reply.
+type response struct {
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxMessageSize {
+		return errors.New("rpc: message too large")
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMessageSize {
+		return nil, errors.New("rpc: frame too large")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Handler processes one method call. Params is the raw JSON of the
+// caller's argument struct; the returned value is JSON-encoded as the
+// result.
+type Handler func(params json.RawMessage) (any, error)
+
+// Server dispatches method calls to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer creates an empty RPC server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers a handler for a method name.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// HandleFunc registers a handler with typed parameters: fn must be a
+// func(T) (any, error); params JSON is decoded into T.
+func HandleFunc[T any](s *Server, method string, fn func(T) (any, error)) {
+	s.Handle(method, func(params json.RawMessage) (any, error) {
+		var arg T
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &arg); err != nil {
+				return nil, fmt.Errorf("rpc: bad params for %s: %w", method, err)
+			}
+		}
+		return fn(arg)
+	})
+}
+
+// Serve starts accepting connections on the listener and returns
+// immediately; connections are handled on background goroutines.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+}
+
+// Listen starts the server on a TCP address and returns the bound address
+// (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting connections, disconnects clients, and waits for
+// in-flight calls to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		var req request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handlers[req.Method]
+		s.mu.Unlock()
+
+		var resp response
+		if h == nil {
+			resp.Error = "rpc: unknown method " + req.Method
+		} else if result, err := h(req.Params); err != nil {
+			resp.Error = err.Error()
+		} else if result != nil {
+			raw, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = "rpc: encoding result: " + err.Error()
+			} else {
+				resp.Result = raw
+			}
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a connection-per-call-free RPC client: one TCP connection,
+// serialized calls. Safe for concurrent use.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial creates a client for the given address. The connection is
+// established lazily and re-established after errors.
+func Dial(addr string) *Client {
+	return &Client{addr: addr, timeout: 30 * time.Second}
+}
+
+// Call invokes a remote method. result may be nil to discard the reply.
+func (c *Client) Call(method string, params any, result any) error {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return err
+	}
+	req, err := json.Marshal(request{Method: method, Params: raw})
+	if err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// One reconnect attempt on a stale connection.
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+			if err != nil {
+				return fmt.Errorf("rpc: dialing %s: %w", c.addr, err)
+			}
+			c.conn = conn
+		}
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		if err := writeFrame(c.conn, req); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			if attempt == 0 {
+				continue
+			}
+			return err
+		}
+		payload, err := readFrame(c.conn)
+		if err != nil {
+			c.conn.Close()
+			c.conn = nil
+			if attempt == 0 {
+				continue
+			}
+			return err
+		}
+		var resp response
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return errors.New(resp.Error)
+		}
+		if result != nil && len(resp.Result) > 0 {
+			return json.Unmarshal(resp.Result, result)
+		}
+		return nil
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"crypto/ed25519"
+	"sync"
+
+	"alpenhorn/internal/core"
+)
+
+// Handler is a recording core.Handler for tests and examples. Its policy
+// fields decide behaviour; its slices record every event.
+type Handler struct {
+	// AcceptAll makes NewFriend accept every request; otherwise Accept
+	// decides (nil Accept rejects everything).
+	AcceptAll bool
+	Accept    func(email string) bool
+
+	mu         sync.Mutex
+	NewFriends []string
+	Confirmed  []string
+	Incoming   []core.Call
+	Outgoing   []core.Call
+	Errors     []error
+}
+
+var _ core.Handler = (*Handler)(nil)
+
+// NewFriend implements core.Handler.
+func (h *Handler) NewFriend(email string, _ ed25519.PublicKey) bool {
+	h.mu.Lock()
+	h.NewFriends = append(h.NewFriends, email)
+	h.mu.Unlock()
+	if h.AcceptAll {
+		return true
+	}
+	if h.Accept != nil {
+		return h.Accept(email)
+	}
+	return false
+}
+
+// ConfirmedFriend implements core.Handler.
+func (h *Handler) ConfirmedFriend(email string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.Confirmed = append(h.Confirmed, email)
+}
+
+// IncomingCall implements core.Handler.
+func (h *Handler) IncomingCall(call core.Call) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.Incoming = append(h.Incoming, call)
+}
+
+// OutgoingCall implements core.Handler.
+func (h *Handler) OutgoingCall(call core.Call) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.Outgoing = append(h.Outgoing, call)
+}
+
+// Error implements core.Handler.
+func (h *Handler) Error(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.Errors = append(h.Errors, err)
+}
+
+// IncomingCalls returns a snapshot of recorded incoming calls.
+func (h *Handler) IncomingCalls() []core.Call {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]core.Call, len(h.Incoming))
+	copy(out, h.Incoming)
+	return out
+}
+
+// OutgoingCalls returns a snapshot of recorded outgoing calls.
+func (h *Handler) OutgoingCalls() []core.Call {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]core.Call, len(h.Outgoing))
+	copy(out, h.Outgoing)
+	return out
+}
+
+// ErrorCount returns the number of recorded errors.
+func (h *Handler) ErrorCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.Errors)
+}

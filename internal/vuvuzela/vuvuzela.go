@@ -1,0 +1,265 @@
+// Package vuvuzela implements a minimal dead-drop conversation protocol in
+// the spirit of Vuvuzela (van den Hooff et al., SOSP 2015), the private
+// messaging system that Alpenhorn was integrated with in §8.5 of the paper.
+//
+// Vuvuzela's conversation protocol assumes the two parties already share a
+// secret — which is exactly what Alpenhorn's Call provides. Each round,
+// both parties derive the same pseudorandom dead-drop ID from the session
+// key, deposit an encrypted message at that dead drop, and the exchange
+// server swaps the two messages. Idle users deposit cover messages at
+// random dead drops.
+//
+// This package reproduces the integration, not all of Vuvuzela: the
+// exchange runs on one untrusted server without its own mixnet/noise
+// chain (Alpenhorn is the system under evaluation here; the conversation
+// layer exists to demonstrate the ~200-line integration the paper reports).
+package vuvuzela
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MessageSize is the fixed plaintext size of a conversation message;
+// shorter messages are padded, longer ones rejected. Fixed sizes keep the
+// dead-drop exchange free of length metadata.
+const MessageSize = 240
+
+// sealedSize is MessageSize plus AEAD overhead.
+const sealedSize = MessageSize + 16 + 12
+
+// DeadDropSize is the size of a dead-drop identifier.
+const DeadDropSize = 16
+
+// Exchange is the untrusted dead-drop server. It is safe for concurrent
+// use.
+type Exchange struct {
+	mu     sync.Mutex
+	rounds map[uint32]map[[DeadDropSize]byte][][]byte
+	done   map[uint32]bool
+}
+
+// NewExchange creates a dead-drop server.
+func NewExchange() *Exchange {
+	return &Exchange{
+		rounds: make(map[uint32]map[[DeadDropSize]byte][][]byte),
+		done:   make(map[uint32]bool),
+	}
+}
+
+// Deposit places a sealed message at a dead drop for a round.
+func (e *Exchange) Deposit(round uint32, drop [DeadDropSize]byte, sealed []byte) error {
+	if len(sealed) != sealedSize {
+		return fmt.Errorf("vuvuzela: sealed message is %d bytes, want %d", len(sealed), sealedSize)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done[round] {
+		return fmt.Errorf("vuvuzela: round %d already exchanged", round)
+	}
+	drops, ok := e.rounds[round]
+	if !ok {
+		drops = make(map[[DeadDropSize]byte][][]byte)
+		e.rounds[round] = drops
+	}
+	if len(drops[drop]) >= 2 {
+		return errors.New("vuvuzela: dead drop full")
+	}
+	owned := make([]byte, len(sealed))
+	copy(owned, sealed)
+	drops[drop] = append(drops[drop], owned)
+	return nil
+}
+
+// Exchange swaps the messages at every dead drop with exactly two deposits
+// and closes the round. Single deposits are returned to their depositor
+// unchanged (the peer was silent), mirroring Vuvuzela's semantics.
+func (e *Exchange) Exchange(round uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	drops := e.rounds[round]
+	for id, msgs := range drops {
+		if len(msgs) == 2 {
+			msgs[0], msgs[1] = msgs[1], msgs[0]
+			drops[id] = msgs
+		}
+	}
+	e.done[round] = true
+}
+
+// Retrieve fetches the idx-th deposit result from a dead drop after the
+// exchange (idx is the order of this client's Deposit: 0 for first).
+func (e *Exchange) Retrieve(round uint32, drop [DeadDropSize]byte, idx int) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done[round] {
+		return nil, fmt.Errorf("vuvuzela: round %d not exchanged yet", round)
+	}
+	msgs := e.rounds[round][drop]
+	if idx < 0 || idx >= len(msgs) {
+		return nil, errors.New("vuvuzela: no message at dead drop")
+	}
+	return msgs[idx], nil
+}
+
+// Conversation is one side of a two-party conversation keyed by an
+// Alpenhorn session key. The integration point with Alpenhorn is exactly
+// the paper's: "we had to tweak the Vuvuzela conversation protocol, since
+// it expected a public key as input, rather than a shared secret (as
+// provided by Call)".
+type Conversation struct {
+	key      [32]byte
+	exchange *Exchange
+	// first is true for the conversation initiator (the Alpenhorn
+	// caller); it breaks the tie of who deposited first at a drop.
+	first bool
+	// depositIdx remembers this side's deposit order per round.
+	mu         sync.Mutex
+	depositIdx map[uint32]int
+}
+
+// NewConversation creates a conversation endpoint over an exchange server.
+// The caller (who initiated the Alpenhorn call) passes initiator=true.
+func NewConversation(sessionKey [32]byte, ex *Exchange, initiator bool) *Conversation {
+	return &Conversation{
+		key:        sessionKey,
+		exchange:   ex,
+		first:      initiator,
+		depositIdx: make(map[uint32]int),
+	}
+}
+
+// deadDrop derives the round's dead-drop ID from the session key.
+func (c *Conversation) deadDrop(round uint32) [DeadDropSize]byte {
+	mac := hmac.New(sha256.New, c.key[:])
+	mac.Write([]byte("vuvuzela/dead-drop"))
+	var rb [4]byte
+	binary.BigEndian.PutUint32(rb[:], round)
+	mac.Write(rb[:])
+	var out [DeadDropSize]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// messageKey derives a per-round, per-direction AEAD key. Directions are
+// keyed by who SENT the message so that the two parties' messages in one
+// round never share a key+nonce.
+func (c *Conversation) messageKey(round uint32, sentByInitiator bool) []byte {
+	mac := hmac.New(sha256.New, c.key[:])
+	mac.Write([]byte("vuvuzela/message-key"))
+	var rb [5]byte
+	binary.BigEndian.PutUint32(rb[:4], round)
+	if sentByInitiator {
+		rb[4] = 1
+	}
+	mac.Write(rb[:])
+	return mac.Sum(nil)
+}
+
+func sealWith(key []byte, plaintext []byte) []byte {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("vuvuzela: " + err.Error())
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		panic("vuvuzela: " + err.Error())
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		panic("vuvuzela: " + err.Error())
+	}
+	return append(nonce, gcm.Seal(nil, nonce, plaintext, nil)...)
+}
+
+func openWith(key []byte, sealed []byte) ([]byte, bool) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("vuvuzela: " + err.Error())
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		panic("vuvuzela: " + err.Error())
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return nil, false
+	}
+	msg, err := gcm.Open(nil, sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, false
+	}
+	return msg, true
+}
+
+// Send deposits a message for the peer in the given round.
+func (c *Conversation) Send(round uint32, msg []byte) error {
+	if len(msg) > MessageSize {
+		return fmt.Errorf("vuvuzela: message longer than %d bytes", MessageSize)
+	}
+	padded := make([]byte, MessageSize)
+	copy(padded, msg)
+	sealed := sealWith(c.messageKey(round, c.first), padded)
+	drop := c.deadDrop(round)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Our deposit index is what Retrieve will read AFTER the swap.
+	idx := 0
+	if err := c.exchange.Deposit(round, drop, sealed); err != nil {
+		return err
+	}
+	// We don't know our order; try both at retrieve time. Record that we
+	// deposited this round.
+	c.depositIdx[round] = idx
+	return nil
+}
+
+// Receive retrieves and decrypts the peer's message for a round (after the
+// server ran the exchange). It returns ok=false if the peer sent nothing.
+func (c *Conversation) Receive(round uint32) ([]byte, bool) {
+	drop := c.deadDrop(round)
+	peerKey := c.messageKey(round, !c.first)
+	// Deposit order at the drop is unknown; try both slots and accept
+	// the one sealed with the PEER's direction key.
+	for idx := 0; idx < 2; idx++ {
+		sealed, err := c.exchange.Retrieve(round, drop, idx)
+		if err != nil {
+			continue
+		}
+		if msg, ok := openWith(peerKey, sealed); ok {
+			return trimPadding(msg), true
+		}
+	}
+	return nil, false
+}
+
+// trimPadding removes trailing zero padding.
+func trimPadding(msg []byte) []byte {
+	end := len(msg)
+	for end > 0 && msg[end-1] == 0 {
+		end--
+	}
+	return msg[:end]
+}
+
+// CoverDeposit sends an indistinguishable cover message to a random dead
+// drop; idle clients call this every round.
+func CoverDeposit(ex *Exchange, round uint32) error {
+	var drop [DeadDropSize]byte
+	if _, err := io.ReadFull(rand.Reader, drop[:]); err != nil {
+		return err
+	}
+	sealed := make([]byte, sealedSize)
+	if _, err := io.ReadFull(rand.Reader, sealed); err != nil {
+		return err
+	}
+	return ex.Deposit(round, drop, sealed)
+}

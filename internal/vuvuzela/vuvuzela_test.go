@@ -1,0 +1,143 @@
+package vuvuzela
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func pairedConversations(t *testing.T) (*Conversation, *Conversation, *Exchange) {
+	t.Helper()
+	var key [32]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExchange()
+	alice := NewConversation(key, ex, true) // caller
+	bob := NewConversation(key, ex, false)  // callee
+	return alice, bob, ex
+}
+
+func TestMessageExchange(t *testing.T) {
+	alice, bob, ex := pairedConversations(t)
+
+	if err := alice.Send(1, []byte("hi bob!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Send(1, []byte("hello alice")); err != nil {
+		t.Fatal(err)
+	}
+	ex.Exchange(1)
+
+	got, ok := alice.Receive(1)
+	if !ok || !bytes.Equal(got, []byte("hello alice")) {
+		t.Fatalf("alice received %q, ok=%v", got, ok)
+	}
+	got, ok = bob.Receive(1)
+	if !ok || !bytes.Equal(got, []byte("hi bob!")) {
+		t.Fatalf("bob received %q, ok=%v", got, ok)
+	}
+}
+
+func TestMultiRoundConversation(t *testing.T) {
+	alice, bob, ex := pairedConversations(t)
+	script := []struct {
+		fromAlice, fromBob string
+	}{
+		{"round one from alice", "round one from bob"},
+		{"second", "reply"},
+		{"third round message", "final answer"},
+	}
+	for i, msgs := range script {
+		round := uint32(i + 1)
+		if err := alice.Send(round, []byte(msgs.fromAlice)); err != nil {
+			t.Fatal(err)
+		}
+		if err := bob.Send(round, []byte(msgs.fromBob)); err != nil {
+			t.Fatal(err)
+		}
+		ex.Exchange(round)
+		a, ok := alice.Receive(round)
+		if !ok || string(a) != msgs.fromBob {
+			t.Fatalf("round %d: alice got %q", round, a)
+		}
+		b, ok := bob.Receive(round)
+		if !ok || string(b) != msgs.fromAlice {
+			t.Fatalf("round %d: bob got %q", round, b)
+		}
+	}
+}
+
+func TestSilentPeer(t *testing.T) {
+	alice, _, ex := pairedConversations(t)
+	if err := alice.Send(1, []byte("anyone there?")); err != nil {
+		t.Fatal(err)
+	}
+	ex.Exchange(1)
+	if msg, ok := alice.Receive(1); ok {
+		t.Fatalf("received %q from a silent peer", msg)
+	}
+}
+
+func TestWrongKeyCannotRead(t *testing.T) {
+	alice, bob, ex := pairedConversations(t)
+	if err := alice.Send(1, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Send(1, []byte("secret2")); err != nil {
+		t.Fatal(err)
+	}
+	ex.Exchange(1)
+
+	var wrongKey [32]byte
+	eve := NewConversation(wrongKey, ex, false)
+	if msg, ok := eve.Receive(1); ok {
+		t.Fatalf("eavesdropper decrypted %q", msg)
+	}
+}
+
+func TestMessageSizeLimit(t *testing.T) {
+	alice, _, _ := pairedConversations(t)
+	if err := alice.Send(1, make([]byte, MessageSize+1)); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+	if err := alice.Send(1, make([]byte, MessageSize)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverTrafficIndistinguishableAtServer(t *testing.T) {
+	_, _, ex := pairedConversations(t)
+	// Cover deposits must be accepted like real ones.
+	for i := 0; i < 10; i++ {
+		if err := CoverDeposit(ex, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Exchange(1)
+}
+
+func TestDeadDropCollisionRejected(t *testing.T) {
+	alice, bob, _ := pairedConversations(t)
+	// Three deposits at the same drop: the third must be rejected.
+	if err := alice.Send(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Send(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	var key2 [32]byte
+	copy(key2[:], alice.key[:])
+	mallory := NewConversation(key2, alice.exchange, true)
+	if err := mallory.Send(1, []byte("c")); err == nil {
+		t.Fatal("third deposit at a full dead drop accepted")
+	}
+}
+
+func TestLateDepositRejected(t *testing.T) {
+	alice, _, ex := pairedConversations(t)
+	ex.Exchange(1)
+	if err := alice.Send(1, []byte("too late")); err == nil {
+		t.Fatal("deposit after exchange accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// MailboxID computes the mailbox a user's incoming requests land in:
+// H(email) mod K (Algorithm 1, step 2a). Both senders and recipients
+// compute it the same way, so no directory lookup — and therefore no
+// metadata leak — is needed.
+func MailboxID(email string, numMailboxes uint32) uint32 {
+	if numMailboxes == 0 {
+		panic("wire: zero mailboxes")
+	}
+	h := sha256.Sum256(append([]byte("alpenhorn/mailbox:"), email...))
+	return uint32(binary.BigEndian.Uint64(h[:8]) % uint64(numMailboxes))
+}
