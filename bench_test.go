@@ -24,6 +24,7 @@ import (
 	"alpenhorn/internal/mixnet"
 	"alpenhorn/internal/model"
 	"alpenhorn/internal/noise"
+	"alpenhorn/internal/onionbox"
 	"alpenhorn/internal/pkgserver"
 	"alpenhorn/internal/sim"
 	"alpenhorn/internal/wire"
@@ -472,6 +473,93 @@ func BenchmarkIBESweep(b *testing.B) {
 		}
 	})
 }
+
+// ---- Parallel, pipelined round execution ----
+
+// newBenchChain builds an n-server chain with the given decryption worker
+// count, opens round 1, and returns the servers plus a wrapped dialing
+// batch addressed round-robin to numMailboxes mailboxes.
+func newBenchChain(b *testing.B, numServers, workers, batchSize int, numMailboxes uint32) ([]*mixnet.Server, [][]byte) {
+	b.Helper()
+	nz := noise.Laplace{Mu: 2, B: 0}
+	servers := make([]*mixnet.Server, numServers)
+	keys := make([][]byte, numServers)
+	hops := make([]*onionbox.PublicKey, numServers)
+	for i := range servers {
+		m, err := mixnet.New(mixnet.Config{
+			Name: "m", Position: i, ChainLength: numServers,
+			AddFriendNoise: &nz, DialingNoise: &nz,
+			Parallelism: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i] = m
+		rk, err := m.NewRound(wire.Dialing, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys[i] = rk.OnionKey
+		pk, err := onionbox.UnmarshalPublicKey(rk.OnionKey)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops[i] = pk
+	}
+	for i, m := range servers {
+		if err := m.SetDownstreamKeys(wire.Dialing, 1, keys[i+1:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batch := make([][]byte, batchSize)
+	tok := make([]byte, keywheel.TokenSize)
+	for i := range batch {
+		tok[0], tok[1] = byte(i), byte(i>>8)
+		payload := (&wire.MixPayload{Mailbox: uint32(i) % numMailboxes, Body: tok}).Marshal()
+		onion, err := onionbox.WrapOnion(rand.Reader, hops, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch[i] = onion
+	}
+	return servers, batch
+}
+
+// benchChain measures a full 3-server dialing round — peel, noise,
+// shuffle, mailbox build — for one execution mode.
+func benchChain(b *testing.B, workers int, pipelined bool) {
+	const batchSize = 2048
+	const numMailboxes = 4
+	servers, batch := newBenchChain(b, 3, workers, batchSize, numMailboxes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if pipelined {
+			_, err = mixnet.ChainPipelined(servers, wire.Dialing, 1, numMailboxes, batch, 256)
+		} else {
+			_, err = mixnet.Chain(servers, wire.Dialing, 1, numMailboxes, batch)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	perRound := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(batchSize)/perRound, "msgs/sec")
+	b.ReportMetric(perRound*1e3, "ms/round")
+}
+
+// BenchmarkMixSequential is the pre-refactor baseline: one decryption
+// thread per server, strict stage-by-stage chain execution.
+func BenchmarkMixSequential(b *testing.B) { benchChain(b, 1, false) }
+
+// BenchmarkMixParallel uses the worker-pool decrypt path (GOMAXPROCS
+// workers) with the chain still running stage by stage. Compare its
+// msgs/sec against BenchmarkMixSequential for the multi-core speedup.
+func BenchmarkMixParallel(b *testing.B) { benchChain(b, 0, false) }
+
+// BenchmarkMixPipelined adds the streaming pipeline on top of parallel
+// decryption: chunked hand-off between servers plus ahead-of-time noise.
+func BenchmarkMixPipelined(b *testing.B) { benchChain(b, 0, true) }
 
 // ---- A2: Bloom filter vs raw tokens ----
 

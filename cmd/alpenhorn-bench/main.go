@@ -10,7 +10,12 @@
 //	alpenhorn-bench -exp extraction # key-extraction latency vs #PKGs
 //	alpenhorn-bench -exp ibe-sweep  # IBE cost scaling (§8.6)
 //	alpenhorn-bench -exp mix-cal    # measure per-message mix cost (used by figs 8/9)
+//	alpenhorn-bench -exp mix-compare # sequential vs parallel vs pipelined round cost
 //	alpenhorn-bench -all            # everything
+//
+// The -parallelism flag sets the mixers' decryption/noise worker count for
+// every experiment that runs real rounds (0 = GOMAXPROCS, 1 = the
+// sequential pre-pipeline path).
 //
 // Figures 6/7/10 come from the analytic model driven by this codebase's
 // real message sizes (cross-validated against real rounds in the test
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -43,10 +49,12 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "paper figure to regenerate (6-10)")
-	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal")
+	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal, mix-compare")
 	all := flag.Bool("all", false, "run everything")
 	users := flag.Int("calibration-batch", 4000, "batch size for real-round mix calibration")
+	par := flag.Int("parallelism", 0, "mixer decryption/noise workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	parallelism = *par
 
 	any := false
 	run := func(n int, name string, fn func(batch int)) {
@@ -64,11 +72,16 @@ func main() {
 	run(-1, "extraction", func(int) { extraction() })
 	run(-1, "ibe-sweep", func(int) { ibeSweep() })
 	run(-1, "mix-cal", func(batch int) { fmt.Printf("mix cost: %.2f µs/message/server\n", measureMixCost(batch)*1e6) })
+	run(-1, "mix-compare", mixCompare)
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 }
+
+// parallelism is the -parallelism flag: mixer worker count for every
+// experiment that runs real rounds.
+var parallelism int
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
@@ -116,15 +129,16 @@ func fig7(int) {
 	fmt.Printf("\n(paper: 1 filter/125K tokens/0.75 MB at 1M; 7 filters/150K/0.9 MB at 10M)\n")
 }
 
-// measureMixCost runs a real dialing round through a 3-server in-process
-// chain and returns seconds per message per server.
-func measureMixCost(batchSize int) float64 {
+// newBenchCoordinator builds a 3-mixer in-process deployment with the
+// requested mixer parallelism and a submitted batch, ready to close.
+func newBenchCoordinator(batchSize, workers int, sequential bool) *coordinator.Coordinator {
 	nz := noise.Laplace{Mu: 2, B: 0}
 	var mixers []*mixnet.Server
 	for i := 0; i < 3; i++ {
 		m, err := mixnet.New(mixnet.Config{
 			Name: "m", Position: i, ChainLength: 3,
 			AddFriendNoise: &nz, DialingNoise: &nz,
+			Parallelism: workers,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -133,6 +147,7 @@ func measureMixCost(batchSize int) float64 {
 	}
 	e := entry.New()
 	coord := coordinator.New(e, mixers, nil, cdn.NewStore(2))
+	coord.Sequential = sequential
 	coord.SetExpectedVolume(wire.Dialing, batchSize)
 	settings, err := coord.OpenDialingRound(1)
 	if err != nil {
@@ -149,11 +164,53 @@ func measureMixCost(batchSize int) float64 {
 			log.Fatal(err)
 		}
 	}
+	return coord
+}
+
+// measureMixCost runs a real dialing round through a 3-server in-process
+// chain and returns seconds per message per server. The chain runs with
+// full-batch barriers (Sequential) so that dividing by the server count is
+// meaningful — with the streaming pipeline the stages overlap and the
+// per-server cost would be undercounted. -parallelism 1 reproduces the
+// paper's single-thread calibration; the default measures this machine's
+// parallel decrypt rate. Pipeline gains are measured by mix-compare.
+func measureMixCost(batchSize int) float64 {
+	coord := newBenchCoordinator(batchSize, parallelism, true)
 	start := time.Now()
 	if _, err := coord.CloseRound(wire.Dialing, 1); err != nil {
 		log.Fatal(err)
 	}
 	return time.Since(start).Seconds() / float64(batchSize) / 3
+}
+
+// mixCompare prints the sequential-vs-parallel-vs-pipelined round cost
+// comparison for the refactored mix chain.
+func mixCompare(batchSize int) {
+	header("Mix execution modes: sequential vs parallel vs pipelined")
+	fmt.Printf("3 servers, dialing, batch %d, GOMAXPROCS %d\n\n", batchSize, runtime.GOMAXPROCS(0))
+	modes := []struct {
+		name       string
+		workers    int
+		sequential bool
+	}{
+		{"sequential (1 worker, full-batch barriers)", 1, true},
+		{"parallel decrypt (worker pool, full-batch barriers)", 0, true},
+		{"pipelined (worker pool + streaming chunks + prepared noise)", 0, false},
+	}
+	var base float64
+	for i, mode := range modes {
+		coord := newBenchCoordinator(batchSize, mode.workers, mode.sequential)
+		start := time.Now()
+		if _, err := coord.CloseRound(wire.Dialing, 1); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start).Seconds()
+		if i == 0 {
+			base = elapsed
+		}
+		fmt.Printf("%-60s %8.3f s   %6.2fx\n", mode.name, elapsed, base/elapsed)
+	}
+	fmt.Println("\n(speedups require multiple cores; on one core the modes should tie)")
 }
 
 // measureIBEDecrypt returns seconds per trial decryption with our pairing.

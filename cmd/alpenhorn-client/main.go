@@ -266,11 +266,15 @@ func roundLoop(client *core.Client, frontend *rpc.FrontendClient, stop <-chan st
 			if st.CurrentOpen > lastAFSubmit {
 				if err := client.SubmitAddFriendRound(st.CurrentOpen); err == nil {
 					lastAFSubmit = st.CurrentOpen
+				} else {
+					log.Printf("addfriend round %d submit: %v (will retry next round)", st.CurrentOpen, err)
 				}
 			}
 			if st.LatestPublished > lastAFScan && st.LatestPublished == lastAFSubmit {
 				if err := client.ScanAddFriendRound(st.LatestPublished); err == nil {
 					lastAFScan = st.LatestPublished
+				} else {
+					log.Printf("addfriend round %d scan: %v", st.LatestPublished, err)
 				}
 			}
 		}
@@ -278,11 +282,15 @@ func roundLoop(client *core.Client, frontend *rpc.FrontendClient, stop <-chan st
 			if st.CurrentOpen > lastDLSubmit {
 				if err := client.SubmitDialRound(st.CurrentOpen); err == nil {
 					lastDLSubmit = st.CurrentOpen
+				} else {
+					log.Printf("dialing round %d submit: %v (will retry next round)", st.CurrentOpen, err)
 				}
 			}
 			if st.LatestPublished > lastDLScan && st.LatestPublished == lastDLSubmit {
 				if err := client.ScanDialRound(st.LatestPublished); err == nil {
 					lastDLScan = st.LatestPublished
+				} else {
+					log.Printf("dialing round %d scan: %v", st.LatestPublished, err)
 				}
 			}
 		}

@@ -1,0 +1,3 @@
+module alpenhorn
+
+go 1.21

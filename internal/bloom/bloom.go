@@ -59,6 +59,18 @@ func New(n int, bitsPerElement int) *Filter {
 	}
 }
 
+// NewFromElements builds a filter sized for exactly the given elements and
+// inserts them all. This is the last mixnet server's per-mailbox encoding
+// step; keeping it a single call lets mailbox construction shard whole
+// filters across workers without exposing partially built state.
+func NewFromElements(elems [][]byte, bitsPerElement int) *Filter {
+	f := New(len(elems), bitsPerElement)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	return f
+}
+
 // probes derives the k bit positions for an element by double hashing: the
 // element's SHA-256 digest provides two independent 64-bit values h1, h2,
 // and probe i uses h1 + i·h2 mod m.

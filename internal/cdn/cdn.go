@@ -50,21 +50,31 @@ func NewStore(retention int) *Store {
 }
 
 // Publish stores all mailboxes for a round. It fails if the round was
-// already published: rounds are immutable.
+// already published: rounds are immutable. The store copies every mailbox;
+// use PublishOwned when the caller is handing over freshly built buffers.
 func (s *Store) Publish(service wire.Service, round uint32, mailboxes map[uint32][]byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	k := roundKey{service, round}
-	if _, ok := s.rounds[k]; ok {
-		return fmt.Errorf("cdn: round %d (%s) already published", round, service)
-	}
 	copied := make(map[uint32][]byte, len(mailboxes))
 	for id, data := range mailboxes {
 		b := make([]byte, len(data))
 		copy(b, data)
 		copied[id] = b
 	}
-	s.rounds[k] = copied
+	return s.PublishOwned(service, round, copied)
+}
+
+// PublishOwned is Publish without the defensive copy: the caller transfers
+// ownership of the map and every byte slice in it and must not touch them
+// afterward. The last mixnet server's mailbox builder allocates fresh
+// buffers each round, so the coordinator publishes them directly rather
+// than copying what at paper scale is gigabytes per round.
+func (s *Store) PublishOwned(service wire.Service, round uint32, mailboxes map[uint32][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := roundKey{service, round}
+	if _, ok := s.rounds[k]; ok {
+		return fmt.Errorf("cdn: round %d (%s) already published", round, service)
+	}
+	s.rounds[k] = mailboxes
 	s.order[service] = append(s.order[service], round)
 	if s.retention > 0 {
 		for len(s.order[service]) > s.retention {

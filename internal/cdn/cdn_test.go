@@ -98,3 +98,38 @@ func TestAccounting(t *testing.T) {
 		t.Fatalf("sizes %v, %v", sizes, err)
 	}
 }
+
+func TestPublishOwnedTransfersOwnership(t *testing.T) {
+	s := NewStore(0)
+	boxes := map[uint32][]byte{0: []byte("owned")}
+	if err := s.PublishOwned(wire.AddFriend, 1, boxes); err != nil {
+		t.Fatal(err)
+	}
+	// Rounds stay immutable: republishing either way fails.
+	if err := s.PublishOwned(wire.AddFriend, 1, boxes); err == nil {
+		t.Fatal("double PublishOwned accepted")
+	}
+	if err := s.Publish(wire.AddFriend, 1, boxes); err == nil {
+		t.Fatal("Publish over PublishOwned accepted")
+	}
+	// Fetch still returns a private copy to each client.
+	got, err := s.Fetch(wire.AddFriend, 1, 0)
+	if err != nil || string(got) != "owned" {
+		t.Fatalf("fetch: %q, %v", got, err)
+	}
+	got[0] = 'X'
+	got2, _ := s.Fetch(wire.AddFriend, 1, 0)
+	if string(got2) != "owned" {
+		t.Fatal("fetch aliases store buffer")
+	}
+	// Retention applies to owned rounds like any other.
+	s2 := NewStore(1)
+	for r := uint32(1); r <= 2; r++ {
+		if err := s2.PublishOwned(wire.Dialing, r, map[uint32][]byte{0: {byte(r)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s2.Published(wire.Dialing, 1) {
+		t.Fatal("evicted owned round still published")
+	}
+}

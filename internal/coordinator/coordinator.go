@@ -42,6 +42,39 @@ type Mixer interface {
 	NoiseMu(service wire.Service) float64
 }
 
+// StreamMixer is the optional chunked-intake surface of a Mixer. Mixers
+// that implement it participate in the coordinator's streaming pipeline:
+// they receive the round's batch in chunks and start decrypting before the
+// upstream server has finished emitting. Mixers that don't are driven
+// through full-batch Mix inside their pipeline stage.
+type StreamMixer = mixnet.ChunkMixer
+
+// NoisePreparer is the optional ahead-of-time noise surface of a Mixer.
+// The coordinator calls PrepareNoise as soon as a round's settings are
+// fixed, so every server generates its noise concurrently with client
+// intake instead of stalling the mix.
+type NoisePreparer interface {
+	PrepareNoise(service wire.Service, round uint32, numMailboxes uint32) error
+}
+
+// streamCapable lets a Mixer report at runtime whether its backend
+// actually supports the streaming/prepare-noise surface. rpc.MixerClient
+// implements every method statically but may be talking to a daemon built
+// before those RPCs existed; during a rolling upgrade it reports false and
+// the coordinator falls back to full-batch Mix. Mixers that don't
+// implement streamCapable are taken at interface value.
+type streamCapable interface {
+	SupportsStreaming() bool
+}
+
+// supportsStreaming reports whether m's streaming surface is usable.
+func supportsStreaming(m Mixer) bool {
+	if sc, ok := m.(streamCapable); ok {
+		return sc.SupportsStreaming()
+	}
+	return true
+}
+
 // PKG is the coordinator's view of one PKG server. It is satisfied by
 // *pkgserver.Server (in-process) and *rpc.PKGClient (remote daemon).
 type PKG interface {
@@ -62,6 +95,15 @@ type Coordinator struct {
 	// add-friend mailboxes at roughly 24,000 requests (§8.2). Tests use
 	// small values.
 	TargetRequestsPerMailbox int
+
+	// ChunkSize is the number of onions per pipeline chunk when streaming
+	// a batch through the chain (0 = mixnet.DefaultStreamChunk).
+	ChunkSize int
+
+	// Sequential disables the streaming pipeline: the chain runs strictly
+	// stage-by-stage through full-batch Mix calls. Used by benchmarks to
+	// measure what the pipeline buys; production keeps it false.
+	Sequential bool
 
 	// ExpectedVolume estimates the next round's request count for
 	// mailbox sizing. Updated from each observed batch.
@@ -181,16 +223,45 @@ func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
 			return fmt.Errorf("coordinator: mixer %d downstream keys: %w", i, err)
 		}
 	}
+	// Settings are fixed: every server can generate its round noise now,
+	// concurrently with client intake, so the mix never waits for it.
+	// (Sequential mode skips this — it benchmarks the unpipelined chain,
+	// where noise generation happens inside Mix.)
+	if c.Sequential {
+		return nil
+	}
+	for i, m := range c.Mixers {
+		if np, ok := m.(NoisePreparer); ok && supportsStreaming(m) {
+			if err := np.PrepareNoise(settings.Service, settings.Round, settings.NumMailboxes); err != nil {
+				return fmt.Errorf("coordinator: mixer %d prepare noise: %w", i, err)
+			}
+		}
+	}
 	return nil
 }
 
 // CloseRound performs steps 5-6 for either service: close intake, mix,
 // publish mailboxes, and erase mixer round keys. For add-friend rounds the
 // PKG master keys remain open until FinishAddFriendRound.
+//
+// The chain runs as a streaming pipeline: the entry server hands the batch
+// over in chunks, each mixer stage runs in its own goroutine, and stages
+// that implement StreamMixer start decrypting while the upstream stage is
+// still emitting. The final mailboxes are built sharded across workers and
+// published without copying.
+//
+// The returned map shares its byte slices with the CDN store (the copy is
+// skipped deliberately — at paper scale it is gigabytes per round); callers
+// MUST treat the mailboxes as read-only. Mutating them would corrupt what
+// the CDN serves.
 func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32][]byte, error) {
 	settings, err := c.Entry.Settings(service, round)
 	if err != nil {
 		return nil, err
+	}
+	chunkSize := c.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = mixnet.DefaultStreamChunk
 	}
 	batch, err := c.Entry.CloseRound(service, round)
 	if err != nil {
@@ -198,24 +269,76 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	}
 	c.SetExpectedVolume(service, len(batch))
 
-	cur := batch
-	for i, m := range c.Mixers {
-		cur, err = m.Mix(service, round, settings.NumMailboxes, cur)
-		if err != nil {
-			return nil, fmt.Errorf("coordinator: mixer %d: %w", i, err)
-		}
-	}
-	mailboxes, err := mixnet.BuildMailboxes(service, settings.NumMailboxes, cur)
+	final, err := c.runChain(service, round, settings.NumMailboxes, mixnet.ChunkSource(batch, chunkSize), chunkSize)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.CDN.Publish(service, round, mailboxes); err != nil {
+	mailboxes, err := mixnet.BuildMailboxes(service, settings.NumMailboxes, final)
+	if err != nil {
+		return nil, err
+	}
+	// The mailbox builder allocated these buffers; hand them to the CDN
+	// without a copy, then return a read-only view to the caller.
+	published := make(map[uint32][]byte, len(mailboxes))
+	for id, data := range mailboxes {
+		published[id] = data
+	}
+	if err := c.CDN.PublishOwned(service, round, published); err != nil {
 		return nil, err
 	}
 	for _, m := range c.Mixers {
 		m.CloseRound(service, round)
 	}
 	return mailboxes, nil
+}
+
+// runChain streams the batch through the mix chain. Stages run
+// concurrently; mixers without streaming support are driven by a
+// full-batch Mix call inside their stage, which still overlaps with the
+// other stages' noise generation and emission.
+func (c *Coordinator) runChain(service wire.Service, round uint32, numMailboxes uint32, source <-chan [][]byte, chunkSize int) ([][]byte, error) {
+	stages := make([]mixnet.ChunkMixer, len(c.Mixers))
+	for i, m := range c.Mixers {
+		if sm, ok := m.(StreamMixer); ok && !c.Sequential && supportsStreaming(m) {
+			stages[i] = sm
+		} else {
+			stages[i] = &bufferedStage{m: m}
+		}
+	}
+	out, err := mixnet.RunPipeline(stages, service, round, numMailboxes, source, chunkSize)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	return out, nil
+}
+
+// bufferedStage adapts a full-batch Mixer to the streaming pipeline: it
+// accumulates chunks and runs Mix once at StreamEnd. Used for remote
+// daemons that predate the streaming RPC surface, and for benchmarking the
+// unpipelined chain.
+type bufferedStage struct {
+	m            Mixer
+	numMailboxes uint32
+	batch        [][]byte
+}
+
+func (b *bufferedStage) StreamBegin(service wire.Service, round uint32, numMailboxes uint32) error {
+	b.numMailboxes = numMailboxes
+	return nil
+}
+
+func (b *bufferedStage) StreamChunk(service wire.Service, round uint32, chunk [][]byte) error {
+	b.batch = append(b.batch, chunk...)
+	return nil
+}
+
+func (b *bufferedStage) StreamEnd(service wire.Service, round uint32) ([][]byte, error) {
+	return b.m.Mix(service, round, b.numMailboxes, b.batch)
+}
+
+func (b *bufferedStage) StreamAbort(service wire.Service, round uint32) error {
+	b.batch = nil
+	return nil
 }
 
 // FinishAddFriendRound erases every PKG's master secret for the round

@@ -1,14 +1,17 @@
 package coordinator
 
 import (
+	"crypto/rand"
 	"testing"
 
 	"alpenhorn/internal/bloom"
 	"alpenhorn/internal/cdn"
 	emailpkg "alpenhorn/internal/email"
 	"alpenhorn/internal/entry"
+	"alpenhorn/internal/keywheel"
 	"alpenhorn/internal/mixnet"
 	"alpenhorn/internal/noise"
+	"alpenhorn/internal/onionbox"
 	"alpenhorn/internal/pkgserver"
 	"alpenhorn/internal/wire"
 )
@@ -135,5 +138,215 @@ func TestCloseUnopenedRoundFails(t *testing.T) {
 	c := newTestCoordinator(t, 1, 1)
 	if _, err := c.CloseRound(wire.Dialing, 42); err == nil {
 		t.Fatal("closing unopened round succeeded")
+	}
+}
+
+// submitDialTokens wraps one dial onion per token, addressed round-robin to
+// the round's mailboxes, and submits them to the entry server.
+func submitDialTokens(t *testing.T, c *Coordinator, settings *wire.RoundSettings, tokens [][]byte) {
+	t.Helper()
+	hops := make([]*onionbox.PublicKey, len(settings.Mixers))
+	for i, rk := range settings.Mixers {
+		pk, err := onionbox.UnmarshalPublicKey(rk.OnionKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops[i] = pk
+	}
+	for i, tok := range tokens {
+		payload := (&wire.MixPayload{Mailbox: uint32(i) % settings.NumMailboxes, Body: tok}).Marshal()
+		onion, err := onionbox.WrapOnion(rand.Reader, hops, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Entry.Submit(settings.Service, settings.Round, onion); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func makeTokens(n int) [][]byte {
+	tokens := make([][]byte, n)
+	for i := range tokens {
+		tok := make([]byte, keywheel.TokenSize)
+		tok[0], tok[1], tok[2] = byte(i), byte(i>>8), 0xCD
+		tokens[i] = tok
+	}
+	return tokens
+}
+
+// TestPipelinedRoundDeliversTokens runs a full dialing round through the
+// streaming pipeline (small chunks, so every server sees multiple chunks)
+// and through the sequential full-batch path, checking both deliver every
+// token to its mailbox.
+func TestPipelinedRoundDeliversTokens(t *testing.T) {
+	for _, sequential := range []bool{false, true} {
+		c := newTestCoordinator(t, 3, 0)
+		c.ChunkSize = 16
+		c.Sequential = sequential
+		c.TargetRequestsPerMailbox = 40
+		c.SetExpectedVolume(wire.Dialing, 120)
+
+		settings, err := c.OpenDialingRound(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if settings.NumMailboxes < 2 {
+			t.Fatalf("want a multi-mailbox round, got K=%d", settings.NumMailboxes)
+		}
+		tokens := makeTokens(120)
+		submitDialTokens(t, c, settings, tokens)
+
+		mailboxes, err := c.CloseRound(wire.Dialing, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tok := range tokens {
+			mb := uint32(i) % settings.NumMailboxes
+			f, err := bloom.Unmarshal(mailboxes[mb])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !f.Test(tok) {
+				t.Fatalf("sequential=%v: token %d missing from mailbox %d", sequential, i, mb)
+			}
+		}
+		if !c.CDN.Published(wire.Dialing, 1) {
+			t.Fatal("round not published")
+		}
+	}
+}
+
+// legacyMixer wraps a *mixnet.Server but reports no streaming support, the
+// coordinator's view of a daemon built before the streaming RPC surface.
+// Any use of the streaming methods fails the test.
+type legacyMixer struct {
+	*mixnet.Server
+	t *testing.T
+}
+
+func (l *legacyMixer) SupportsStreaming() bool { return false }
+
+func (l *legacyMixer) PrepareNoise(service wire.Service, round uint32, numMailboxes uint32) error {
+	l.t.Error("PrepareNoise called on a mixer that does not support it")
+	return nil
+}
+
+func (l *legacyMixer) StreamBegin(service wire.Service, round uint32, numMailboxes uint32) error {
+	l.t.Error("StreamBegin called on a mixer that does not support it")
+	return nil
+}
+
+// TestLegacyMixerFallsBackToFullBatch: a mixer that reports no streaming
+// support must be driven through full-batch Mix only — the rolling-upgrade
+// path where the coordinator is newer than a mixer daemon.
+func TestLegacyMixerFallsBackToFullBatch(t *testing.T) {
+	c := newTestCoordinator(t, 2, 0)
+	c.Mixers[0] = &legacyMixer{Server: c.Mixers[0].(*mixnet.Server), t: t}
+	c.TargetRequestsPerMailbox = 40
+	c.SetExpectedVolume(wire.Dialing, 60)
+
+	settings, err := c.OpenDialingRound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := makeTokens(60)
+	submitDialTokens(t, c, settings, tokens)
+	mailboxes, err := c.CloseRound(wire.Dialing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tok := range tokens {
+		mb := uint32(i) % settings.NumMailboxes
+		f, err := bloom.Unmarshal(mailboxes[mb])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Test(tok) {
+			t.Fatalf("token %d missing from mailbox %d", i, mb)
+		}
+	}
+}
+
+// TestNumMailboxesNoiseExceedsTarget: when per-mailbox noise alone meets or
+// exceeds the target, splitting mailboxes cannot help (each split adds its
+// own noise), so the coordinator must fall back to a single mailbox no
+// matter the expected volume.
+func TestNumMailboxesNoiseExceedsTarget(t *testing.T) {
+	c := newTestCoordinator(t, 3, 0) // 3 mixers × µ=1 → 3 noise/mailbox
+	c.TargetRequestsPerMailbox = 3   // noise alone hits the target
+	c.SetExpectedVolume(wire.Dialing, 1000000)
+	if k := c.numMailboxes(wire.Dialing); k != 1 {
+		t.Fatalf("noise ≥ target: K = %d, want 1", k)
+	}
+	c.TargetRequestsPerMailbox = 2 // noise exceeds the target
+	if k := c.numMailboxes(wire.Dialing); k != 1 {
+		t.Fatalf("noise > target: K = %d, want 1", k)
+	}
+}
+
+// TestNumMailboxesZeroVolume: with no expected volume (a fresh deployment,
+// or a service that saw an empty round), the coordinator opens exactly one
+// mailbox rather than zero.
+func TestNumMailboxesZeroVolume(t *testing.T) {
+	c := newTestCoordinator(t, 2, 0)
+	c.TargetRequestsPerMailbox = 100
+	if k := c.numMailboxes(wire.Dialing); k != 1 {
+		t.Fatalf("unseeded volume: K = %d, want 1", k)
+	}
+	c.SetExpectedVolume(wire.Dialing, 0)
+	if k := c.numMailboxes(wire.Dialing); k != 1 {
+		t.Fatalf("zero volume: K = %d, want 1", k)
+	}
+	// Volume below one mailbox's real capacity still rounds up to 1.
+	c.SetExpectedVolume(wire.Dialing, 5)
+	if k := c.numMailboxes(wire.Dialing); k != 1 {
+		t.Fatalf("tiny volume: K = %d, want 1", k)
+	}
+}
+
+// TestVolumeTrackingAcrossRounds: each CloseRound feeds the observed batch
+// size back into the mailbox-count heuristic, so consecutive rounds track
+// the actual load.
+func TestVolumeTrackingAcrossRounds(t *testing.T) {
+	c := newTestCoordinator(t, 2, 0) // 2 mixers × µ=1 → 2 noise/mailbox
+	c.TargetRequestsPerMailbox = 12  // → 10 real requests per mailbox
+
+	s1, err := c.OpenDialingRound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.NumMailboxes != 1 {
+		t.Fatalf("round 1: K = %d, want 1 (no volume yet)", s1.NumMailboxes)
+	}
+	submitDialTokens(t, c, s1, makeTokens(200))
+	if _, err := c.CloseRound(wire.Dialing, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 2 sizes from round 1's observed 200 requests: 200/10 = 20.
+	s2, err := c.OpenDialingRound(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumMailboxes != 20 {
+		t.Fatalf("round 2: K = %d, want 20", s2.NumMailboxes)
+	}
+	submitDialTokens(t, c, s2, makeTokens(40))
+	if _, err := c.CloseRound(wire.Dialing, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 3 shrinks with the observed volume: 40/10 = 4.
+	s3, err := c.OpenDialingRound(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.NumMailboxes != 4 {
+		t.Fatalf("round 3: K = %d, want 4", s3.NumMailboxes)
+	}
+	// The other service's volume estimate is independent.
+	if k := c.numMailboxes(wire.AddFriend); k != 1 {
+		t.Fatalf("add-friend volume leaked from dialing: K = %d, want 1", k)
 	}
 }

@@ -42,7 +42,7 @@ func (c *Client) SubmitAddFriendRound(round uint32) error {
 		return fmt.Errorf("core: extracting round keys: %w", err)
 	}
 
-	payload, err := c.buildAddFriendPayload(round, settings)
+	payload, commit, err := c.buildAddFriendPayload(round, settings)
 	if err != nil {
 		return err
 	}
@@ -52,7 +52,16 @@ func (c *Client) SubmitAddFriendRound(round uint32) error {
 	if err != nil {
 		return err
 	}
-	return c.cfg.Entry.Submit(wire.AddFriend, round, onion)
+	if err := c.cfg.Entry.Submit(wire.AddFriend, round, onion); err != nil {
+		// The request never reached the entry server (e.g. the round
+		// closed first): leave it queued for the next round.
+		return err
+	}
+	// Only now that the request is on the wire, mark it sent.
+	if commit != nil {
+		commit()
+	}
+	return nil
 }
 
 // extractRoundKeys performs Algorithm 1 step 1 against every PKG and
@@ -96,7 +105,13 @@ func (c *Client) extractRoundKeys(round uint32) error {
 // buildAddFriendPayload creates the innermost mix payload: a real IBE-
 // encrypted friend request if one is queued (step 2a), else cover traffic
 // (step 2b).
-func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSettings) ([]byte, error) {
+//
+// For a real request it also returns a commit callback that marks the
+// request sent (and, for a response, completes the friendship). The caller
+// runs it only after the entry server accepts the onion — a request
+// consumed before a failed submission would be silently lost while the
+// pending entry waits forever for a reply that cannot come.
+func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSettings) ([]byte, func(), error) {
 	c.mu.Lock()
 	var target *pendingFriend
 	for _, p := range c.pending {
@@ -115,13 +130,13 @@ func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSetting
 			Mailbox: wire.CoverMailbox,
 			Body:    make([]byte, wire.EncryptedFriendRequestSize),
 		}
-		return payload.Marshal(), nil
+		return payload.Marshal(), nil, nil
 	}
 
 	// Step 2a: real request.
 	dhPriv, err := ecdh.X25519().GenerateKey(c.cfg.Rand)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req := &wire.FriendRequest{
 		SenderEmail:  c.cfg.Email,
@@ -133,7 +148,7 @@ func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSetting
 	req.SenderSig = ed25519.Sign(c.signingPriv, req.SigningMessage())
 	plaintext, err := req.Marshal()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Encrypt to the friend's identity under the aggregated master key.
@@ -141,39 +156,41 @@ func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSetting
 	for i, pk := range settings.PKGs {
 		mk, err := ibe.UnmarshalMasterPublicKey(pk.MasterKey)
 		if err != nil {
-			return nil, fmt.Errorf("core: PKG %d round key: %w", i, err)
+			return nil, nil, fmt.Errorf("core: PKG %d round key: %w", i, err)
 		}
 		masterKeys = append(masterKeys, mk)
 	}
 	agg := ibe.AggregateMasterKeys(masterKeys...)
 	ctxt, err := ibe.Encrypt(c.cfg.Rand, agg, target.email, plaintext)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	c.mu.Lock()
-	target.queued = false
-	target.dhPriv = dhPriv
-	target.myDialRound = dialRound
-	// If this request answers an incoming one, we already have the
-	// friend's DH key: the keywheel exists as soon as our reply is on
-	// the wire (they will compute the same secret on receipt).
-	var confirmed string
-	if target.isResponse {
-		c.completeFriendshipLocked(target, target.theirKey, target.theirDH, target.theirDialRound)
-		confirmed = target.email
-	}
-	c.persistLocked()
-	c.mu.Unlock()
-	if confirmed != "" {
-		c.cfg.Handler.ConfirmedFriend(confirmed)
+	commit := func() {
+		c.mu.Lock()
+		target.queued = false
+		target.dhPriv = dhPriv
+		target.myDialRound = dialRound
+		// If this request answers an incoming one, we already have the
+		// friend's DH key: the keywheel exists as soon as our reply is
+		// on the wire (they will compute the same secret on receipt).
+		var confirmed string
+		if target.isResponse {
+			c.completeFriendshipLocked(target, target.theirKey, target.theirDH, target.theirDialRound)
+			confirmed = target.email
+		}
+		c.persistLocked()
+		c.mu.Unlock()
+		if confirmed != "" {
+			c.cfg.Handler.ConfirmedFriend(confirmed)
+		}
 	}
 
 	payload := &wire.MixPayload{
 		Mailbox: wire.MailboxID(target.email, settings.NumMailboxes),
 		Body:    ctxt,
 	}
-	return payload.Marshal(), nil
+	return payload.Marshal(), commit, nil
 }
 
 // wrapOnion wraps a payload for the round's mix chain (Algorithm 1 step 3).

@@ -7,6 +7,7 @@ import (
 
 	"alpenhorn/internal/core"
 	"alpenhorn/internal/sim"
+	"alpenhorn/internal/wire"
 )
 
 // newPair builds a network with Alice and Bob registered.
@@ -408,5 +409,87 @@ func TestThreeUserTriangle(t *testing.T) {
 	}
 	if from[alice.Email()] != 1 || from[carol.Email()] != 2 {
 		t.Fatalf("wrong callers/intents: %v", from)
+	}
+}
+
+// TestFailedSubmitKeepsFriendRequestQueued: a friend request whose
+// submission fails (here: the round closed before the client submitted)
+// must stay queued and go out in a later round, not be silently consumed.
+func TestFailedSubmitKeepsFriendRequestQueued(t *testing.T) {
+	net, alice, _, bob, hb := newPair(t)
+	clients := []*core.Client{alice, bob}
+
+	if err := alice.AddFriend(bob.Email(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 closes before alice can submit: her submit must fail...
+	if _, err := net.Coord.OpenAddFriendRound(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Coord.CloseRound(wire.AddFriend, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SubmitAddFriendRound(1); err == nil {
+		t.Fatal("submit to a closed round succeeded")
+	}
+	net.Coord.FinishAddFriendRound(1)
+
+	// ...and the request must still go out in round 2.
+	if err := net.RunAddFriendRound(2, clients); err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.NewFriends) != 1 || hb.NewFriends[0] != alice.Email() {
+		t.Fatalf("bob's NewFriend events after retry round: %v", hb.NewFriends)
+	}
+}
+
+// TestFailedSubmitRequeuesCall: a dial token whose submission fails must be
+// requeued, not dropped.
+func TestFailedSubmitRequeuesCall(t *testing.T) {
+	net, alice, ha, bob, hb := newPair(t)
+	if err := net.Befriend(alice, bob, 1); err != nil {
+		t.Fatal(err)
+	}
+	clients := []*core.Client{alice, bob}
+
+	// Advance past the keywheel start so round 3's call is sendable.
+	for r := uint32(1); r <= 3; r++ {
+		if err := net.RunDialRound(r, clients); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := alice.Call(bob.Email(), 5); err != nil {
+		t.Fatal(err)
+	}
+	// Round 4 closes before alice submits.
+	if _, err := net.Coord.OpenDialingRound(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Coord.CloseRound(wire.Dialing, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SubmitDialRound(4); err == nil {
+		t.Fatal("submit to a closed round succeeded")
+	}
+	if len(ha.OutgoingCalls()) != 0 {
+		t.Fatal("failed submission reported an outgoing call")
+	}
+
+	// The call goes out in a later round instead.
+	for r := uint32(5); r <= 8; r++ {
+		if err := net.RunDialRound(r, clients); err != nil {
+			t.Fatal(err)
+		}
+		if len(hb.IncomingCalls()) > 0 {
+			break
+		}
+	}
+	in := hb.IncomingCalls()
+	out := ha.OutgoingCalls()
+	if len(in) != 1 || len(out) != 1 || in[0].Intent != 5 {
+		t.Fatalf("call not delivered after failed submit: in=%v out=%v", in, out)
+	}
+	if in[0].SessionKey != out[0].SessionKey {
+		t.Fatal("session keys differ")
 	}
 }

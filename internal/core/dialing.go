@@ -32,6 +32,15 @@ func (c *Client) SubmitDialRound(round uint32) error {
 		return err
 	}
 	if err := c.cfg.Entry.Submit(wire.Dialing, round, onion); err != nil {
+		// The token never reached the entry server (e.g. the round
+		// closed first): requeue the call so a later round carries it
+		// instead of silently dropping it.
+		if outgoing != nil {
+			c.mu.Lock()
+			c.calls = append([]queuedCall{{friend: outgoing.Friend, intent: outgoing.Intent}}, c.calls...)
+			c.persistLocked()
+			c.mu.Unlock()
+		}
 		return err
 	}
 	// Report the outgoing call only after the token is actually on the

@@ -2,6 +2,9 @@ package mixnet
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"alpenhorn/internal/bloom"
 	"alpenhorn/internal/wire"
@@ -19,45 +22,102 @@ import (
 //
 // Every mailbox ID in [0, numMailboxes) is present in the result, even if
 // empty, so that fetching clients never learn anything from a missing key.
+//
+// Construction is sharded across runtime.GOMAXPROCS workers: parsing is
+// split over contiguous batch chunks, and mailbox encoding is keyed by
+// mailbox index. Use BuildMailboxesParallel to pick the worker count.
 func BuildMailboxes(service wire.Service, numMailboxes uint32, batch [][]byte) (map[uint32][]byte, error) {
-	grouped := make(map[uint32][][]byte)
-	for _, data := range batch {
-		payload, err := wire.UnmarshalMixPayload(service, data)
-		if err != nil {
-			// A client slipped a malformed innermost payload past
-			// the onion layers; drop it.
-			continue
-		}
-		if payload.Mailbox == wire.CoverMailbox {
-			continue // cover traffic needs no further processing
-		}
-		if payload.Mailbox >= numMailboxes {
-			continue
-		}
-		grouped[payload.Mailbox] = append(grouped[payload.Mailbox], payload.Body)
+	return BuildMailboxesParallel(service, numMailboxes, batch, runtime.GOMAXPROCS(0))
+}
+
+// BuildMailboxesParallel is BuildMailboxes with an explicit worker count
+// (1 = the sequential path). Output is identical regardless of workers:
+// bodies keep batch order within each mailbox.
+func BuildMailboxesParallel(service wire.Service, numMailboxes uint32, batch [][]byte, workers int) (map[uint32][]byte, error) {
+	switch service {
+	case wire.AddFriend, wire.Dialing:
+	default:
+		return nil, fmt.Errorf("mixnet: unknown service %v", service)
+	}
+	if workers <= 0 {
+		workers = 1
 	}
 
-	out := make(map[uint32][]byte, numMailboxes)
-	for mb := uint32(0); mb < numMailboxes; mb++ {
-		bodies := grouped[mb]
+	grouped := groupByMailbox(service, numMailboxes, batch, workers)
+
+	encode := func(bodies [][]byte) []byte {
 		switch service {
 		case wire.AddFriend:
 			var box []byte
 			for _, b := range bodies {
 				box = append(box, b...)
 			}
-			out[mb] = box
-		case wire.Dialing:
-			f := bloom.New(len(bodies), bloom.DefaultBitsPerElement)
-			for _, b := range bodies {
-				f.Add(b)
-			}
-			out[mb] = f.Marshal()
-		default:
-			return nil, fmt.Errorf("mixnet: unknown service %v", service)
+			return box
+		default: // wire.Dialing
+			return bloom.NewFromElements(bodies, bloom.DefaultBitsPerElement).Marshal()
 		}
 	}
+
+	boxes := make([][]byte, numMailboxes)
+	parallelFor(int(numMailboxes), workers, func(mb int) error {
+		boxes[mb] = encode(grouped[uint32(mb)])
+		return nil
+	})
+
+	out := make(map[uint32][]byte, numMailboxes)
+	for mb := uint32(0); mb < numMailboxes; mb++ {
+		out[mb] = boxes[mb]
+	}
 	return out, nil
+}
+
+// groupByMailbox parses the batch and groups request bodies by mailbox,
+// dropping malformed payloads, cover traffic, and out-of-range mailboxes.
+// With workers > 1, contiguous batch chunks are parsed concurrently and
+// merged in chunk order, preserving batch order within each mailbox.
+func groupByMailbox(service wire.Service, numMailboxes uint32, batch [][]byte, workers int) map[uint32][][]byte {
+	parse := func(chunk [][]byte, grouped map[uint32][][]byte) {
+		for _, data := range chunk {
+			payload, err := wire.UnmarshalMixPayload(service, data)
+			if err != nil {
+				// A client slipped a malformed innermost payload past
+				// the onion layers; drop it.
+				continue
+			}
+			if payload.Mailbox == wire.CoverMailbox {
+				continue // cover traffic needs no further processing
+			}
+			if payload.Mailbox >= numMailboxes {
+				continue
+			}
+			grouped[payload.Mailbox] = append(grouped[payload.Mailbox], payload.Body)
+		}
+	}
+
+	if workers <= 1 || len(batch) < 2*decryptChunkSize {
+		grouped := make(map[uint32][][]byte)
+		parse(batch, grouped)
+		return grouped
+	}
+
+	chunkSize := (len(batch) + workers - 1) / workers
+	numChunks := (len(batch) + chunkSize - 1) / chunkSize
+	parts := make([]map[uint32][][]byte, numChunks)
+	parallelFor(numChunks, numChunks, func(c int) error {
+		lo := c * chunkSize
+		hi := min(lo+chunkSize, len(batch))
+		parts[c] = make(map[uint32][][]byte)
+		parse(batch[lo:hi], parts[c])
+		return nil
+	})
+
+	grouped := make(map[uint32][][]byte)
+	for _, part := range parts {
+		for mb, bodies := range part {
+			grouped[mb] = append(grouped[mb], bodies...)
+		}
+	}
+	return grouped
 }
 
 // RawDialMailboxes builds dialing mailboxes WITHOUT the Bloom filter
@@ -65,14 +125,7 @@ func BuildMailboxes(service wire.Service, numMailboxes uint32, batch [][]byte) (
 // used by the BloomVsRaw ablation benchmark; the real protocol always uses
 // Bloom filters.
 func RawDialMailboxes(numMailboxes uint32, batch [][]byte) (map[uint32][]byte, error) {
-	grouped := make(map[uint32][][]byte)
-	for _, data := range batch {
-		payload, err := wire.UnmarshalMixPayload(wire.Dialing, data)
-		if err != nil || payload.Mailbox == wire.CoverMailbox || payload.Mailbox >= numMailboxes {
-			continue
-		}
-		grouped[payload.Mailbox] = append(grouped[payload.Mailbox], payload.Body)
-	}
+	grouped := groupByMailbox(wire.Dialing, numMailboxes, batch, 1)
 	out := make(map[uint32][]byte, numMailboxes)
 	for mb := uint32(0); mb < numMailboxes; mb++ {
 		var box []byte
@@ -87,7 +140,10 @@ func RawDialMailboxes(numMailboxes uint32, batch [][]byte) (map[uint32][]byte, e
 // Chain runs a batch through an ordered list of mixnet servers and returns
 // the final mailboxes. It is the in-process equivalent of the servers
 // streaming batches to one another over TCP; cmd/alpenhorn-mixer wraps the
-// same Server type with a network transport.
+// same Server type with a network transport. Each server still decrypts
+// with its worker pool, but the chain itself is strictly sequential:
+// server i+1 sees nothing until server i has fully finished. Use
+// ChainPipelined for the overlapped execution the coordinator runs.
 func Chain(servers []*Server, service wire.Service, round uint32, numMailboxes uint32, batch [][]byte) (map[uint32][]byte, error) {
 	cur := batch
 	var err error
@@ -98,4 +154,151 @@ func Chain(servers []*Server, service wire.Service, round uint32, numMailboxes u
 		}
 	}
 	return BuildMailboxes(service, numMailboxes, cur)
+}
+
+// DefaultStreamChunk is the batch chunk size used when feeding a mixer
+// chain as a stream: small enough that downstream decryption overlaps
+// upstream emission, large enough to amortize per-chunk overhead.
+const DefaultStreamChunk = 512
+
+// ChainPipelined runs a batch through the chain as a stream of chunks:
+// every server opens intake up front (starting its noise generation
+// immediately), and server i+1 begins peeling chunks as soon as server i
+// emits its post-shuffle output. The shuffle remains a per-server barrier,
+// so the privacy properties are identical to Chain; only the schedule
+// changes. chunkSize <= 0 means DefaultStreamChunk.
+func ChainPipelined(servers []*Server, service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int) (map[uint32][]byte, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultStreamChunk
+	}
+	stages := make([]ChunkMixer, len(servers))
+	for i, s := range servers {
+		stages[i] = s
+	}
+	final, err := RunPipeline(stages, service, round, numMailboxes, ChunkSource(batch, chunkSize), chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return BuildMailboxes(service, numMailboxes, final)
+}
+
+// ChunkMixer is the streaming intake surface of a mixnet server. It is
+// satisfied by *Server in-process and by rpc.MixerClient across the wire.
+// StreamAbort discards an in-flight stream cheaply (no noise, no shuffle)
+// when the round has already failed elsewhere.
+type ChunkMixer interface {
+	StreamBegin(service wire.Service, round uint32, numMailboxes uint32) error
+	StreamChunk(service wire.Service, round uint32, chunk [][]byte) error
+	StreamEnd(service wire.Service, round uint32) ([][]byte, error)
+	StreamAbort(service wire.Service, round uint32) error
+}
+
+// ChunkSource turns an in-memory batch into the chunk channel RunPipeline
+// consumes.
+func ChunkSource(batch [][]byte, chunkSize int) <-chan [][]byte {
+	if chunkSize <= 0 {
+		chunkSize = DefaultStreamChunk
+	}
+	ch := make(chan [][]byte)
+	go func() {
+		defer close(ch)
+		for lo := 0; lo < len(batch); lo += chunkSize {
+			ch <- batch[lo:min(lo+chunkSize, len(batch))]
+		}
+	}()
+	return ch
+}
+
+// RunPipeline streams chunks through a chain of mixers, one goroutine per
+// server, and returns the final server's shuffled output. Each stage
+// forwards its post-shuffle batch downstream in chunkSize pieces, so the
+// next server's decryption overlaps this server's emission. If any stage
+// fails, the remaining input is drained (to unblock upstream stages) and
+// the first error is returned.
+func RunPipeline(stages []ChunkMixer, service wire.Service, round uint32, numMailboxes uint32, source <-chan [][]byte, chunkSize int) ([][]byte, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultStreamChunk
+	}
+	if len(stages) == 0 {
+		var all [][]byte
+		for chunk := range source {
+			all = append(all, chunk...)
+		}
+		return all, nil
+	}
+
+	// Open intake everywhere first: noise generation on every server
+	// starts now, concurrent with all upstream mixing.
+	opened := 0
+	var beginErr error
+	for _, m := range stages {
+		if err := m.StreamBegin(service, round, numMailboxes); err != nil {
+			beginErr = err
+			break
+		}
+		opened++
+	}
+	if beginErr != nil {
+		// Abandon the streams already opened so the rounds stay usable.
+		for _, m := range stages[:opened] {
+			_ = m.StreamAbort(service, round)
+		}
+		for range source {
+		}
+		return nil, beginErr
+	}
+
+	// aborted flips when any stage fails; the other stages then drain
+	// their input and StreamAbort instead of generating noise and
+	// shuffling output that would be discarded anyway.
+	var aborted atomic.Bool
+	errs := make([]error, len(stages))
+	in := source
+	var out chan [][]byte
+	var wg sync.WaitGroup
+	for i, m := range stages {
+		out = make(chan [][]byte, 1)
+		wg.Add(1)
+		go func(i int, m ChunkMixer, in <-chan [][]byte, out chan<- [][]byte) {
+			defer wg.Done()
+			defer close(out)
+			failed := false
+			for chunk := range in {
+				if failed || aborted.Load() {
+					continue // drain to unblock upstream
+				}
+				if err := m.StreamChunk(service, round, chunk); err != nil {
+					errs[i] = err
+					failed = true
+					aborted.Store(true)
+				}
+			}
+			if failed || aborted.Load() {
+				_ = m.StreamAbort(service, round)
+				return
+			}
+			mixed, err := m.StreamEnd(service, round)
+			if err != nil {
+				errs[i] = err
+				aborted.Store(true)
+				return
+			}
+			for lo := 0; lo < len(mixed); lo += chunkSize {
+				out <- mixed[lo:min(lo+chunkSize, len(mixed))]
+			}
+		}(i, m, in, out)
+		in = out
+	}
+
+	var final [][]byte
+	for chunk := range in {
+		final = append(final, chunk...)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mixnet: pipeline stage %d: %w", i, err)
+		}
+	}
+	return final, nil
 }

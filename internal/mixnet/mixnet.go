@@ -13,6 +13,15 @@
 // add-friend protocol, a mailbox is the concatenation of the encrypted
 // friend requests routed to it; for the dialing protocol, the server
 // encodes each mailbox's dial tokens into a Bloom filter (§5.2).
+//
+// Round execution is parallel and pipelined: onion decryption fans out
+// over a worker pool, per-round noise is generated in the background while
+// clients are still submitting (PrepareNoise), and batches can be fed in
+// chunks (StreamBegin/StreamChunk/StreamEnd) so a server starts peeling
+// while the upstream server is still emitting. The shuffle remains a
+// strict per-server barrier: output order is only decided once the whole
+// batch is present, which is what the anytrust unlinkability argument
+// needs.
 package mixnet
 
 import (
@@ -21,7 +30,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"alpenhorn/internal/ibe"
 	"alpenhorn/internal/keywheel"
@@ -39,9 +50,24 @@ type roundState struct {
 	priv *onionbox.PrivateKey
 	pub  *onionbox.PublicKey
 	// downstream holds the onion keys of the servers after this one in
-	// the chain, used to wrap this server's noise messages.
+	// the chain, used to wrap this server's noise messages. nil until
+	// SetDownstreamKeys (empty, non-nil for the last server).
 	downstream []*onionbox.PublicKey
-	closed     bool
+	// noise holds this round's background-generated noise, consumed by
+	// the next Mix or StreamEnd call.
+	noise *noiseBatch
+	// stream is the in-progress chunked intake, if any.
+	stream *stream
+	closed bool
+}
+
+// noiseBatch is a future for one round's noise messages, generated
+// concurrently with client intake so the mix never waits on it.
+type noiseBatch struct {
+	numMailboxes uint32
+	done         chan struct{} // closed when msgs/err are set
+	msgs         [][]byte
+	err          error
 }
 
 // Server is one mixnet server. It is safe for concurrent use. Position in
@@ -62,7 +88,8 @@ type Server struct {
 	AddFriendNoise noise.Laplace
 	DialingNoise   noise.Laplace
 
-	randSrc io.Reader
+	randSrc     io.Reader
+	parallelism int
 
 	mu     sync.Mutex
 	rounds map[roundKey]*roundState
@@ -80,7 +107,30 @@ type Config struct {
 	// Noise overrides; zero values fall back to the paper's parameters.
 	AddFriendNoise *noise.Laplace
 	DialingNoise   *noise.Laplace
-	Rand           io.Reader
+	// Rand is the server's randomness source; nil means crypto/rand.
+	// The server reads it from multiple goroutines (worker-pool
+	// decryption, background noise generation, shuffling), so any
+	// source other than crypto/rand.Reader is wrapped in an internal
+	// mutex: it only needs to be safe for serialized reads.
+	Rand io.Reader
+	// Parallelism is the worker count for onion decryption and noise
+	// generation; 0 means runtime.GOMAXPROCS(0). 1 forces the
+	// sequential path.
+	Parallelism int
+}
+
+// lockedReader serializes reads of a non-thread-safe randomness source so
+// that concurrent Mix, noise-generation, and streaming goroutines never
+// interleave partial reads. See Config.Rand.
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (l *lockedReader) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(p)
 }
 
 // New creates a mixnet server with a fresh long-term signing key.
@@ -88,12 +138,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Position < 0 || cfg.ChainLength <= 0 || cfg.Position >= cfg.ChainLength {
 		return nil, errors.New("mixnet: invalid chain position")
 	}
-	if cfg.Rand == nil {
-		cfg.Rand = rand.Reader
+	randSrc := cfg.Rand
+	switch randSrc {
+	case nil, rand.Reader:
+		randSrc = rand.Reader
+	default:
+		randSrc = &lockedReader{r: cfg.Rand}
 	}
-	pub, priv, err := ed25519.GenerateKey(cfg.Rand)
+	pub, priv, err := ed25519.GenerateKey(randSrc)
 	if err != nil {
 		return nil, err
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
 		Name:           cfg.Name,
@@ -103,7 +161,8 @@ func New(cfg Config) (*Server, error) {
 		signingPriv:    priv,
 		AddFriendNoise: noise.AddFriendNoise,
 		DialingNoise:   noise.DialingNoise,
-		randSrc:        cfg.Rand,
+		randSrc:        randSrc,
+		parallelism:    par,
 		rounds:         make(map[roundKey]*roundState),
 	}
 	if cfg.AddFriendNoise != nil {
@@ -118,6 +177,9 @@ func New(cfg Config) (*Server, error) {
 // SigningKey returns the server's long-term ed25519 key (pinned in the
 // client software package).
 func (s *Server) SigningKey() ed25519.PublicKey { return s.signingPub }
+
+// Parallelism returns the server's decryption/noise worker count.
+func (s *Server) Parallelism() int { return s.parallelism }
 
 // NewRound generates the server's per-round onion key pair and returns the
 // signed announcement. Idempotent while the round is open.
@@ -181,6 +243,8 @@ func (s *Server) CloseRound(service wire.Service, round uint32) {
 		return
 	}
 	st.priv = nil // dropped; GC'd. X25519 keys have no explicit erase API.
+	st.noise = nil
+	st.stream = nil
 	st.closed = true
 }
 
@@ -192,42 +256,106 @@ func (s *Server) RoundOpen(service wire.Service, round uint32) bool {
 	return ok && !st.closed
 }
 
+// openState returns the live state for an open round.
+func (s *Server) openState(service wire.Service, round uint32) (*roundState, error) {
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok || st.closed {
+		return nil, fmt.Errorf("mixnet: round %d (%s) not open", round, service)
+	}
+	return st, nil
+}
+
+// PrepareNoise starts generating the round's noise messages in the
+// background, so they are ready by the time the batch arrives and Mix (or
+// StreamEnd) never blocks on noise. It must be called after
+// SetDownstreamKeys and is idempotent for a given mailbox count; a later
+// Mix with a different mailbox count falls back to inline generation.
+func (s *Server) PrepareNoise(service wire.Service, round uint32, numMailboxes uint32) error {
+	s.mu.Lock()
+	st, err := s.openState(service, round)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if st.downstream == nil && s.ChainLength-s.Position-1 > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("mixnet: round %d (%s): downstream keys not set", round, service)
+	}
+	if st.noise != nil && st.noise.numMailboxes == numMailboxes {
+		s.mu.Unlock()
+		return nil
+	}
+	nb := &noiseBatch{numMailboxes: numMailboxes, done: make(chan struct{})}
+	st.noise = nb
+	downstream := st.downstream
+	s.mu.Unlock()
+
+	go func() {
+		nb.msgs, nb.err = s.generateNoise(service, numMailboxes, downstream)
+		close(nb.done)
+	}()
+	return nil
+}
+
+// takeNoise detaches the round's prepared noise if it matches the mailbox
+// count; the caller must wait on the returned batch. Callers hold s.mu.
+func (st *roundState) takeNoise(numMailboxes uint32) *noiseBatch {
+	nb := st.noise
+	if nb == nil || nb.numMailboxes != numMailboxes {
+		return nil
+	}
+	st.noise = nil
+	return nb
+}
+
 // Mix peels one onion layer from every message in the batch, drops
 // malformed messages, adds this server's noise, and shuffles. The returned
 // batch is what the next server in the chain (or BuildMailboxes, at the
 // last server) consumes.
+//
+// Decryption fans out over the server's worker pool but preserves batch
+// order until the shuffle, so the output is a uniformly random permutation
+// of exactly the messages the sequential path would produce.
 //
 // numMailboxes is the round's mailbox count K; noise is generated per
 // mailbox. Fully processed messages at the last server are MixPayload
 // encodings.
 func (s *Server) Mix(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte) ([][]byte, error) {
 	s.mu.Lock()
-	st, ok := s.rounds[roundKey{service, round}]
-	if !ok || st.closed {
+	st, err := s.openState(service, round)
+	if err != nil {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("mixnet: round %d (%s) not open", round, service)
+		return nil, err
 	}
 	priv := st.priv
 	downstream := st.downstream
+	nb := st.takeNoise(numMailboxes)
 	s.mu.Unlock()
 
-	out := make([][]byte, 0, len(batch))
-	for _, onion := range batch {
-		msg, err := onionbox.Open(priv, onion)
-		if err != nil {
-			// Malformed or replayed onion: drop silently. Clients
-			// that misbehave only hurt themselves.
-			continue
-		}
-		out = append(out, msg)
-	}
+	out := decryptBatch(priv, batch, s.parallelism)
+	return s.finishBatch(service, numMailboxes, downstream, nb, len(batch), out)
+}
 
-	// Noise: Laplace(µ, b) fresh fake requests per mailbox, plus the
-	// cover mailbox, wrapped for the rest of the chain so that
-	// downstream servers cannot tell noise from real traffic (§6).
-	noiseMsgs, err := s.generateNoise(service, numMailboxes, downstream)
-	if err != nil {
-		return nil, err
+// finishBatch appends the round's noise (prepared, or generated inline) to
+// the peeled messages, shuffles, and updates stats. It is the per-server
+// barrier shared by Mix and StreamEnd.
+func (s *Server) finishBatch(service wire.Service, numMailboxes uint32, downstream []*onionbox.PublicKey, nb *noiseBatch, batchLen int, out [][]byte) ([][]byte, error) {
+	var noiseMsgs [][]byte
+	if nb != nil {
+		<-nb.done
+		if nb.err != nil {
+			return nil, nb.err
+		}
+		noiseMsgs = nb.msgs
+	} else {
+		// Noise: Laplace(µ, b) fresh fake requests per mailbox, plus
+		// the cover mailbox, wrapped for the rest of the chain so that
+		// downstream servers cannot tell noise from real traffic (§6).
+		var err error
+		noiseMsgs, err = s.generateNoise(service, numMailboxes, downstream)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out = append(out, noiseMsgs...)
 
@@ -236,10 +364,102 @@ func (s *Server) Mix(service wire.Service, round uint32, numMailboxes uint32, ba
 	}
 
 	s.mu.Lock()
-	s.processed += uint64(len(batch))
+	s.processed += uint64(batchLen)
 	s.noiseSent += uint64(len(noiseMsgs))
 	s.mu.Unlock()
 	return out, nil
+}
+
+// decryptChunkSize is the number of onions a worker claims at a time.
+// Large enough to amortize scheduling, small enough to load-balance.
+const decryptChunkSize = 64
+
+// parallelFor runs fn(0), …, fn(n-1) across up to workers goroutines,
+// each claiming the next index from a shared counter, and returns the
+// first error. workers <= 1 (or n <= 1) runs inline. A worker stops at
+// the first error it sees; others finish their current index.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decryptBatch peels one layer from every onion, dropping malformed or
+// replayed ones silently (clients that misbehave only hurt themselves).
+// Workers claim contiguous chunks and write into per-chunk slots, so the
+// surviving messages come back in batch order regardless of scheduling.
+func decryptBatch(priv *onionbox.PrivateKey, batch [][]byte, workers int) [][]byte {
+	if workers > 1 && len(batch) > decryptChunkSize {
+		return decryptParallel(priv, batch, workers)
+	}
+	out := make([][]byte, 0, len(batch))
+	for _, onion := range batch {
+		if msg, err := onionbox.Open(priv, onion); err == nil {
+			out = append(out, msg)
+		}
+	}
+	return out
+}
+
+func decryptParallel(priv *onionbox.PrivateKey, batch [][]byte, workers int) [][]byte {
+	numChunks := (len(batch) + decryptChunkSize - 1) / decryptChunkSize
+	chunkOut := make([][][]byte, numChunks)
+	parallelFor(numChunks, workers, func(c int) error {
+		lo := c * decryptChunkSize
+		hi := min(lo+decryptChunkSize, len(batch))
+		out := make([][]byte, 0, hi-lo)
+		for _, onion := range batch[lo:hi] {
+			if msg, err := onionbox.Open(priv, onion); err == nil {
+				out = append(out, msg)
+			}
+		}
+		chunkOut[c] = out
+		return nil
+	})
+
+	total := 0
+	for _, c := range chunkOut {
+		total += len(c)
+	}
+	out := make([][]byte, 0, total)
+	for _, c := range chunkOut {
+		out = append(out, c...)
+	}
+	return out
 }
 
 // generateNoise creates the server's fake requests for a round: for every
@@ -247,17 +467,19 @@ func (s *Server) Mix(service wire.Service, round uint32, numMailboxes uint32, ba
 // Fake add-friend requests are random IBE-ciphertext-shaped blobs (a random
 // G2 point plus random AEAD bytes — indistinguishable from real ciphertexts
 // by ciphertext anonymity, §4.3); fake dial requests are random tokens.
+// Mailboxes are sharded across the worker pool: each noise onion costs one
+// X25519 seal per downstream hop, which dominates round setup otherwise.
 func (s *Server) generateNoise(service wire.Service, numMailboxes uint32, downstream []*onionbox.PublicKey) ([][]byte, error) {
 	dist := s.AddFriendNoise
 	if service == wire.Dialing {
 		dist = s.DialingNoise
 	}
-	var msgs [][]byte
-	for mb := uint32(0); mb < numMailboxes; mb++ {
+	perMailbox := func(mb uint32) ([][]byte, error) {
 		n, err := dist.Sample(s.randSrc)
 		if err != nil {
 			return nil, err
 		}
+		var msgs [][]byte
 		for i := 0; i < n; i++ {
 			body, err := s.noiseBody(service)
 			if err != nil {
@@ -270,6 +492,24 @@ func (s *Server) generateNoise(service wire.Service, numMailboxes uint32, downst
 			}
 			msgs = append(msgs, wrapped)
 		}
+		return msgs, nil
+	}
+
+	perMB := make([][][]byte, numMailboxes)
+	err := parallelFor(int(numMailboxes), s.parallelism, func(mb int) error {
+		m, err := perMailbox(uint32(mb))
+		if err != nil {
+			return err
+		}
+		perMB[mb] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var msgs [][]byte
+	for _, m := range perMB {
+		msgs = append(msgs, m...)
 	}
 	return msgs, nil
 }

@@ -2,6 +2,9 @@ package rpc
 
 import (
 	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
 
 	"alpenhorn/internal/bls"
 	"alpenhorn/internal/cdn"
@@ -158,13 +161,17 @@ func (p *PKGClient) CloseRound(round uint32) {
 
 // ---- Mixer daemon API ----
 
-// MixerInfo advertises a mixer's pinned key and chain position.
+// MixerInfo advertises a mixer's pinned key and chain position. Streaming
+// reports whether the daemon serves the mix.preparenoise / mix.stream.*
+// surface; daemons built before it existed leave the field false, and the
+// coordinator falls back to full-batch mix.mix calls.
 type MixerInfo struct {
 	Name        string  `json:"name"`
 	Position    int     `json:"position"`
 	SigningKey  []byte  `json:"signing_key"`
 	AddFriendMu float64 `json:"add_friend_mu"`
 	DialingMu   float64 `json:"dialing_mu"`
+	Streaming   bool    `json:"streaming,omitempty"`
 }
 
 type downstreamArgs struct {
@@ -180,8 +187,36 @@ type mixArgs struct {
 	Batch        [][]byte     `json:"batch"`
 }
 
-// RegisterMixer exposes a mixnet.Server over RPC.
+// streamPullMax bounds how many messages one mix.stream.pull reply
+// carries, keeping every frame far below the transport's 64 MB cap even
+// for large onions (8192 × ~600 B × base64 ≈ 7 MB).
+const streamPullMax = 8192
+
+type streamEndReply struct {
+	Total int `json:"total"`
+}
+
+type streamPullArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	Offset  int          `json:"offset"`
+	Max     int          `json:"max"`
+}
+
+// RegisterMixer exposes a mixnet.Server over RPC, including the chunked
+// streaming surface: the coordinator pushes batch chunks as they become
+// available and the daemon decrypts them on its worker pool while later
+// chunks are still crossing the network. The mixed output is likewise
+// pulled in chunks (mix.stream.end returns only the count) so no single
+// frame has to carry a paper-scale batch.
 func RegisterMixer(s *Server, m *mixnet.Server) {
+	type outKey struct {
+		service wire.Service
+		round   uint32
+	}
+	var outMu sync.Mutex
+	outbox := make(map[outKey][][]byte)
+
 	HandleFunc(s, "mix.info", func(struct{}) (any, error) {
 		return MixerInfo{
 			Name:        m.Name,
@@ -189,6 +224,7 @@ func RegisterMixer(s *Server, m *mixnet.Server) {
 			SigningKey:  m.SigningKey(),
 			AddFriendMu: m.AddFriendNoise.Mu,
 			DialingMu:   m.DialingNoise.Mu,
+			Streaming:   true,
 		}, nil
 	})
 	HandleFunc(s, "mix.newround", func(a roundArgs) (any, error) {
@@ -197,10 +233,59 @@ func RegisterMixer(s *Server, m *mixnet.Server) {
 	HandleFunc(s, "mix.setdownstream", func(a downstreamArgs) (any, error) {
 		return nil, m.SetDownstreamKeys(a.Service, a.Round, a.Keys)
 	})
+	HandleFunc(s, "mix.preparenoise", func(a mixArgs) (any, error) {
+		return nil, m.PrepareNoise(a.Service, a.Round, a.NumMailboxes)
+	})
 	HandleFunc(s, "mix.mix", func(a mixArgs) (any, error) {
 		return m.Mix(a.Service, a.Round, a.NumMailboxes, a.Batch)
 	})
+	HandleFunc(s, "mix.stream.begin", func(a mixArgs) (any, error) {
+		return nil, m.StreamBegin(a.Service, a.Round, a.NumMailboxes)
+	})
+	HandleFunc(s, "mix.stream.chunk", func(a mixArgs) (any, error) {
+		return nil, m.StreamChunk(a.Service, a.Round, a.Batch)
+	})
+	HandleFunc(s, "mix.stream.end", func(a roundArgs) (any, error) {
+		out, err := m.StreamEnd(a.Service, a.Round)
+		if err != nil {
+			return nil, err
+		}
+		outMu.Lock()
+		outbox[outKey{a.Service, a.Round}] = out
+		outMu.Unlock()
+		return streamEndReply{Total: len(out)}, nil
+	})
+	HandleFunc(s, "mix.stream.pull", func(a streamPullArgs) (any, error) {
+		if a.Max <= 0 || a.Max > streamPullMax {
+			a.Max = streamPullMax
+		}
+		outMu.Lock()
+		defer outMu.Unlock()
+		k := outKey{a.Service, a.Round}
+		out, ok := outbox[k]
+		if !ok {
+			return nil, fmt.Errorf("rpc: no pending stream output for round %d (%s)", a.Round, a.Service)
+		}
+		if a.Offset < 0 || a.Offset > len(out) {
+			return nil, fmt.Errorf("rpc: stream pull offset %d out of range", a.Offset)
+		}
+		hi := a.Offset + a.Max
+		if hi >= len(out) {
+			hi = len(out)
+			defer delete(outbox, k) // last chunk: the batch is handed over
+		}
+		return out[a.Offset:hi], nil
+	})
+	HandleFunc(s, "mix.stream.abort", func(a roundArgs) (any, error) {
+		outMu.Lock()
+		delete(outbox, outKey{a.Service, a.Round})
+		outMu.Unlock()
+		return nil, m.StreamAbort(a.Service, a.Round)
+	})
 	HandleFunc(s, "mix.closeround", func(a roundArgs) (any, error) {
+		outMu.Lock()
+		delete(outbox, outKey{a.Service, a.Round})
+		outMu.Unlock()
 		m.CloseRound(a.Service, a.Round)
 		return nil, nil
 	})
@@ -244,6 +329,60 @@ func (m *MixerClient) Mix(service wire.Service, round uint32, numMailboxes uint3
 	var out [][]byte
 	err := m.c.Call("mix.mix", mixArgs{Service: service, Round: round, NumMailboxes: numMailboxes, Batch: batch}, &out)
 	return out, err
+}
+
+// SupportsStreaming reports whether the daemon advertises the
+// mix.preparenoise / mix.stream.* surface (coordinator.streamCapable);
+// daemons built before it existed report false and the coordinator drives
+// them through full-batch Mix.
+func (m *MixerClient) SupportsStreaming() bool { return m.info.Streaming }
+
+// PrepareNoise implements coordinator.NoisePreparer: the daemon starts
+// generating round noise in the background as soon as settings are fixed.
+func (m *MixerClient) PrepareNoise(service wire.Service, round uint32, numMailboxes uint32) error {
+	return m.c.Call("mix.preparenoise", mixArgs{Service: service, Round: round, NumMailboxes: numMailboxes}, nil)
+}
+
+// StreamBegin implements coordinator.StreamMixer.
+func (m *MixerClient) StreamBegin(service wire.Service, round uint32, numMailboxes uint32) error {
+	return m.c.Call("mix.stream.begin", mixArgs{Service: service, Round: round, NumMailboxes: numMailboxes}, nil)
+}
+
+// StreamChunk implements coordinator.StreamMixer. Chunks are framed as
+// ordinary calls: the daemon acknowledges intake immediately and decrypts
+// on its worker pool, so consecutive chunks overlap with decryption.
+func (m *MixerClient) StreamChunk(service wire.Service, round uint32, chunk [][]byte) error {
+	return m.c.Call("mix.stream.chunk", mixArgs{Service: service, Round: round, Batch: chunk}, nil)
+}
+
+// StreamEnd implements coordinator.StreamMixer: it blocks until the daemon
+// has decrypted every chunk, added noise, and shuffled, then pulls the
+// output batch in frame-sized chunks.
+func (m *MixerClient) StreamEnd(service wire.Service, round uint32) ([][]byte, error) {
+	var reply streamEndReply
+	if err := m.c.Call("mix.stream.end", roundArgs{Service: service, Round: round}, &reply); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, reply.Total)
+	for len(out) < reply.Total {
+		var chunk [][]byte
+		err := m.c.Call("mix.stream.pull", streamPullArgs{
+			Service: service, Round: round, Offset: len(out), Max: streamPullMax,
+		}, &chunk)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) == 0 {
+			return nil, errors.New("rpc: stream output truncated")
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// StreamAbort implements coordinator.StreamMixer's cheap failure path.
+func (m *MixerClient) StreamAbort(service wire.Service, round uint32) error {
+	return m.c.Call("mix.stream.abort", roundArgs{Service: service, Round: round}, nil)
 }
 
 // CloseRound implements coordinator.Mixer.

@@ -2,6 +2,7 @@ package rpc_test
 
 import (
 	"crypto/ed25519"
+	"crypto/rand"
 	"errors"
 	"testing"
 
@@ -11,8 +12,10 @@ import (
 	"alpenhorn/internal/core"
 	"alpenhorn/internal/email"
 	"alpenhorn/internal/entry"
+	"alpenhorn/internal/keywheel"
 	"alpenhorn/internal/mixnet"
 	"alpenhorn/internal/noise"
+	"alpenhorn/internal/onionbox"
 	"alpenhorn/internal/pkgserver"
 	"alpenhorn/internal/rpc"
 	"alpenhorn/internal/sim"
@@ -244,5 +247,160 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 		if p.RoundOpen(1) || p.RoundOpen(2) {
 			t.Fatal("PKG round keys survive over TCP deployment")
 		}
+	}
+}
+
+// TestMixerStreamingOverTCP drives the chunked streaming surface of a
+// mixer daemon across a real TCP connection: begin intake, push chunks,
+// then collect the shuffled output — and checks it matches what a
+// full-batch Mix would have produced.
+func TestMixerStreamingOverTCP(t *testing.T) {
+	nz := noise.Laplace{Mu: 0, B: 0}
+	m, err := mixnet.New(mixnet.Config{
+		Name: "m0", Position: 0, ChainLength: 1,
+		AddFriendNoise: &nz, DialingNoise: &nz,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer()
+	rpc.RegisterMixer(srv, m)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := rpc.DialMixer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client must satisfy the coordinator's streaming interfaces.
+	var _ coordinator.StreamMixer = client
+	var _ coordinator.NoisePreparer = client
+
+	rk, err := client.NewRound(wire.Dialing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetDownstreamKeys(wire.Dialing, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PrepareNoise(wire.Dialing, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	pk, err := onionbox.UnmarshalPublicKey(rk.OnionKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 50
+	batch := make([][]byte, n)
+	want := make(map[string]bool, n)
+	for i := range batch {
+		tok := make([]byte, keywheel.TokenSize)
+		tok[0] = byte(i)
+		payload := (&wire.MixPayload{Mailbox: 0, Body: tok}).Marshal()
+		onion, err := onionbox.WrapOnion(rand.Reader, []*onionbox.PublicKey{pk}, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[i] = onion
+		want[string(payload)] = true
+	}
+
+	if err := client.StreamBegin(wire.Dialing, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < n; lo += 7 {
+		hi := lo + 7
+		if hi > n {
+			hi = n
+		}
+		if err := client.StreamChunk(wire.Dialing, 1, batch[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := client.StreamEnd(wire.Dialing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("stream returned %d messages, want %d", len(out), n)
+	}
+	for _, msg := range out {
+		if !want[string(msg)] {
+			t.Fatal("streamed output contains unexpected message")
+		}
+		delete(want, string(msg))
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d messages missing from streamed output", len(want))
+	}
+
+	// Stream errors cross the wire too.
+	if _, err := client.StreamEnd(wire.Dialing, 1); err == nil {
+		t.Fatal("StreamEnd without a stream succeeded over RPC")
+	}
+
+	// The daemon advertises the streaming surface to the coordinator.
+	if !client.SupportsStreaming() {
+		t.Fatal("new daemon does not advertise streaming")
+	}
+
+	// Output retrieval is chunked: drive mix.stream.pull directly with a
+	// tiny Max and check the outbox hands the batch over piecewise, then
+	// clears itself after the last chunk.
+	if err := client.StreamBegin(wire.Dialing, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.StreamChunk(wire.Dialing, 1, batch); err != nil {
+		t.Fatal(err)
+	}
+	raw := rpc.Dial(addr)
+	defer raw.Close()
+	var reply struct {
+		Total int `json:"total"`
+	}
+	if err := raw.Call("mix.stream.end", map[string]any{"service": wire.Dialing, "round": 1}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Total != n {
+		t.Fatalf("stream.end total = %d, want %d", reply.Total, n)
+	}
+	got := 0
+	pulls := 0
+	for got < reply.Total {
+		var chunk [][]byte
+		err := raw.Call("mix.stream.pull", map[string]any{
+			"service": wire.Dialing, "round": 1, "offset": got, "max": 7,
+		}, &chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunk) == 0 || len(chunk) > 7 {
+			t.Fatalf("pull returned %d messages", len(chunk))
+		}
+		got += len(chunk)
+		pulls++
+	}
+	if pulls != (n+6)/7 {
+		t.Fatalf("%d pulls, want %d", pulls, (n+6)/7)
+	}
+	if err := raw.Call("mix.stream.pull", map[string]any{
+		"service": wire.Dialing, "round": 1, "offset": 0, "max": 7,
+	}, nil); err == nil {
+		t.Fatal("pull after final chunk succeeded (outbox not cleared)")
+	}
+
+	// StreamAbort crosses the wire and discards an in-flight stream.
+	if err := client.StreamBegin(wire.Dialing, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.StreamAbort(wire.Dialing, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.StreamEnd(wire.Dialing, 1); err == nil {
+		t.Fatal("StreamEnd succeeded after abort over RPC")
 	}
 }
