@@ -11,6 +11,7 @@
 //	alpenhorn-bench -exp ibe-sweep  # IBE cost scaling (§8.6)
 //	alpenhorn-bench -exp mix-cal    # measure per-message mix cost (used by figs 8/9)
 //	alpenhorn-bench -exp mix-compare # sequential vs parallel vs pipelined round cost
+//	alpenhorn-bench -exp chain-forward # relayed vs server-forwarded data plane over TCP
 //	alpenhorn-bench -all            # everything
 //
 // The -parallelism flag sets the mixers' decryption/noise worker count for
@@ -43,13 +44,14 @@ import (
 	"alpenhorn/internal/mixnet"
 	"alpenhorn/internal/model"
 	"alpenhorn/internal/noise"
+	"alpenhorn/internal/rpc"
 	"alpenhorn/internal/sim"
 	"alpenhorn/internal/wire"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "paper figure to regenerate (6-10)")
-	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal, mix-compare")
+	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal, mix-compare, chain-forward")
 	all := flag.Bool("all", false, "run everything")
 	users := flag.Int("calibration-batch", 4000, "batch size for real-round mix calibration")
 	par := flag.Int("parallelism", 0, "mixer decryption/noise workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -73,6 +75,7 @@ func main() {
 	run(-1, "ibe-sweep", func(int) { ibeSweep() })
 	run(-1, "mix-cal", func(batch int) { fmt.Printf("mix cost: %.2f µs/message/server\n", measureMixCost(batch)*1e6) })
 	run(-1, "mix-compare", mixCompare)
+	run(-1, "chain-forward", chainForwardCompare)
 	if !any {
 		flag.Usage()
 		os.Exit(2)
@@ -211,6 +214,125 @@ func mixCompare(batchSize int) {
 		fmt.Printf("%-60s %8.3f s   %6.2fx\n", mode.name, elapsed, base/elapsed)
 	}
 	fmt.Println("\n(speedups require multiple cores; on one core the modes should tie)")
+}
+
+// chainForwardCompare measures the data-plane refactor over real TCP: a
+// 3-daemon chain driven (a) with the coordinator relaying every server's
+// output, (b) with the servers forwarding to each other and publishing to
+// the CDN directly, and (c) with one pre-streaming (legacy) daemon forcing
+// the rolling-upgrade fallback. For each mode it reports the round's wall
+// time and the bytes that crossed the coordinator's mixer connections —
+// the quantity the chain-forward refactor takes off the coordinator.
+func chainForwardCompare(batchSize int) {
+	header("Data plane: coordinator-relayed vs chain-forwarded (3 mixer daemons over TCP)")
+	fmt.Printf("dialing, batch %d, GOMAXPROCS %d\n\n", batchSize, runtime.GOMAXPROCS(0))
+
+	runMode := func(forward, legacyFirst bool) (elapsed float64, coordBytes uint64, published bool) {
+		nz := noise.Laplace{Mu: 2, B: 0}
+		var clients []*rpc.MixerClient
+		var servers []*rpc.Server
+		defer func() {
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		for i := 0; i < 3; i++ {
+			m, err := mixnet.New(mixnet.Config{
+				Name: "m", Position: i, ChainLength: 3,
+				AddFriendNoise: &nz, DialingNoise: &nz,
+				Parallelism: parallelism,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv := rpc.NewServer()
+			if legacyFirst && i == 0 {
+				rpc.RegisterLegacyMixer(srv, m)
+			} else {
+				rpc.RegisterMixer(srv, m)
+			}
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			servers = append(servers, srv)
+			mc, err := rpc.DialMixer(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			clients = append(clients, mc)
+		}
+		store := cdn.NewStore(2)
+		cdnSrv := rpc.NewServer()
+		rpc.RegisterCDN(cdnSrv, store)
+		cdnAddr, err := cdnSrv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, cdnSrv)
+
+		e := entry.New()
+		coord := &coordinator.Coordinator{
+			Entry: e, CDN: store,
+			TargetRequestsPerMailbox: 24000,
+			ChainForward:             forward,
+			CDNAddr:                  cdnAddr,
+		}
+		for _, mc := range clients {
+			coord.Mixers = append(coord.Mixers, mc)
+		}
+		coord.SetExpectedVolume(wire.Dialing, batchSize)
+		settings, err := coord.OpenDialingRound(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		batch, err := sim.GenerateBatch(nil, settings, sim.Workload{
+			Real: batchSize / 20, Cover: batchSize - batchSize/20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, onion := range batch {
+			if err := e.Submit(wire.Dialing, 1, onion); err != nil {
+				log.Fatal(err)
+			}
+		}
+		before := uint64(0)
+		for _, mc := range clients {
+			st := mc.TransportStats()
+			before += st.BytesSent + st.BytesReceived
+		}
+		start := time.Now()
+		if _, err := coord.CloseRound(wire.Dialing, 1); err != nil {
+			log.Fatal(err)
+		}
+		after := uint64(0)
+		for _, mc := range clients {
+			st := mc.TransportStats()
+			after += st.BytesSent + st.BytesReceived
+		}
+		return time.Since(start).Seconds(), after - before, store.Published(wire.Dialing, 1)
+	}
+
+	modes := []struct {
+		name            string
+		forward, legacy bool
+	}{
+		{"coordinator-relayed (batch crosses coordinator per hop)", false, false},
+		{"chain-forwarded (servers push to successors + CDN)", true, false},
+		{"legacy daemon in chain (fallback to relayed)", true, true},
+	}
+	for _, mode := range modes {
+		elapsed, coordBytes, published := runMode(mode.forward, mode.legacy)
+		status := "ok"
+		if !published {
+			status = "NOT PUBLISHED"
+		}
+		fmt.Printf("%-58s %8.3f s   %10.2f MB coordinator traffic   %s\n",
+			mode.name, elapsed, float64(coordBytes)/1e6, status)
+	}
+	fmt.Println("\n(chain-forward moves the per-hop batch traffic off the coordinator;")
+	fmt.Println(" the remaining coordinator bytes are the entry batch to mixer 0 plus control)")
 }
 
 // measureIBEDecrypt returns seconds per trial decryption with our pairing.

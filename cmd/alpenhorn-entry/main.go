@@ -34,6 +34,9 @@ func main() {
 	afInterval := flag.Duration("addfriend-interval", 30*time.Second, "add-friend round interval")
 	dlInterval := flag.Duration("dialing-interval", 10*time.Second, "dialing round interval")
 	submitWindow := flag.Duration("submit-window", 5*time.Second, "time clients have to submit before a round closes")
+	chainForward := flag.Bool("chain-forward", true, "mixers forward batches to each other; the coordinator moves control messages only (falls back to relaying when a daemon lacks support)")
+	cdnAddr := flag.String("cdn-addr", ":7010", "server-plane listen address for cdn.publish (kept OFF the client-facing -addr: the transport is unauthenticated)")
+	cdnPublicAddr := flag.String("cdn-public-addr", "", "address mixers dial to reach cdn.publish (default: -cdn-addr; set host:port for multi-machine deployments)")
 	flag.Parse()
 
 	if *pkgAddrs == "" || *mixerAddrs == "" {
@@ -77,6 +80,28 @@ func main() {
 		CDN:                      store,
 		TargetRequestsPerMailbox: 24000,
 	}
+	if *chainForward {
+		// The publish surface gets its own listener: it is a WRITE
+		// surface with no authentication, so it must not share the
+		// client-facing server (a client could otherwise publish a
+		// round's mailboxes before the real last mixer).
+		cdnSrv := rpc.NewServer()
+		rpc.RegisterCDN(cdnSrv, store)
+		cdnBound, err := cdnSrv.Listen(*cdnAddr)
+		if err != nil {
+			log.Fatalf("cdn.publish listener: %v", err)
+		}
+		defer cdnSrv.Close()
+		coord.ChainForward = true
+		coord.CDNAddr = *cdnPublicAddr
+		if coord.CDNAddr == "" {
+			coord.CDNAddr = *cdnAddr
+		}
+		if strings.HasPrefix(coord.CDNAddr, ":") {
+			log.Printf("warning: cdn public address %q has no host — last mixers will dial their own loopback; set -cdn-public-addr host:port for multi-machine deployments", coord.CDNAddr)
+		}
+		log.Printf("chain-forward data plane enabled (cdn.publish listening on %s, advertised as %s)", cdnBound, coord.CDNAddr)
+	}
 
 	state := &rpc.FrontendState{}
 	server := rpc.NewServer()
@@ -100,8 +125,9 @@ func main() {
 }
 
 // runRounds drives one protocol's rounds on a timer: open, wait for the
-// submit window, close+mix+publish, then (for add-friend) destroy PKG
-// round keys one interval later so clients have time to extract.
+// submit window, then close — which runs the data plane, publishes the
+// mailboxes, and (for add-friend) erases the PKG master keys, since
+// clients extract only during the submit window.
 func runRounds(c *coordinator.Coordinator, state *rpc.FrontendState, service wire.Service, interval, window time.Duration, stop <-chan struct{}) {
 	round := uint32(1)
 	ticker := time.NewTicker(interval)
@@ -127,17 +153,16 @@ func runRounds(c *coordinator.Coordinator, state *rpc.FrontendState, service wir
 		}
 
 		if _, err := c.CloseRound(service, round); err != nil {
-			log.Printf("%s round %d close: %v", service, round, err)
-			return
+			// A failed round is not fatal: its keys are erased, clients
+			// requeue, and the next round carries the traffic.
+			log.Printf("%s round %d close: %v (continuing with next round)", service, round, err)
+		} else {
+			state.SetPublished(service, round)
+			log.Printf("%s round %d mailboxes published", service, round)
 		}
-		state.SetPublished(service, round)
-		log.Printf("%s round %d mailboxes published", service, round)
-
-		if service == wire.AddFriend && round > 1 {
-			// Destroy the PREVIOUS round's master keys: its scan
-			// window has passed.
-			c.FinishAddFriendRound(round - 1)
-		}
+		// PKG master keys for the round were already erased inside
+		// CloseRound, concurrently with the mix: extraction can only
+		// happen during the submit window.
 
 		round++
 		select {

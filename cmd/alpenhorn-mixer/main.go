@@ -8,8 +8,17 @@
 //	alpenhorn-mixer -addr :7102 -position 1 -chain 3
 //	alpenhorn-mixer -addr :7103 -position 2 -chain 3
 //
+// The daemon serves both data planes: coordinator-relayed streaming, and
+// chain-forwarding, where the coordinator assigns it a successor address
+// each round (mix.round.route) and the daemon pushes its post-shuffle
+// output straight to that successor — or, at the end of the chain,
+// publishes the round's mailboxes directly to the CDN. Successor
+// connections are dialed with retry/backoff and reused across rounds.
+//
 // The -addfriend-mu and -dialing-mu flags set the per-mailbox noise means
 // (paper defaults: 4000 and 25000; use small values for local testing).
+// -legacy serves only the pre-streaming surface, standing in for an old
+// build when rehearsing rolling upgrades.
 package main
 
 import (
@@ -33,6 +42,7 @@ func main() {
 	afB := flag.Float64("addfriend-b", noise.AddFriendNoise.B, "add-friend noise scale (0 = deterministic)")
 	dlMu := flag.Float64("dialing-mu", noise.DialingNoise.Mu, "mean dialing noise per mailbox")
 	dlB := flag.Float64("dialing-b", noise.DialingNoise.B, "dialing noise scale (0 = deterministic)")
+	legacy := flag.Bool("legacy", false, "serve only the pre-streaming RPC surface (rolling-upgrade rehearsal)")
 	flag.Parse()
 
 	m, err := mixnet.New(mixnet.Config{
@@ -47,17 +57,27 @@ func main() {
 	}
 
 	server := rpc.NewServer()
-	rpc.RegisterMixer(server, m)
+	var daemon *rpc.MixerDaemon
+	if *legacy {
+		rpc.RegisterLegacyMixer(server, m)
+	} else {
+		daemon = rpc.RegisterMixer(server, m)
+	}
 	bound, err := server.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("alpenhorn-mixer %q (position %d/%d) listening on %s", *name, *position, *chain, bound)
+	log.Printf("alpenhorn-mixer %q (position %d/%d) listening on %s (legacy=%v)", *name, *position, *chain, bound, *legacy)
 	log.Printf("long-term signing key: %x", m.SigningKey())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Println("shutting down")
+	if daemon != nil {
+		if r, o := daemon.PendingRoutes(), daemon.PendingOutboxes(); r > 0 || o > 0 {
+			log.Printf("warning: %d routes and %d outboxes still pending at shutdown", r, o)
+		}
+	}
 	server.Close()
 }

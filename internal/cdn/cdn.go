@@ -7,6 +7,12 @@
 // of clients fetch them. The in-memory implementation preserves exactly
 // those semantics (a round's content cannot be republished) and adds
 // byte-accounting so the benchmark harness can measure client bandwidth.
+//
+// Publication has two paths: the coordinator calls Publish/PublishOwned
+// in-process when it relays the chain itself, and internal/rpc exposes
+// the same store as a cdn.publish RPC surface (RegisterCDN) so the last
+// mixer of a chain-forward round ships mailboxes here directly, bypassing
+// the coordinator.
 package cdn
 
 import (

@@ -6,23 +6,51 @@
 // importantly for reproducibility — under direct control of tests and
 // benchmarks, which step rounds manually instead of on timers.
 //
+// The coordinator is a CONTROL PLANE: it announces rounds, distributes
+// keys, opens and closes intake, and sequences the chain. Where the bulk
+// data of a round travels is the DATA PLANE, and the coordinator supports
+// three arrangements of it:
+//
+//   - Chain-forward (production, ChainForward with forwarding-capable
+//     daemons): each mixer daemon pushes its post-shuffle output directly
+//     to its successor, and the last daemon builds the mailboxes and
+//     publishes them straight to the CDN. The coordinator only streams
+//     the entry server's batch to the FIRST mixer and then exchanges
+//     control messages — route announcements, completion waits, aborts.
+//     At paper scale (~24k-request mailboxes, millions of onions) this
+//     keeps the coordinator off the bandwidth-critical path entirely.
+//
+//   - Coordinator-relayed streaming (default; also the rolling-upgrade
+//     fallback): the chain still runs as a chunked pipeline, but every
+//     server's output is pulled back to the coordinator and re-sent
+//     downstream, so the batch crosses the coordinator once per hop.
+//
+//   - Sequential (benchmarks): strict stage-by-stage full-batch Mix
+//     calls, the unpipelined baseline.
+//
 // One add-friend round proceeds as:
 //
 //  1. every PKG announces a fresh signed IBE master key,
 //  2. every mixer announces a fresh signed onion key,
 //  3. the coordinator picks the mailbox count, assembles the signed
 //     RoundSettings, and opens the round at the entry server,
-//  4. clients submit onions (real or cover),
-//  5. the coordinator closes intake, runs the batch through the mix
-//     chain, and publishes the resulting mailboxes to the CDN,
-//  6. mixers erase their round keys immediately; PKGs erase master keys
-//     once clients have had time to extract identity keys.
+//  4. clients submit onions (real or cover), extracting their identity
+//     keys from the PKGs as part of submission,
+//  5. the coordinator closes intake and runs the data plane; mailboxes
+//     are published to the CDN by whoever holds the final batch (the
+//     coordinator when relaying, the last daemon when forwarding),
+//  6. mixers erase their round keys as soon as the chain finishes. PKG
+//     master keys are erased concurrently with the mix: extraction
+//     happens strictly during the submission window, so once intake
+//     closes the master keys are dead weight and the erasures overlap
+//     the chain instead of serializing after publish.
 //
 // Dialing rounds are the same minus the PKG steps.
 package coordinator
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"alpenhorn/internal/cdn"
@@ -75,6 +103,30 @@ func supportsStreaming(m Mixer) bool {
 	return true
 }
 
+// ForwardMixer is the chain-forward control surface of a Mixer whose
+// daemon can push its post-shuffle output to a successor itself.
+// rpc.MixerClient implements it; in-process mixnet.Servers do not (they
+// have no address, and in-process chunk hand-off is already copy-free).
+type ForwardMixer interface {
+	// Addr is the daemon's RPC address, handed to its predecessor as
+	// the round's forwarding target.
+	Addr() string
+	// SupportsForwarding reports whether the daemon actually serves the
+	// route/wait/abort surface (capability-version negotiation; false
+	// during a rolling upgrade from an older daemon).
+	SupportsForwarding() bool
+	// OpenRoute tells the daemon where the round's output goes: the
+	// successor mixer's address, or the CDN publish address for the
+	// last server.
+	OpenRoute(service wire.Service, round uint32, numMailboxes uint32, chunkSize int, successor, cdnAddr string) error
+	// WaitRound blocks until the daemon's data-plane role in the round
+	// completes, returning its error if it failed or was aborted.
+	WaitRound(service wire.Service, round uint32) error
+	// AbortRound discards the daemon's in-flight stream and route,
+	// unblocking any waiter; the daemon propagates the abort downstream.
+	AbortRound(service wire.Service, round uint32, reason string) error
+}
+
 // PKG is the coordinator's view of one PKG server. It is satisfied by
 // *pkgserver.Server (in-process) and *rpc.PKGClient (remote daemon).
 type PKG interface {
@@ -104,6 +156,18 @@ type Coordinator struct {
 	// stage-by-stage through full-batch Mix calls. Used by benchmarks to
 	// measure what the pipeline buys; production keeps it false.
 	Sequential bool
+
+	// ChainForward moves the data plane onto the servers: mixers forward
+	// their output directly to their successors and the last mixer
+	// publishes to the CDN at CDNAddr, leaving the coordinator with
+	// control messages only. It takes effect when every mixer implements
+	// ForwardMixer and reports forwarding support; otherwise rounds fall
+	// back to the coordinator-relayed pipeline (rolling upgrade).
+	ChainForward bool
+
+	// CDNAddr is the RPC address serving cdn.publish (normally this
+	// coordinator's own frontend). Required for ChainForward rounds.
+	CDNAddr string
 
 	// ExpectedVolume estimates the next round's request count for
 	// mailbox sizing. Updated from each observed batch.
@@ -167,6 +231,34 @@ func (c *Coordinator) numMailboxes(service wire.Service) uint32 {
 	return k
 }
 
+// fanOut runs fn(0), …, fn(n-1) on their own goroutines and returns the
+// first error. Against remote daemons each call is a network round trip,
+// so key announcements and erasures fan out instead of serializing.
+func fanOut(n int, fn func(i int) error) error {
+	if n <= 1 {
+		if n == 1 {
+			return fn(0)
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // OpenAddFriendRound performs steps 1-3: key announcements and settings.
 func (c *Coordinator) OpenAddFriendRound(round uint32) (*wire.RoundSettings, error) {
 	settings := &wire.RoundSettings{
@@ -174,12 +266,17 @@ func (c *Coordinator) OpenAddFriendRound(round uint32) (*wire.RoundSettings, err
 		Round:        round,
 		NumMailboxes: c.numMailboxes(wire.AddFriend),
 	}
-	for i, pkg := range c.PKGs {
-		rk, err := pkg.NewRound(round)
+	settings.PKGs = make([]wire.PKGRoundKey, len(c.PKGs))
+	err := fanOut(len(c.PKGs), func(i int) error {
+		rk, err := c.PKGs[i].NewRound(round)
 		if err != nil {
-			return nil, fmt.Errorf("coordinator: PKG %d: %w", i, err)
+			return fmt.Errorf("coordinator: PKG %d: %w", i, err)
 		}
-		settings.PKGs = append(settings.PKGs, rk)
+		settings.PKGs[i] = rk
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if err := c.openMixRound(settings); err != nil {
 		return nil, err
@@ -208,52 +305,63 @@ func (c *Coordinator) OpenDialingRound(round uint32) (*wire.RoundSettings, error
 
 func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
 	keys := make([][]byte, len(c.Mixers))
-	for i, m := range c.Mixers {
-		rk, err := m.NewRound(settings.Service, settings.Round)
+	settings.Mixers = make([]wire.MixerRoundKey, len(c.Mixers))
+	err := fanOut(len(c.Mixers), func(i int) error {
+		rk, err := c.Mixers[i].NewRound(settings.Service, settings.Round)
 		if err != nil {
 			return fmt.Errorf("coordinator: mixer %d: %w", i, err)
 		}
-		settings.Mixers = append(settings.Mixers, rk)
+		settings.Mixers[i] = rk
 		keys[i] = rk.OnionKey
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	// Each mixer needs the onion keys of the servers after it to wrap
-	// its noise.
-	for i, m := range c.Mixers {
+	// Each mixer needs the onion keys of the servers after it to wrap its
+	// noise; with the keys distributed, every server can generate its
+	// round noise concurrently with client intake, so the mix never waits
+	// for it. (Sequential mode skips the preparation — it benchmarks the
+	// unpipelined chain, where noise generation happens inside Mix.)
+	return fanOut(len(c.Mixers), func(i int) error {
+		m := c.Mixers[i]
 		if err := m.SetDownstreamKeys(settings.Service, settings.Round, keys[i+1:]); err != nil {
 			return fmt.Errorf("coordinator: mixer %d downstream keys: %w", i, err)
 		}
-	}
-	// Settings are fixed: every server can generate its round noise now,
-	// concurrently with client intake, so the mix never waits for it.
-	// (Sequential mode skips this — it benchmarks the unpipelined chain,
-	// where noise generation happens inside Mix.)
-	if c.Sequential {
-		return nil
-	}
-	for i, m := range c.Mixers {
+		if c.Sequential {
+			return nil
+		}
 		if np, ok := m.(NoisePreparer); ok && supportsStreaming(m) {
 			if err := np.PrepareNoise(settings.Service, settings.Round, settings.NumMailboxes); err != nil {
 				return fmt.Errorf("coordinator: mixer %d prepare noise: %w", i, err)
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-// CloseRound performs steps 5-6 for either service: close intake, mix,
-// publish mailboxes, and erase mixer round keys. For add-friend rounds the
-// PKG master keys remain open until FinishAddFriendRound.
+// CloseRound performs steps 5-6 for either service: close intake, run the
+// data plane, publish mailboxes, and erase round keys.
 //
-// The chain runs as a streaming pipeline: the entry server hands the batch
-// over in chunks, each mixer stage runs in its own goroutine, and stages
-// that implement StreamMixer start decrypting while the upstream stage is
-// still emitting. The final mailboxes are built sharded across workers and
-// published without copying.
+// For add-friend rounds the PKG master keys are erased CONCURRENTLY with
+// the mix chain: clients extract identity keys strictly while submitting,
+// so once intake closes the erasures can overlap the mix instead of
+// serializing after publish (FinishAddFriendRound remains as an explicit,
+// idempotent hook for drivers that want a later erasure point).
 //
-// The returned map shares its byte slices with the CDN store (the copy is
-// skipped deliberately — at paper scale it is gigabytes per round); callers
-// MUST treat the mailboxes as read-only. Mutating them would corrupt what
-// the CDN serves.
+// In chain-forward mode the mailboxes never pass through the coordinator:
+// the last daemon publishes them to the CDN at CDNAddr and the returned
+// map is nil — clients (and tests) fetch from the CDN.
+//
+// Otherwise the chain runs as the coordinator-relayed streaming pipeline:
+// the entry server hands the batch over in chunks, each mixer stage runs
+// in its own goroutine, and stages that implement StreamMixer start
+// decrypting while the upstream stage is still emitting. The final
+// mailboxes are built sharded across workers and published without
+// copying. The returned map shares its byte slices with the CDN store
+// (the copy is skipped deliberately — at paper scale it is gigabytes per
+// round); callers MUST treat the mailboxes as read-only. Mutating them
+// would corrupt what the CDN serves.
 func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32][]byte, error) {
 	settings, err := c.Entry.Settings(service, round)
 	if err != nil {
@@ -268,6 +376,32 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 		return nil, err
 	}
 	c.SetExpectedVolume(service, len(batch))
+
+	// Intake is closed: no further extractions can happen, so the PKG
+	// master keys die now, overlapping the chain.
+	pkgErased := make(chan struct{})
+	if service == wire.AddFriend {
+		go func() {
+			defer close(pkgErased)
+			c.FinishAddFriendRound(round)
+		}()
+	} else {
+		close(pkgErased)
+	}
+	defer func() { <-pkgErased }()
+
+	// Likewise, once the batch is out of intake the mixers' round keys
+	// die with the round whether it succeeds or fails — a failed round
+	// is never retried (the next round carries the traffic), and keys
+	// that outlive their round are a forward-secrecy hazard.
+	defer c.closeMixerRounds(service, round)
+
+	if fwd := c.forwardMixers(); fwd != nil {
+		if err := c.runChainForwarded(service, round, settings.NumMailboxes, batch, chunkSize, fwd); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
 
 	final, err := c.runChain(service, round, settings.NumMailboxes, mixnet.ChunkSource(batch, chunkSize), chunkSize)
 	if err != nil {
@@ -286,10 +420,133 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	if err := c.CDN.PublishOwned(service, round, published); err != nil {
 		return nil, err
 	}
-	for _, m := range c.Mixers {
-		m.CloseRound(service, round)
-	}
 	return mailboxes, nil
+}
+
+// closeMixerRounds erases every mixer's round key, fanning the calls out
+// (each is a network round trip against daemons). Erasure failures are
+// the daemons' problem — CloseRound is fire-and-forget, like the
+// in-process API.
+func (c *Coordinator) closeMixerRounds(service wire.Service, round uint32) {
+	_ = fanOut(len(c.Mixers), func(i int) error {
+		c.Mixers[i].CloseRound(service, round)
+		return nil
+	})
+}
+
+// forwardMixers returns the chain as ForwardMixers when the chain-forward
+// data plane is usable: ChainForward is set, a CDN publish address exists,
+// and every mixer supports both streaming and forwarding. Otherwise nil,
+// and the round falls back to the coordinator-relayed pipeline.
+func (c *Coordinator) forwardMixers() []ForwardMixer {
+	if !c.ChainForward || c.Sequential || c.CDNAddr == "" || len(c.Mixers) == 0 {
+		return nil
+	}
+	fwd := make([]ForwardMixer, len(c.Mixers))
+	for i, m := range c.Mixers {
+		fm, ok := m.(ForwardMixer)
+		if !ok || !fm.SupportsForwarding() || !supportsStreaming(m) {
+			return nil
+		}
+		if _, ok := m.(StreamMixer); !ok {
+			return nil
+		}
+		fwd[i] = fm
+	}
+	return fwd
+}
+
+// runChainForwarded drives the chain-forward data plane: open a route on
+// every daemon (back to front, so each successor is routed before its
+// predecessor could possibly forward), stream the entry batch to the
+// first mixer, then wait on every daemon's completion. On the first
+// failure the round is aborted everywhere — daemons also propagate aborts
+// down the chain themselves, so a mid-chain death cannot wedge its
+// successors.
+func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int, fwd []ForwardMixer) error {
+	abortAll := func(reason error) {
+		_ = fanOut(len(fwd), func(i int) error {
+			return fwd[i].AbortRound(service, round, reason.Error())
+		})
+	}
+
+	for i := len(fwd) - 1; i >= 0; i-- {
+		successor, cdnAddr := "", ""
+		if i == len(fwd)-1 {
+			cdnAddr = c.CDNAddr
+		} else {
+			successor = fwd[i+1].Addr()
+		}
+		if err := fwd[i].OpenRoute(service, round, numMailboxes, chunkSize, successor, cdnAddr); err != nil {
+			err = fmt.Errorf("coordinator: routing mixer %d: %w", i, err)
+			abortAll(err)
+			return err
+		}
+	}
+
+	// The entry batch is the one payload the coordinator still moves: it
+	// owns the entry server, so this hop is unavoidable and costs one
+	// batch-width, not one per chain hop.
+	first := c.Mixers[0].(StreamMixer)
+	if err := c.feedFirstMixer(first, service, round, numMailboxes, batch, chunkSize); err != nil {
+		err = fmt.Errorf("coordinator: feeding mixer 0: %w", err)
+		abortAll(err)
+		return err
+	}
+
+	errs := make([]error, len(fwd))
+	var abortOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(len(fwd))
+	for i := range fwd {
+		go func(i int) {
+			defer wg.Done()
+			if err := fwd[i].WaitRound(service, round); err != nil {
+				errs[i] = err
+				// First failure: abort everywhere, which releases every
+				// other daemon's waiter too.
+				abortOnce.Do(func() {
+					abortAll(fmt.Errorf("mixer %d: %v", i, err))
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Prefer a root-cause error over propagated "aborted:" echoes.
+	var firstErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("coordinator: forwarded chain, mixer %d: %w", i, err)
+		if firstErr == nil {
+			firstErr = wrapped
+		}
+		if !strings.HasPrefix(err.Error(), "aborted:") {
+			return wrapped
+		}
+	}
+	return firstErr
+}
+
+// feedFirstMixer streams the closed entry batch into the head of the
+// chain.
+func (c *Coordinator) feedFirstMixer(first StreamMixer, service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int) error {
+	if err := first.StreamBegin(service, round, numMailboxes); err != nil {
+		return err
+	}
+	for lo := 0; lo < len(batch); lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if err := first.StreamChunk(service, round, batch[lo:hi]); err != nil {
+			return err
+		}
+	}
+	_, err := first.StreamEnd(service, round)
+	return err
 }
 
 // runChain streams the batch through the mix chain. Stages run
@@ -343,9 +600,14 @@ func (b *bufferedStage) StreamAbort(service wire.Service, round uint32) error {
 
 // FinishAddFriendRound erases every PKG's master secret for the round
 // (§4.4: "after a preconfigured amount of time or after all users have
-// obtained their private keys").
+// obtained their private keys"). CloseRound already runs this concurrently
+// with the mix chain — all extractions happen inside the submission window
+// — so calling it again is an idempotent no-op; it remains exported for
+// drivers that open rounds without closing them. The erasures fan out:
+// against remote PKG daemons each is a network round trip.
 func (c *Coordinator) FinishAddFriendRound(round uint32) {
-	for _, pkg := range c.PKGs {
-		pkg.CloseRound(round)
-	}
+	_ = fanOut(len(c.PKGs), func(i int) error {
+		c.PKGs[i].CloseRound(round)
+		return nil
+	})
 }

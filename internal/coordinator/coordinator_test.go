@@ -67,21 +67,40 @@ func TestAddFriendRoundLifecycle(t *testing.T) {
 	if !c.CDN.Published(wire.AddFriend, 1) {
 		t.Fatal("mailboxes not published")
 	}
-	// Mixer round keys erased; PKG keys still open until Finish.
+	// Mixer round keys erased. PKG master keys are erased concurrently
+	// with the mix (extraction only happens during the submission
+	// window), so they are gone by the time CloseRound returns.
 	for _, m := range c.Mixers {
 		if m.(*mixnet.Server).RoundOpen(wire.AddFriend, 1) {
 			t.Fatal("mixer round key survives close")
 		}
 	}
 	for _, p := range c.PKGs {
-		if !p.(*pkgserver.Server).RoundOpen(1) {
-			t.Fatal("PKG round closed too early")
+		if p.(*pkgserver.Server).RoundOpen(1) {
+			t.Fatal("PKG round key survives close")
 		}
 	}
+	// The explicit finish hook stays idempotent.
 	c.FinishAddFriendRound(1)
 	for _, p := range c.PKGs {
 		if p.(*pkgserver.Server).RoundOpen(1) {
 			t.Fatal("PKG round open after finish")
+		}
+	}
+}
+
+// TestFinishBeforeCloseStillErases: a driver that opens an add-friend
+// round but aborts before CloseRound can still erase the PKG keys with
+// the explicit hook.
+func TestFinishBeforeCloseStillErases(t *testing.T) {
+	c := newTestCoordinator(t, 1, 2)
+	if _, err := c.OpenAddFriendRound(7); err != nil {
+		t.Fatal(err)
+	}
+	c.FinishAddFriendRound(7)
+	for _, p := range c.PKGs {
+		if p.(*pkgserver.Server).RoundOpen(7) {
+			t.Fatal("PKG round open after explicit finish")
 		}
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"crypto/ecdh"
 	"crypto/ed25519"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"alpenhorn/internal/bls"
+	"alpenhorn/internal/entry"
 	"alpenhorn/internal/ibe"
 	"alpenhorn/internal/keywheel"
 	"alpenhorn/internal/onionbox"
@@ -53,8 +55,14 @@ func (c *Client) SubmitAddFriendRound(round uint32) error {
 		return err
 	}
 	if err := c.cfg.Entry.Submit(wire.AddFriend, round, onion); err != nil {
-		// The request never reached the entry server (e.g. the round
-		// closed first): leave it queued for the next round.
+		// The request never reached the entry server: leave it queued
+		// for the next round. Admission control (a full round) is a
+		// deferral, not a failure — report it and carry on; anything
+		// else (e.g. the round closed first) is the caller's error.
+		if errors.Is(err, entry.ErrRoundFull) {
+			c.reportErr(fmt.Errorf("core: add-friend round %d deferred us: %w", round, err))
+			return nil
+		}
 		return err
 	}
 	// Only now that the request is on the wire, mark it sent.

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"testing"
+
+	"alpenhorn/internal/core"
+	"alpenhorn/internal/wire"
+)
+
+// These tests pin the entry server's admission-control contract from the
+// client's side: a full round (entry.ErrRoundFull) is a DEFERRAL — the
+// client keeps its queued work, reports a non-fatal handler event, and
+// the next round carries the request. Nothing is lost and nothing errors.
+
+// TestAddFriendDeferredByFullRound fills a round before Alice's friend
+// request can be admitted and checks the request survives to the next
+// round and the handshake still completes.
+func TestAddFriendDeferredByFullRound(t *testing.T) {
+	net, alice, ha, bob, _ := newPair(t)
+	if err := alice.AddFriend(bob.Email(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1 admits exactly one request; Bob's cover claims it first.
+	net.Entry.MaxBatch = 1
+	if _, err := net.Coord.OpenAddFriendRound(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.SubmitAddFriendRound(1); err != nil {
+		t.Fatal(err)
+	}
+	errsBefore := ha.ErrorCount()
+	if err := alice.SubmitAddFriendRound(1); err != nil {
+		t.Fatalf("deferred submit must not error: %v", err)
+	}
+	if ha.ErrorCount() != errsBefore+1 {
+		t.Fatal("deferral was not reported to the handler")
+	}
+	if _, err := net.Coord.CloseRound(wire.AddFriend, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.ScanAddFriendRound(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.ScanAddFriendRound(1); err != nil {
+		t.Fatal(err)
+	}
+	net.Coord.FinishAddFriendRound(1)
+	if alice.IsFriend(bob.Email()) {
+		t.Fatal("friendship completed through a full round")
+	}
+
+	// With admission restored, the queued request rides the next rounds
+	// and the handshake completes.
+	net.Entry.MaxBatch = 0
+	clients := []*core.Client{alice, bob}
+	if err := net.RunAddFriendRound(2, clients); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunAddFriendRound(3, clients); err != nil {
+		t.Fatal(err)
+	}
+	if !alice.IsFriend(bob.Email()) || !bob.IsFriend(alice.Email()) {
+		t.Fatal("deferred friend request never completed")
+	}
+}
+
+// TestDialDeferredByFullRound fills a dialing round before Alice's call
+// token can be admitted and checks the call is requeued, not dropped.
+func TestDialDeferredByFullRound(t *testing.T) {
+	net, alice, ha, bob, hb := newPair(t)
+	if err := net.Befriend(alice, bob, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Call(bob.Email(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: keywheels start later, so both clients send cover.
+	if err := net.RunDialRound(1, []*core.Client{alice, bob}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 2: the wheel is live, but Bob's cover fills the round first.
+	net.Entry.MaxBatch = 1
+	if _, err := net.Coord.OpenDialingRound(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.SubmitDialRound(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SubmitDialRound(2); err != nil {
+		t.Fatalf("deferred dial submit must not error: %v", err)
+	}
+	if len(ha.OutgoingCalls()) != 0 {
+		t.Fatal("deferred call reported as outgoing")
+	}
+	if _, err := net.Coord.CloseRound(wire.Dialing, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.ScanDialRound(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.ScanDialRound(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 3: admission restored; the requeued call goes through.
+	net.Entry.MaxBatch = 0
+	if err := net.RunDialRound(3, []*core.Client{alice, bob}); err != nil {
+		t.Fatal(err)
+	}
+	in, out := hb.IncomingCalls(), ha.OutgoingCalls()
+	if len(in) != 1 || len(out) != 1 {
+		t.Fatalf("got %d incoming / %d outgoing calls, want 1/1", len(in), len(out))
+	}
+	if in[0].SessionKey != out[0].SessionKey {
+		t.Fatal("requeued call derived mismatched session keys")
+	}
+	if out[0].Round != 3 {
+		t.Fatalf("call went out in round %d, want the post-deferral round 3", out[0].Round)
+	}
+}

@@ -10,9 +10,21 @@ import (
 	"alpenhorn/internal/wire"
 )
 
+// skipIfShort skips pairing-heavy integration tests under -short: each
+// add-friend round costs dozens of big.Int pairings, which the race
+// detector slows by an order of magnitude. CI's race job runs -short;
+// the regular test job still runs everything.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("pairing-heavy integration test; skipped in -short")
+	}
+}
+
 // newPair builds a network with Alice and Bob registered.
 func newPair(t *testing.T) (*sim.Network, *core.Client, *sim.Handler, *core.Client, *sim.Handler) {
 	t.Helper()
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -216,6 +228,7 @@ func TestOutOfBandKeyAcceptsGenuine(t *testing.T) {
 }
 
 func TestRejectedFriendRequest(t *testing.T) {
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -340,6 +353,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 }
 
 func TestThreeUserTriangle(t *testing.T) {
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{})
 	if err != nil {
 		t.Fatal(err)

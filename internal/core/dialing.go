@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"alpenhorn/internal/bloom"
+	"alpenhorn/internal/entry"
 	"alpenhorn/internal/keywheel"
 	"alpenhorn/internal/wire"
 )
@@ -33,13 +35,18 @@ func (c *Client) SubmitDialRound(round uint32) error {
 	}
 	if err := c.cfg.Entry.Submit(wire.Dialing, round, onion); err != nil {
 		// The token never reached the entry server (e.g. the round
-		// closed first): requeue the call so a later round carries it
-		// instead of silently dropping it.
+		// closed first, or admission control deferred us): requeue the
+		// call so a later round carries it instead of silently dropping
+		// it. A full round is a deferral, not a failure.
 		if outgoing != nil {
 			c.mu.Lock()
 			c.calls = append([]queuedCall{{friend: outgoing.Friend, intent: outgoing.Intent}}, c.calls...)
 			c.persistLocked()
 			c.mu.Unlock()
+		}
+		if errors.Is(err, entry.ErrRoundFull) {
+			c.reportErr(fmt.Errorf("core: dialing round %d deferred us: %w", round, err))
+			return nil
 		}
 		return err
 	}

@@ -16,6 +16,7 @@ import (
 // all while the adversary holds her old keys.
 func TestCompromiseRecovery(t *testing.T) {
 	clock := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{Now: func() time.Time { return clock }})
 	if err != nil {
 		t.Fatal(err)

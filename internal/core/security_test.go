@@ -20,6 +20,7 @@ import (
 // who later compromises every PKG, because the per-round master secrets
 // and the client's identity keys are gone.
 func TestForwardSecrecyAddFriend(t *testing.T) {
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +106,7 @@ func TestForwardSecrecyAddFriend(t *testing.T) {
 // dialing round, its keywheel state reveals nothing about earlier rounds'
 // tokens or session keys.
 func TestForwardSecrecyDialing(t *testing.T) {
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +171,7 @@ func TestForwardSecrecyDialing(t *testing.T) {
 // nothing submit byte-identical-length requests, and the batch reveals
 // only its size.
 func TestCoverTrafficUniformity(t *testing.T) {
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -212,6 +215,7 @@ func TestCoverTrafficUniformity(t *testing.T) {
 // requests.
 func TestNoiseMakesMailboxCountsNoisy(t *testing.T) {
 	nz := noise.Laplace{Mu: 10, B: 3}
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{AddFriendNoise: &nz, DialingNoise: &nz})
 	if err != nil {
 		t.Fatal(err)
@@ -255,6 +259,7 @@ func TestNoiseMakesMailboxCountsNoisy(t *testing.T) {
 // participate in a round whose settings fail signature verification (a
 // malicious entry server substituting its own mixer keys).
 func TestTamperedSettingsRejected(t *testing.T) {
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -278,6 +283,7 @@ func TestTamperedSettingsRejected(t *testing.T) {
 // TestMalformedMailboxReported verifies the client surfaces (rather than
 // silently ignores) a malformed mailbox.
 func TestMalformedMailboxReported(t *testing.T) {
+	skipIfShort(t)
 	net, err := sim.NewNetwork(sim.Config{})
 	if err != nil {
 		t.Fatal(err)

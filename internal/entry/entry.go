@@ -102,6 +102,15 @@ var ErrRoundClosed = errors.New("entry: round not accepting requests")
 // messages, so the check is strict.
 var ErrWrongSize = errors.New("entry: request has wrong size")
 
+// ErrRoundFull is the admission-control signal for a round whose batch
+// has reached MaxBatch. It is a deferral, not a failure: the request was
+// well-formed and the client should retry in the next round, which
+// spreads overload across rounds instead of dropping users. Clients
+// detect it with errors.Is and requeue. (The rpc transport carries
+// errors as strings and maps this one back by message, so the message
+// must stay stable.)
+var ErrRoundFull = errors.New("entry: round full (retry next round)")
+
 // Submit adds one client onion to the round's batch.
 func (s *Server) Submit(service wire.Service, round uint32, onion []byte) error {
 	s.mu.Lock()
@@ -114,7 +123,7 @@ func (s *Server) Submit(service wire.Service, round uint32, onion []byte) error 
 		return fmt.Errorf("%w: got %d, want %d", ErrWrongSize, len(onion), st.onionSize)
 	}
 	if s.MaxBatch > 0 && len(st.batch) >= s.MaxBatch {
-		return errors.New("entry: round batch full")
+		return ErrRoundFull
 	}
 	owned := make([]byte, len(onion))
 	copy(owned, onion)

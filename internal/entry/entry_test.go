@@ -2,6 +2,7 @@ package entry
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"alpenhorn/internal/wire"
@@ -86,8 +87,19 @@ func TestMaxBatch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Submit(wire.Dialing, 1, onion); err == nil {
-		t.Fatal("batch overflow accepted")
+	// Overflow is an admission signal, not a generic failure: clients
+	// detect it with errors.Is and retry next round.
+	if err := s.Submit(wire.Dialing, 1, onion); !errors.Is(err, ErrRoundFull) {
+		t.Fatalf("batch overflow: got %v, want ErrRoundFull", err)
+	}
+	// The deferral does not disturb the round: the admitted batch closes
+	// normally at its cap.
+	batch, err := s.CloseRound(wire.Dialing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("batch size %d after deferrals, want 2", len(batch))
 	}
 }
 

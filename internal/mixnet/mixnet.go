@@ -22,6 +22,15 @@
 // strict per-server barrier: output order is only decided once the whole
 // batch is present, which is what the anytrust unlinkability argument
 // needs.
+//
+// This package is transport-agnostic: the same chunked surface is driven
+// by in-process pipelines (ChainPipelined), by a coordinator relaying
+// chunks over RPC, and by daemons forwarding chunks directly to their
+// successors (internal/rpc's chain-forward data plane). Because chunk
+// arrival order defines pre-shuffle order and every randomness draw comes
+// from Config.Rand in a fixed sequence, all three produce byte-identical
+// mailboxes under a fixed seed — the property the cross-data-plane
+// determinism tests pin down.
 package mixnet
 
 import (

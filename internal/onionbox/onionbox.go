@@ -31,9 +31,25 @@ type PrivateKey struct {
 	k *ecdh.PrivateKey
 }
 
+// generateX25519 derives a fresh X25519 key from exactly 32 bytes of the
+// reader. crypto/ecdh's own GenerateKey deliberately consumes a
+// NONDETERMINISTIC number of bytes (randutil.MaybeReadByte), which would
+// make runs with a fixed Config.Rand irreproducible; Alpenhorn's
+// determinism tests compare whole mailboxes byte-for-byte across data
+// planes, so key generation must consume a fixed-width stream. The
+// resulting keys are identical in distribution (clamping happens inside
+// the X25519 scalar multiplication per RFC 7748).
+func generateX25519(rand io.Reader) (*ecdh.PrivateKey, error) {
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(rand, seed); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(seed)
+}
+
 // GenerateKey creates a new box key pair.
 func GenerateKey(rand io.Reader) (*PublicKey, *PrivateKey, error) {
-	priv, err := ecdh.X25519().GenerateKey(rand)
+	priv, err := generateX25519(rand)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -81,7 +97,7 @@ func newGCM(key []byte) cipher.AEAD {
 // Seal encrypts msg to the recipient with a fresh ephemeral key. The output
 // is len(msg)+Overhead bytes: ephemeral public key ‖ AEAD ciphertext.
 func Seal(rand io.Reader, to *PublicKey, msg []byte) ([]byte, error) {
-	eph, err := ecdh.X25519().GenerateKey(rand)
+	eph, err := generateX25519(rand)
 	if err != nil {
 		return nil, err
 	}

@@ -4,13 +4,14 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"alpenhorn/internal/bls"
 	"alpenhorn/internal/cdn"
 	"alpenhorn/internal/entry"
 	"alpenhorn/internal/ibe"
-	"alpenhorn/internal/mixnet"
 	"alpenhorn/internal/pkgserver"
 	"alpenhorn/internal/wire"
 )
@@ -161,17 +162,35 @@ func (p *PKGClient) CloseRound(round uint32) {
 
 // ---- Mixer daemon API ----
 
-// MixerInfo advertises a mixer's pinned key and chain position. Streaming
-// reports whether the daemon serves the mix.preparenoise / mix.stream.*
-// surface; daemons built before it existed leave the field false, and the
+// Streaming capability versions advertised in MixerInfo.StreamVersion.
+// Each version includes everything below it.
+const (
+	// StreamVersionNone: pre-streaming daemon; full-batch mix.mix only.
+	StreamVersionNone = 0
+	// StreamVersionRelay: mix.preparenoise + mix.stream.* with the
+	// coordinator relaying each server's output downstream (PR 1).
+	StreamVersionRelay = 1
+	// StreamVersionForward: mix.round.route/wait/abort — the daemon
+	// pushes its post-shuffle output to its successor itself and the
+	// last server publishes mailboxes straight to the CDN.
+	StreamVersionForward = 2
+)
+
+// MixerInfo advertises a mixer's pinned key and chain position.
+// StreamVersion reports which generation of the streaming surface the
+// daemon serves (see the StreamVersion constants); Streaming is the legacy
+// capability bit that predates versioning and is kept so a newer
+// coordinator still recognizes a StreamVersionRelay daemon that only sets
+// the bool. Daemons built before streaming leave both zero and the
 // coordinator falls back to full-batch mix.mix calls.
 type MixerInfo struct {
-	Name        string  `json:"name"`
-	Position    int     `json:"position"`
-	SigningKey  []byte  `json:"signing_key"`
-	AddFriendMu float64 `json:"add_friend_mu"`
-	DialingMu   float64 `json:"dialing_mu"`
-	Streaming   bool    `json:"streaming,omitempty"`
+	Name          string  `json:"name"`
+	Position      int     `json:"position"`
+	SigningKey    []byte  `json:"signing_key"`
+	AddFriendMu   float64 `json:"add_friend_mu"`
+	DialingMu     float64 `json:"dialing_mu"`
+	Streaming     bool    `json:"streaming,omitempty"`
+	StreamVersion int     `json:"stream_version,omitempty"`
 }
 
 type downstreamArgs struct {
@@ -194,6 +213,10 @@ const streamPullMax = 8192
 
 type streamEndReply struct {
 	Total int `json:"total"`
+	// Forwarded reports that the daemon accepted the stream close and is
+	// pushing its output to its successor (or the CDN) itself: there is
+	// no output to pull, and completion is reported via mix.round.wait.
+	Forwarded bool `json:"forwarded,omitempty"`
 }
 
 type streamPullArgs struct {
@@ -203,104 +226,35 @@ type streamPullArgs struct {
 	Max     int          `json:"max"`
 }
 
-// RegisterMixer exposes a mixnet.Server over RPC, including the chunked
-// streaming surface: the coordinator pushes batch chunks as they become
-// available and the daemon decrypts them on its worker pool while later
-// chunks are still crossing the network. The mixed output is likewise
-// pulled in chunks (mix.stream.end returns only the count) so no single
-// frame has to carry a paper-scale batch.
-func RegisterMixer(s *Server, m *mixnet.Server) {
-	type outKey struct {
-		service wire.Service
-		round   uint32
-	}
-	var outMu sync.Mutex
-	outbox := make(map[outKey][][]byte)
-
-	HandleFunc(s, "mix.info", func(struct{}) (any, error) {
-		return MixerInfo{
-			Name:        m.Name,
-			Position:    m.Position,
-			SigningKey:  m.SigningKey(),
-			AddFriendMu: m.AddFriendNoise.Mu,
-			DialingMu:   m.DialingNoise.Mu,
-			Streaming:   true,
-		}, nil
-	})
-	HandleFunc(s, "mix.newround", func(a roundArgs) (any, error) {
-		return m.NewRound(a.Service, a.Round)
-	})
-	HandleFunc(s, "mix.setdownstream", func(a downstreamArgs) (any, error) {
-		return nil, m.SetDownstreamKeys(a.Service, a.Round, a.Keys)
-	})
-	HandleFunc(s, "mix.preparenoise", func(a mixArgs) (any, error) {
-		return nil, m.PrepareNoise(a.Service, a.Round, a.NumMailboxes)
-	})
-	HandleFunc(s, "mix.mix", func(a mixArgs) (any, error) {
-		return m.Mix(a.Service, a.Round, a.NumMailboxes, a.Batch)
-	})
-	HandleFunc(s, "mix.stream.begin", func(a mixArgs) (any, error) {
-		return nil, m.StreamBegin(a.Service, a.Round, a.NumMailboxes)
-	})
-	HandleFunc(s, "mix.stream.chunk", func(a mixArgs) (any, error) {
-		return nil, m.StreamChunk(a.Service, a.Round, a.Batch)
-	})
-	HandleFunc(s, "mix.stream.end", func(a roundArgs) (any, error) {
-		out, err := m.StreamEnd(a.Service, a.Round)
-		if err != nil {
-			return nil, err
-		}
-		outMu.Lock()
-		outbox[outKey{a.Service, a.Round}] = out
-		outMu.Unlock()
-		return streamEndReply{Total: len(out)}, nil
-	})
-	HandleFunc(s, "mix.stream.pull", func(a streamPullArgs) (any, error) {
-		if a.Max <= 0 || a.Max > streamPullMax {
-			a.Max = streamPullMax
-		}
-		outMu.Lock()
-		defer outMu.Unlock()
-		k := outKey{a.Service, a.Round}
-		out, ok := outbox[k]
-		if !ok {
-			return nil, fmt.Errorf("rpc: no pending stream output for round %d (%s)", a.Round, a.Service)
-		}
-		if a.Offset < 0 || a.Offset > len(out) {
-			return nil, fmt.Errorf("rpc: stream pull offset %d out of range", a.Offset)
-		}
-		hi := a.Offset + a.Max
-		if hi >= len(out) {
-			hi = len(out)
-			defer delete(outbox, k) // last chunk: the batch is handed over
-		}
-		return out[a.Offset:hi], nil
-	})
-	HandleFunc(s, "mix.stream.abort", func(a roundArgs) (any, error) {
-		outMu.Lock()
-		delete(outbox, outKey{a.Service, a.Round})
-		outMu.Unlock()
-		return nil, m.StreamAbort(a.Service, a.Round)
-	})
-	HandleFunc(s, "mix.closeround", func(a roundArgs) (any, error) {
-		outMu.Lock()
-		delete(outbox, outKey{a.Service, a.Round})
-		outMu.Unlock()
-		m.CloseRound(a.Service, a.Round)
-		return nil, nil
-	})
-}
+// RegisterMixer (in forward.go) exposes a mixnet.Server over RPC,
+// including the chunked streaming surface and the chain-forward data
+// plane.
 
 // MixerClient talks to a remote mixer daemon; it satisfies the
-// coordinator's Mixer interface.
+// coordinator's Mixer interface and, for StreamVersionForward daemons, its
+// ForwardMixer control surface.
 type MixerClient struct {
+	addr string
 	c    *Client
 	info *MixerInfo
+
+	// WaitTimeout bounds WaitRound; zero means DefaultWaitTimeout.
+	WaitTimeout time.Duration
+
+	// waitc is a dedicated connection for the mix.round.wait long-poll,
+	// so that an abort broadcast on the main connection is never queued
+	// behind a blocked wait.
+	waitMu sync.Mutex
+	waitc  *Client
 }
+
+// DefaultWaitTimeout bounds how long WaitRound polls for a round's
+// data-plane completion before giving up.
+const DefaultWaitTimeout = 10 * time.Minute
 
 // DialMixer connects to a mixer daemon and caches its info.
 func DialMixer(addr string) (*MixerClient, error) {
-	m := &MixerClient{c: Dial(addr)}
+	m := &MixerClient{addr: addr, c: Dial(addr)}
 	var info MixerInfo
 	if err := m.c.Call("mix.info", struct{}{}, &info); err != nil {
 		return nil, err
@@ -311,6 +265,39 @@ func DialMixer(addr string) (*MixerClient, error) {
 
 // Info returns the mixer's advertised identity.
 func (m *MixerClient) Info() *MixerInfo { return m.info }
+
+// Addr returns the daemon's dial address. The coordinator hands it to the
+// daemon's predecessor as the round's forwarding target.
+func (m *MixerClient) Addr() string { return m.addr }
+
+// TransportStats sums the transport accounting of every connection this
+// client holds (the call connection and the wait long-poll connection).
+func (m *MixerClient) TransportStats() ClientStats {
+	st := m.c.Stats()
+	m.waitMu.Lock()
+	wc := m.waitc
+	m.waitMu.Unlock()
+	if wc != nil {
+		ws := wc.Stats()
+		st.BytesSent += ws.BytesSent
+		st.BytesReceived += ws.BytesReceived
+		st.Calls += ws.Calls
+	}
+	return st
+}
+
+// CallCount reports how many times the coordinator invoked a method on
+// this daemon, across all of the client's connections.
+func (m *MixerClient) CallCount(method string) uint64 {
+	n := m.c.CallCount(method)
+	m.waitMu.Lock()
+	wc := m.waitc
+	m.waitMu.Unlock()
+	if wc != nil {
+		n += wc.CallCount(method)
+	}
+	return n
+}
 
 // NewRound implements coordinator.Mixer.
 func (m *MixerClient) NewRound(service wire.Service, round uint32) (wire.MixerRoundKey, error) {
@@ -335,7 +322,69 @@ func (m *MixerClient) Mix(service wire.Service, round uint32, numMailboxes uint3
 // mix.preparenoise / mix.stream.* surface (coordinator.streamCapable);
 // daemons built before it existed report false and the coordinator drives
 // them through full-batch Mix.
-func (m *MixerClient) SupportsStreaming() bool { return m.info.Streaming }
+func (m *MixerClient) SupportsStreaming() bool {
+	return m.info.Streaming || m.info.StreamVersion >= StreamVersionRelay
+}
+
+// SupportsForwarding reports whether the daemon serves the chain-forward
+// surface (mix.round.route/wait/abort); the coordinator only switches the
+// data plane to server-to-server forwarding when every mixer does.
+func (m *MixerClient) SupportsForwarding() bool {
+	return m.info.StreamVersion >= StreamVersionForward
+}
+
+// OpenRoute implements coordinator.ForwardMixer: it tells the daemon
+// where this round's post-shuffle output goes — the successor mixer's RPC
+// address, or (for the last server) the CDN's publish address.
+func (m *MixerClient) OpenRoute(service wire.Service, round uint32, numMailboxes uint32, chunkSize int, successor, cdnAddr string) error {
+	return m.c.Call("mix.round.route", routeArgs{
+		Service: service, Round: round, NumMailboxes: numMailboxes,
+		ChunkSize: chunkSize, Successor: successor, CDNAddr: cdnAddr,
+	}, nil)
+}
+
+// WaitRound implements coordinator.ForwardMixer: it blocks until the
+// daemon's data-plane role in the round completes (forwarded downstream,
+// or published to the CDN) and returns the daemon's error if it failed or
+// was aborted. The wait is a bounded long-poll on a dedicated connection
+// so the daemon never parks a handler forever and the coordinator can
+// still send control calls (e.g. an abort) on the main connection.
+func (m *MixerClient) WaitRound(service wire.Service, round uint32) error {
+	m.waitMu.Lock()
+	if m.waitc == nil {
+		m.waitc = Dial(m.addr)
+	}
+	wc := m.waitc
+	m.waitMu.Unlock()
+
+	timeout := m.WaitTimeout
+	if timeout <= 0 {
+		timeout = DefaultWaitTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		var reply waitReply
+		if err := wc.Call("mix.round.wait", roundArgs{Service: service, Round: round}, &reply); err != nil {
+			return err
+		}
+		if reply.Done {
+			if reply.Error != "" {
+				return errors.New(reply.Error)
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rpc: round %d (%s) did not complete within %v", round, service, timeout)
+		}
+	}
+}
+
+// AbortRound implements coordinator.ForwardMixer: it discards the
+// daemon's in-flight stream and route for the round, unblocking any
+// waiter. The daemon propagates the abort to its successor.
+func (m *MixerClient) AbortRound(service wire.Service, round uint32, reason string) error {
+	return m.c.Call("mix.round.abort", abortArgs{Service: service, Round: round, Reason: reason}, nil)
+}
 
 // PrepareNoise implements coordinator.NoisePreparer: the daemon starts
 // generating round noise in the background as soon as settings are fixed.
@@ -343,25 +392,39 @@ func (m *MixerClient) PrepareNoise(service wire.Service, round uint32, numMailbo
 	return m.c.Call("mix.preparenoise", mixArgs{Service: service, Round: round, NumMailboxes: numMailboxes}, nil)
 }
 
-// StreamBegin implements coordinator.StreamMixer.
+// StreamBegin implements coordinator.StreamMixer. Sent at most once: a
+// duplicate begin (request executed, reply lost) would error "stream
+// already in progress" and fail the round for no reason.
 func (m *MixerClient) StreamBegin(service wire.Service, round uint32, numMailboxes uint32) error {
-	return m.c.Call("mix.stream.begin", mixArgs{Service: service, Round: round, NumMailboxes: numMailboxes}, nil)
+	return m.c.CallOnce("mix.stream.begin", mixArgs{Service: service, Round: round, NumMailboxes: numMailboxes}, nil)
 }
 
 // StreamChunk implements coordinator.StreamMixer. Chunks are framed as
 // ordinary calls: the daemon acknowledges intake immediately and decrypts
 // on its worker pool, so consecutive chunks overlap with decryption.
+// Sent at most once — a transparent retry after a lost reply would
+// append the chunk to the round twice and corrupt the batch; a transport
+// failure aborts the round instead.
 func (m *MixerClient) StreamChunk(service wire.Service, round uint32, chunk [][]byte) error {
-	return m.c.Call("mix.stream.chunk", mixArgs{Service: service, Round: round, Batch: chunk}, nil)
+	return m.c.CallOnce("mix.stream.chunk", mixArgs{Service: service, Round: round, Batch: chunk}, nil)
 }
 
 // StreamEnd implements coordinator.StreamMixer: it blocks until the daemon
 // has decrypted every chunk, added noise, and shuffled, then pulls the
-// output batch in frame-sized chunks.
+// output batch in frame-sized chunks. When the round has a forwarding
+// route open, the daemon instead pushes the output to its successor
+// itself; StreamEnd then returns no batch and the caller learns the
+// outcome from WaitRound.
 func (m *MixerClient) StreamEnd(service wire.Service, round uint32) ([][]byte, error) {
+	// At most once: StreamEnd consumes the stream, so a duplicate after a
+	// lost reply would fail "no stream in progress" (relay) or spawn a
+	// second forwarding attempt against consumed state (chain-forward).
 	var reply streamEndReply
-	if err := m.c.Call("mix.stream.end", roundArgs{Service: service, Round: round}, &reply); err != nil {
+	if err := m.c.CallOnce("mix.stream.end", roundArgs{Service: service, Round: round}, &reply); err != nil {
 		return nil, err
+	}
+	if reply.Forwarded {
+		return nil, nil
 	}
 	out := make([][]byte, 0, reply.Total)
 	for len(out) < reply.Total {
@@ -435,14 +498,18 @@ type RoundStatus struct {
 }
 
 // FrontendState tracks open/published rounds for the status endpoint.
-// The entry daemon updates it as the coordinator advances rounds.
+// The entry daemon's round loops update it while connection handlers
+// read it concurrently, so access is serialized internally.
 type FrontendState struct {
+	mu        sync.Mutex
 	addFriend RoundStatus
 	dialing   RoundStatus
 }
 
 // SetOpen records a newly opened round.
 func (f *FrontendState) SetOpen(service wire.Service, round uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if service == wire.Dialing {
 		f.dialing.CurrentOpen = round
 	} else {
@@ -452,6 +519,8 @@ func (f *FrontendState) SetOpen(service wire.Service, round uint32) {
 
 // SetPublished records a published round.
 func (f *FrontendState) SetPublished(service wire.Service, round uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if service == wire.Dialing {
 		f.dialing.LatestPublished = round
 	} else {
@@ -459,17 +528,29 @@ func (f *FrontendState) SetPublished(service wire.Service, round uint32) {
 	}
 }
 
-// RegisterFrontend exposes the entry server, CDN, and deployment directory
-// over RPC.
+// Status returns a snapshot of one service's round progress.
+func (f *FrontendState) Status(service wire.Service) RoundStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if service == wire.Dialing {
+		return f.dialing
+	}
+	return f.addFriend
+}
+
+// RegisterFrontend exposes the entry server, CDN fetch surface, and
+// deployment directory over RPC. This is the CLIENT-facing surface:
+// cdn.publish is deliberately NOT served here — the transport carries no
+// authentication, so the write surface must live on a separate
+// server-plane listener (RegisterCDN) that deployments keep away from
+// clients; otherwise any client could publish a round's mailboxes first
+// and censor the real ones.
 func RegisterFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Directory, state *FrontendState) {
 	HandleFunc(s, "frontend.directory", func(struct{}) (any, error) {
 		return dir, nil
 	})
 	HandleFunc(s, "frontend.status", func(a settingsArgs) (any, error) {
-		if a.Service == wire.Dialing {
-			return state.dialing, nil
-		}
-		return state.addFriend, nil
+		return state.Status(a.Service), nil
 	})
 	HandleFunc(s, "entry.settings", func(a settingsArgs) (any, error) {
 		settings, err := e.Settings(a.Service, a.Round)
@@ -528,9 +609,15 @@ func (f *FrontendClient) Settings(service wire.Service, round uint32) (*wire.Rou
 	return wire.UnmarshalRoundSettings(raw)
 }
 
-// Submit implements core.EntryServer.
+// Submit implements core.EntryServer. The entry server's admission
+// signals cross the wire as strings, so the typed sentinels are mapped
+// back here for the client's errors.Is checks.
 func (f *FrontendClient) Submit(service wire.Service, round uint32, onion []byte) error {
-	return f.c.Call("entry.submit", submitArgs{Service: service, Round: round, Onion: onion}, nil)
+	err := f.c.Call("entry.submit", submitArgs{Service: service, Round: round, Onion: onion}, nil)
+	if err != nil && strings.Contains(err.Error(), entry.ErrRoundFull.Error()) {
+		return fmt.Errorf("rpc: %w", entry.ErrRoundFull)
+	}
+	return err
 }
 
 // Fetch implements core.MailboxStore.

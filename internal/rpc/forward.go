@@ -1,0 +1,572 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"alpenhorn/internal/cdn"
+	"alpenhorn/internal/mixnet"
+	"alpenhorn/internal/wire"
+)
+
+// This file is the daemon side of the mixnet data plane. A mixer daemon
+// serves two generations of it:
+//
+//   - Relay (StreamVersionRelay): the coordinator pushes chunks in and
+//     pulls the post-shuffle output back (mix.stream.pull), then pushes it
+//     to the next server itself. Bulk data crosses the coordinator once
+//     per chain hop.
+//
+//   - Chain-forward (StreamVersionForward): before the batch arrives, the
+//     coordinator opens a ROUTE on each daemon (mix.round.route) naming
+//     its successor — the next mixer's RPC address, or the CDN's publish
+//     address for the last server. After StreamEnd the daemon pushes its
+//     outbox to the successor's mix.stream.chunk itself (dialing with
+//     retry/backoff), and the last server builds the round's mailboxes
+//     and ships them straight to the CDN via cdn.publish. The coordinator
+//     only moves control messages; it learns each server's outcome from
+//     the mix.round.wait long-poll, and failures propagate as
+//     mix.round.abort both down the chain and back to the waiting
+//     coordinator.
+//
+// Relay remains fully served so a newer coordinator can drive a mixed
+// fleet during a rolling upgrade.
+
+type outKey struct {
+	service wire.Service
+	round   uint32
+}
+
+// route is one round's forwarding assignment on a daemon, created by
+// mix.round.route and resolved exactly once (completion or abort).
+type route struct {
+	successor    string // next mixer's RPC address; "" for the last server
+	cdnAddr      string // cdn.publish address; set only on the last server
+	numMailboxes uint32
+	chunkSize    int
+
+	done     chan struct{} // closed when err is final
+	err      error
+	resolved bool
+}
+
+// Successor dial retry schedule: forwarding a round is the first traffic a
+// fresh chain sees, so transient dial failures (successor still binding,
+// connection racing a restart) get a few backed-off attempts before the
+// round aborts.
+const (
+	forwardDialAttempts = 4
+	forwardDialBackoff  = 100 * time.Millisecond
+)
+
+// waitPollInterval bounds how long one mix.round.wait call parks in the
+// daemon before replying "not done yet"; the client re-polls. Bounding the
+// park keeps Server.Close from waiting on a handler that would otherwise
+// block until a round that will never finish.
+const waitPollInterval = 500 * time.Millisecond
+
+type routeArgs struct {
+	Service      wire.Service `json:"service"`
+	Round        uint32       `json:"round"`
+	NumMailboxes uint32       `json:"num_mailboxes"`
+	ChunkSize    int          `json:"chunk_size"`
+	Successor    string       `json:"successor,omitempty"`
+	CDNAddr      string       `json:"cdn_addr,omitempty"`
+}
+
+type abortArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	Reason  string       `json:"reason,omitempty"`
+}
+
+type waitReply struct {
+	Done  bool   `json:"done"`
+	Error string `json:"error,omitempty"`
+}
+
+// MixerDaemon is the RPC-facing state of one mixer daemon: the relay-mode
+// outbox, the chain-forward routes, and cached connections to successors.
+// RegisterMixer returns it so daemon binaries and tests can inspect
+// round-state hygiene.
+type MixerDaemon struct {
+	m *mixnet.Server
+
+	mu     sync.Mutex
+	outbox map[outKey][][]byte
+	routes map[outKey]*route
+	peers  map[string]*Client
+}
+
+// PendingRoutes returns the number of rounds with an unresolved or
+// un-erased forwarding route. After a round closes (or aborts and
+// closes), this must drop back toward zero — leaked routes are leaked
+// round state.
+func (d *MixerDaemon) PendingRoutes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.routes)
+}
+
+// PendingOutboxes returns the number of relay-mode output batches parked
+// for mix.stream.pull.
+func (d *MixerDaemon) PendingOutboxes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.outbox)
+}
+
+// peer returns a cached RPC client for a successor (or CDN) address.
+// Connections are reused across rounds; the Client reconnects lazily
+// after failures.
+func (d *MixerDaemon) peer(addr string) *Client {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.peers[addr]
+	if !ok {
+		c = Dial(addr)
+		d.peers[addr] = c
+	}
+	return c
+}
+
+// resolve finalizes a route exactly once; later resolutions (e.g. an
+// abort racing the forwarding goroutine) are dropped.
+func (d *MixerDaemon) resolve(rt *route, err error) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rt.resolved {
+		return false
+	}
+	rt.resolved = true
+	rt.err = err
+	close(rt.done)
+	return true
+}
+
+// finish resolves the route with the outcome of this daemon's data-plane
+// role. On failure it also propagates an abort to the round's successor,
+// so the downstream chain stops waiting for chunks that will never come.
+func (d *MixerDaemon) finish(k outKey, rt *route, err error) {
+	if !d.resolve(rt, err) || err == nil {
+		return
+	}
+	if rt.successor != "" {
+		go func() {
+			_ = d.peer(rt.successor).Call("mix.round.abort", abortArgs{
+				Service: k.service, Round: k.round, Reason: err.Error(),
+			}, nil)
+		}()
+	}
+}
+
+// forward is the daemon's data-plane role for one chain-forward round,
+// run on its own goroutine once the upstream closes the stream: finish
+// the local mix (noise + shuffle), then either push the output to the
+// successor in chunks or — on the last server — build the mailboxes and
+// publish them to the CDN.
+func (d *MixerDaemon) forward(k outKey, rt *route) {
+	out, err := d.m.StreamEnd(k.service, k.round)
+	if err != nil {
+		d.finish(k, rt, err)
+		return
+	}
+	if rt.successor != "" {
+		d.finish(k, rt, d.pushDownstream(k, rt, out))
+		return
+	}
+	boxes, err := mixnet.BuildMailboxes(k.service, rt.numMailboxes, out)
+	if err != nil {
+		d.finish(k, rt, err)
+		return
+	}
+	d.finish(k, rt, PublishMailboxes(d.peer(rt.cdnAddr), k.service, k.round, boxes))
+}
+
+// pushDownstream streams a finished batch to the round's successor. The
+// opening call retries with backoff (the successor may still be coming
+// up, and an unsent begin is safe to repeat). The data calls are sent AT
+// MOST ONCE — a transparent retry after a lost reply would append a
+// chunk twice and corrupt the batch — so any mid-stream transport
+// failure aborts the round instead, and the next round carries the
+// traffic.
+func (d *MixerDaemon) pushDownstream(k outKey, rt *route, out [][]byte) error {
+	c := d.peer(rt.successor)
+	var err error
+	for attempt := 0; attempt < forwardDialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(forwardDialBackoff << (attempt - 1))
+		}
+		err = c.CallOnce("mix.stream.begin", mixArgs{
+			Service: k.service, Round: k.round, NumMailboxes: rt.numMailboxes,
+		}, nil)
+		if err == nil || !errors.Is(err, ErrTransport) {
+			// Handler errors won't improve with a re-send; only
+			// transport failures (successor still binding, stale
+			// connection) are worth the backoff.
+			break
+		}
+	}
+	if err != nil && strings.Contains(err.Error(), "stream already in progress") {
+		// A begin from an earlier attempt executed but its reply was
+		// lost. This daemon is the round's only legitimate upstream, so
+		// the open stream is ours: proceed.
+		err = nil
+	}
+	if err != nil {
+		return fmt.Errorf("rpc: opening stream to successor %s: %w", rt.successor, err)
+	}
+	chunkSize := rt.chunkSize
+	if chunkSize <= 0 {
+		chunkSize = mixnet.DefaultStreamChunk
+	}
+	if chunkSize > streamPullMax {
+		chunkSize = streamPullMax
+	}
+	for lo := 0; lo < len(out); lo += chunkSize {
+		hi := min(lo+chunkSize, len(out))
+		if err := c.CallOnce("mix.stream.chunk", mixArgs{
+			Service: k.service, Round: k.round, Batch: out[lo:hi],
+		}, nil); err != nil {
+			return fmt.Errorf("rpc: forwarding chunk to %s: %w", rt.successor, err)
+		}
+	}
+	if err := c.CallOnce("mix.stream.end", roundArgs{Service: k.service, Round: k.round}, nil); err != nil {
+		return fmt.Errorf("rpc: closing stream to %s: %w", rt.successor, err)
+	}
+	return nil
+}
+
+// RegisterMixer exposes a mixnet.Server over RPC: the legacy full-batch
+// surface, the relay streaming surface, and the chain-forward data plane
+// described at the top of this file.
+func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
+	d := &MixerDaemon{
+		m:      m,
+		outbox: make(map[outKey][][]byte),
+		routes: make(map[outKey]*route),
+		peers:  make(map[string]*Client),
+	}
+
+	HandleFunc(s, "mix.info", func(struct{}) (any, error) {
+		return MixerInfo{
+			Name:          m.Name,
+			Position:      m.Position,
+			SigningKey:    m.SigningKey(),
+			AddFriendMu:   m.AddFriendNoise.Mu,
+			DialingMu:     m.DialingNoise.Mu,
+			Streaming:     true,
+			StreamVersion: StreamVersionForward,
+		}, nil
+	})
+	HandleFunc(s, "mix.newround", func(a roundArgs) (any, error) {
+		return m.NewRound(a.Service, a.Round)
+	})
+	HandleFunc(s, "mix.setdownstream", func(a downstreamArgs) (any, error) {
+		return nil, m.SetDownstreamKeys(a.Service, a.Round, a.Keys)
+	})
+	HandleFunc(s, "mix.preparenoise", func(a mixArgs) (any, error) {
+		return nil, m.PrepareNoise(a.Service, a.Round, a.NumMailboxes)
+	})
+	HandleFunc(s, "mix.mix", func(a mixArgs) (any, error) {
+		return m.Mix(a.Service, a.Round, a.NumMailboxes, a.Batch)
+	})
+	HandleFunc(s, "mix.round.route", func(a routeArgs) (any, error) {
+		if !m.RoundOpen(a.Service, a.Round) {
+			return nil, fmt.Errorf("rpc: round %d (%s) not open", a.Round, a.Service)
+		}
+		if a.Successor == "" && a.CDNAddr == "" {
+			return nil, fmt.Errorf("rpc: round %d (%s): route needs a successor or a CDN address", a.Round, a.Service)
+		}
+		k := outKey{a.Service, a.Round}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if rt, ok := d.routes[k]; ok {
+			// Idempotent re-announce (the coordinator's call layer may
+			// retry a lost reply); a CONFLICTING route is an error.
+			if rt.successor == a.Successor && rt.cdnAddr == a.CDNAddr &&
+				rt.numMailboxes == a.NumMailboxes && rt.chunkSize == a.ChunkSize {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("rpc: round %d (%s) already routed elsewhere", a.Round, a.Service)
+		}
+		d.routes[k] = &route{
+			successor:    a.Successor,
+			cdnAddr:      a.CDNAddr,
+			numMailboxes: a.NumMailboxes,
+			chunkSize:    a.ChunkSize,
+			done:         make(chan struct{}),
+		}
+		return nil, nil
+	})
+	HandleFunc(s, "mix.round.wait", func(a roundArgs) (any, error) {
+		k := outKey{a.Service, a.Round}
+		d.mu.Lock()
+		rt := d.routes[k]
+		d.mu.Unlock()
+		if rt == nil {
+			return nil, fmt.Errorf("rpc: round %d (%s) has no route", a.Round, a.Service)
+		}
+		select {
+		case <-rt.done:
+			reply := waitReply{Done: true}
+			if rt.err != nil {
+				reply.Error = rt.err.Error()
+			}
+			return reply, nil
+		case <-time.After(waitPollInterval):
+			return waitReply{}, nil
+		}
+	})
+	HandleFunc(s, "mix.round.abort", func(a abortArgs) (any, error) {
+		k := outKey{a.Service, a.Round}
+		_ = m.StreamAbort(a.Service, a.Round)
+		d.mu.Lock()
+		delete(d.outbox, k)
+		rt := d.routes[k]
+		d.mu.Unlock()
+		if rt != nil {
+			d.finish(k, rt, fmt.Errorf("aborted: %s", a.Reason))
+		}
+		return nil, nil
+	})
+	HandleFunc(s, "mix.stream.begin", func(a mixArgs) (any, error) {
+		return nil, m.StreamBegin(a.Service, a.Round, a.NumMailboxes)
+	})
+	HandleFunc(s, "mix.stream.chunk", func(a mixArgs) (any, error) {
+		return nil, m.StreamChunk(a.Service, a.Round, a.Batch)
+	})
+	HandleFunc(s, "mix.stream.end", func(a roundArgs) (any, error) {
+		k := outKey{a.Service, a.Round}
+		d.mu.Lock()
+		rt := d.routes[k]
+		d.mu.Unlock()
+		if rt != nil {
+			// Chain-forward: acknowledge intake now; the mix and the
+			// downstream push happen on our own goroutine, and the
+			// outcome is reported through mix.round.wait.
+			go d.forward(k, rt)
+			return streamEndReply{Forwarded: true}, nil
+		}
+		out, err := m.StreamEnd(a.Service, a.Round)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		d.outbox[k] = out
+		d.mu.Unlock()
+		return streamEndReply{Total: len(out)}, nil
+	})
+	HandleFunc(s, "mix.stream.pull", func(a streamPullArgs) (any, error) {
+		if a.Max <= 0 || a.Max > streamPullMax {
+			a.Max = streamPullMax
+		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		k := outKey{a.Service, a.Round}
+		out, ok := d.outbox[k]
+		if !ok {
+			return nil, fmt.Errorf("rpc: no pending stream output for round %d (%s)", a.Round, a.Service)
+		}
+		if a.Offset < 0 || a.Offset > len(out) {
+			return nil, fmt.Errorf("rpc: stream pull offset %d out of range", a.Offset)
+		}
+		hi := a.Offset + a.Max
+		if hi >= len(out) {
+			hi = len(out)
+			defer delete(d.outbox, k) // last chunk: the batch is handed over
+		}
+		return out[a.Offset:hi], nil
+	})
+	HandleFunc(s, "mix.stream.abort", func(a roundArgs) (any, error) {
+		d.mu.Lock()
+		delete(d.outbox, outKey{a.Service, a.Round})
+		d.mu.Unlock()
+		return nil, m.StreamAbort(a.Service, a.Round)
+	})
+	HandleFunc(s, "mix.closeround", func(a roundArgs) (any, error) {
+		k := outKey{a.Service, a.Round}
+		d.mu.Lock()
+		delete(d.outbox, k)
+		rt := d.routes[k]
+		delete(d.routes, k)
+		d.mu.Unlock()
+		if rt != nil {
+			// A still-unresolved route at close time is an abandoned
+			// round; unblock any waiter.
+			d.resolve(rt, fmt.Errorf("rpc: round %d (%s) closed", a.Round, a.Service))
+		}
+		m.CloseRound(a.Service, a.Round)
+		return nil, nil
+	})
+	return d
+}
+
+// RegisterLegacyMixer exposes only the pre-streaming surface of a mixer
+// (full-batch mix.mix, StreamVersionNone). It exists so tests and the
+// bench harness can stand in for a daemon built before the streaming
+// RPCs and prove the rolling-upgrade fallback paths.
+func RegisterLegacyMixer(s *Server, m *mixnet.Server) {
+	HandleFunc(s, "mix.info", func(struct{}) (any, error) {
+		return MixerInfo{
+			Name:        m.Name,
+			Position:    m.Position,
+			SigningKey:  m.SigningKey(),
+			AddFriendMu: m.AddFriendNoise.Mu,
+			DialingMu:   m.DialingNoise.Mu,
+		}, nil
+	})
+	HandleFunc(s, "mix.newround", func(a roundArgs) (any, error) {
+		return m.NewRound(a.Service, a.Round)
+	})
+	HandleFunc(s, "mix.setdownstream", func(a downstreamArgs) (any, error) {
+		return nil, m.SetDownstreamKeys(a.Service, a.Round, a.Keys)
+	})
+	HandleFunc(s, "mix.mix", func(a mixArgs) (any, error) {
+		return m.Mix(a.Service, a.Round, a.NumMailboxes, a.Batch)
+	})
+	HandleFunc(s, "mix.closeround", func(a roundArgs) (any, error) {
+		m.CloseRound(a.Service, a.Round)
+		return nil, nil
+	})
+}
+
+// ---- CDN publish surface ----
+
+// publishBudget bounds the mailbox bytes carried by one cdn.publish call,
+// keeping frames far below the transport cap after JSON/base64 inflation.
+const publishBudget = 4 << 20
+
+type cdnBoxFragment struct {
+	ID   uint32 `json:"id"`
+	Data []byte `json:"data"`
+}
+
+type cdnPublishArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	// Boxes are mailbox fragments; fragments with the same ID across
+	// calls concatenate in arrival order, so one huge mailbox can span
+	// frames. An entry with empty Data still creates the mailbox.
+	Boxes []cdnBoxFragment `json:"boxes"`
+	// Done commits the staged round to the store.
+	Done bool `json:"done"`
+	// Abort discards the staged round (publisher failed mid-round).
+	Abort bool `json:"abort,omitempty"`
+}
+
+// stagingLimit bounds how many half-published rounds the cdn.publish
+// surface holds. A publisher that dies between fragments never sends
+// Done or Abort, so without a cap its partial mailboxes would accumulate
+// forever on a long-lived frontend; beyond the cap the oldest staged
+// round is dropped (that round already failed — its publisher is gone).
+const stagingLimit = 8
+
+// RegisterCDN exposes a cdn.Store's publish surface over RPC: the last
+// mixer of a chain-forward round streams the mailboxes here in bounded
+// frames instead of relaying them through the coordinator. Fetching
+// stays on the frontend's cdn.fetch.
+func RegisterCDN(s *Server, store *cdn.Store) {
+	var mu sync.Mutex
+	staging := make(map[outKey]map[uint32][]byte)
+	var order []outKey
+
+	drop := func(k outKey) {
+		if _, ok := staging[k]; !ok {
+			return
+		}
+		delete(staging, k)
+		for i, o := range order {
+			if o == k {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+	}
+
+	HandleFunc(s, "cdn.publish", func(a cdnPublishArgs) (any, error) {
+		k := outKey{a.Service, a.Round}
+		mu.Lock()
+		defer mu.Unlock()
+		if a.Abort {
+			drop(k)
+			return nil, nil
+		}
+		boxes, ok := staging[k]
+		if !ok {
+			boxes = make(map[uint32][]byte)
+			staging[k] = boxes
+			order = append(order, k)
+			for len(order) > stagingLimit {
+				drop(order[0])
+			}
+		}
+		for _, frag := range a.Boxes {
+			boxes[frag.ID] = append(boxes[frag.ID], frag.Data...)
+		}
+		if !a.Done {
+			return nil, nil
+		}
+		drop(k)
+		return nil, store.PublishOwned(a.Service, a.Round, boxes)
+	})
+}
+
+// PublishMailboxes streams a round's mailboxes to a cdn.publish endpoint
+// in budget-bounded calls, splitting oversized mailboxes across frames.
+// Mailboxes are sent in ID order so runs are reproducible. Fragments are
+// sent AT MOST ONCE (a transparent retry after a lost reply would
+// concatenate a fragment twice); on a mid-publish failure a best-effort
+// abort tells the endpoint to discard the staged round.
+func PublishMailboxes(c *Client, service wire.Service, round uint32, mailboxes map[uint32][]byte) error {
+	ids := make([]uint32, 0, len(mailboxes))
+	for id := range mailboxes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var frags []cdnBoxFragment
+	var pending int
+	flush := func(done bool) error {
+		if !done && len(frags) == 0 {
+			return nil
+		}
+		err := c.CallOnce("cdn.publish", cdnPublishArgs{
+			Service: service, Round: round, Boxes: frags, Done: done,
+		}, nil)
+		frags, pending = nil, 0
+		return err
+	}
+	publish := func() error {
+		for _, id := range ids {
+			data := mailboxes[id]
+			for {
+				n := min(len(data), publishBudget-pending)
+				frags = append(frags, cdnBoxFragment{ID: id, Data: data[:n]})
+				data = data[n:]
+				pending += n
+				if len(data) == 0 {
+					break
+				}
+				if err := flush(false); err != nil {
+					return err
+				}
+			}
+			if pending >= publishBudget {
+				if err := flush(false); err != nil {
+					return err
+				}
+			}
+		}
+		return flush(true)
+	}
+	if err := publish(); err != nil {
+		_ = c.Call("cdn.publish", cdnPublishArgs{Service: service, Round: round, Abort: true}, nil)
+		return err
+	}
+	return nil
+}

@@ -225,16 +225,73 @@ type Client struct {
 
 	mu   sync.Mutex
 	conn net.Conn
+
+	// Transport accounting: the chain-forward acceptance test and the
+	// bench harness use these to prove the coordinator's connections
+	// carry control messages, not batch payloads.
+	bytesSent     uint64
+	bytesReceived uint64
+	calls         map[string]uint64
+}
+
+// ClientStats is a snapshot of one client's transport accounting.
+type ClientStats struct {
+	BytesSent     uint64
+	BytesReceived uint64
+	Calls         uint64
 }
 
 // Dial creates a client for the given address. The connection is
 // established lazily and re-established after errors.
 func Dial(addr string) *Client {
-	return &Client{addr: addr, timeout: 30 * time.Second}
+	return &Client{addr: addr, timeout: 30 * time.Second, calls: make(map[string]uint64)}
+}
+
+// Stats returns cumulative bytes moved and calls made by this client,
+// counting frame headers and retried writes.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, v := range c.calls {
+		n += v
+	}
+	return ClientStats{BytesSent: c.bytesSent, BytesReceived: c.bytesReceived, Calls: n}
+}
+
+// CallCount returns how many times this client has invoked a method.
+func (c *Client) CallCount(method string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[method]
 }
 
 // Call invokes a remote method. result may be nil to discard the reply.
+//
+// On a dead connection Call transparently reconnects and re-sends ONCE,
+// which is only safe for idempotent methods: if the request executed but
+// the reply was lost, the retry executes it again. Data-plane mutations
+// that append state (stream chunks, publish fragments) must use CallOnce.
 func (c *Client) Call(method string, params any, result any) error {
+	return c.call(method, params, result, c.timeout, 2)
+}
+
+// CallOnce invokes a remote method with NO transparent retry: the request
+// is sent at most once, and any transport failure surfaces as an error.
+// Use it for non-idempotent calls; the caller recovers at a higher level
+// (a failed mix round aborts and the next round carries the traffic).
+func (c *Client) CallOnce(method string, params any, result any) error {
+	return c.call(method, params, result, c.timeout, 1)
+}
+
+// ErrTransport marks failures that happened in the transport — dialing,
+// writing, or reading a frame — as opposed to errors returned by the
+// remote handler. Callers with their own retry policy (e.g. a mixer
+// dialing a successor that is still coming up) use errors.Is(err,
+// ErrTransport) to retry only failures where re-sending can help.
+var ErrTransport = errors.New("rpc: transport failure")
+
+func (c *Client) call(method string, params any, result any, timeout time.Duration, maxAttempts int) error {
 	raw, err := json.Marshal(params)
 	if err != nil {
 		return err
@@ -246,33 +303,36 @@ func (c *Client) Call(method string, params any, result any) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// One reconnect attempt on a stale connection.
+	c.calls[method]++
+	// Reconnect attempts on a stale connection, bounded by maxAttempts.
 	for attempt := 0; ; attempt++ {
 		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+			conn, err := net.DialTimeout("tcp", c.addr, timeout)
 			if err != nil {
-				return fmt.Errorf("rpc: dialing %s: %w", c.addr, err)
+				return fmt.Errorf("%w: dialing %s: %v", ErrTransport, c.addr, err)
 			}
 			c.conn = conn
 		}
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		c.conn.SetDeadline(time.Now().Add(timeout))
+		c.bytesSent += uint64(len(req)) + 4
 		if err := writeFrame(c.conn, req); err != nil {
 			c.conn.Close()
 			c.conn = nil
-			if attempt == 0 {
+			if attempt < maxAttempts-1 {
 				continue
 			}
-			return err
+			return fmt.Errorf("%w: writing to %s: %v", ErrTransport, c.addr, err)
 		}
 		payload, err := readFrame(c.conn)
 		if err != nil {
 			c.conn.Close()
 			c.conn = nil
-			if attempt == 0 {
+			if attempt < maxAttempts-1 {
 				continue
 			}
-			return err
+			return fmt.Errorf("%w: reading from %s: %v", ErrTransport, c.addr, err)
 		}
+		c.bytesReceived += uint64(len(payload)) + 4
 		var resp response
 		if err := json.Unmarshal(payload, &resp); err != nil {
 			return err
