@@ -12,7 +12,11 @@
 //	alpenhorn-bench -exp mix-cal    # measure per-message mix cost (used by figs 8/9)
 //	alpenhorn-bench -exp mix-compare # sequential vs parallel vs pipelined round cost
 //	alpenhorn-bench -exp chain-forward # relayed vs server-forwarded data plane over TCP
+//	alpenhorn-bench -exp shard-compare # unsharded vs shard-group positions over TCP
 //	alpenhorn-bench -all            # everything
+//
+// -json FILE writes the shard-compare results as a JSON record (CI
+// uploads it per PR to track the perf trajectory).
 //
 // The -parallelism flag sets the mixers' decryption/noise worker count for
 // every experiment that runs real rounds (0 = GOMAXPROCS, 1 = the
@@ -28,6 +32,7 @@ package main
 
 import (
 	"crypto/rand"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -51,12 +56,14 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "paper figure to regenerate (6-10)")
-	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal, mix-compare, chain-forward")
+	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal, mix-compare, chain-forward, shard-compare")
 	all := flag.Bool("all", false, "run everything")
 	users := flag.Int("calibration-batch", 4000, "batch size for real-round mix calibration")
 	par := flag.Int("parallelism", 0, "mixer decryption/noise workers (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut := flag.String("json", "", "write machine-readable results (shard-compare) to this file")
 	flag.Parse()
 	parallelism = *par
+	jsonPath = *jsonOut
 
 	any := false
 	run := func(n int, name string, fn func(batch int)) {
@@ -76,6 +83,7 @@ func main() {
 	run(-1, "mix-cal", func(batch int) { fmt.Printf("mix cost: %.2f µs/message/server\n", measureMixCost(batch)*1e6) })
 	run(-1, "mix-compare", mixCompare)
 	run(-1, "chain-forward", chainForwardCompare)
+	run(-1, "shard-compare", shardCompare)
 	if !any {
 		flag.Usage()
 		os.Exit(2)
@@ -85,6 +93,9 @@ func main() {
 // parallelism is the -parallelism flag: mixer worker count for every
 // experiment that runs real rounds.
 var parallelism int
+
+// jsonPath is the -json flag: where shard-compare writes its record.
+var jsonPath string
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
@@ -333,6 +344,168 @@ func chainForwardCompare(batchSize int) {
 	}
 	fmt.Println("\n(chain-forward moves the per-hop batch traffic off the coordinator;")
 	fmt.Println(" the remaining coordinator bytes are the entry batch to mixer 0 plus control)")
+}
+
+// shardCompare measures intra-round mixer sharding over real TCP: the
+// same dialing round run through (a) three unsharded daemons and (b)
+// three positions each sharded across two daemons (six total). Sharding
+// splits each position's onion peeling and noise generation across
+// machines, at the cost of an intra-group merge hop before the
+// position's full-batch shuffle; on a single box the win is bounded by
+// core count, so this experiment primarily records the TRAJECTORY (and
+// proves the sharded plane end-to-end) — the -json record is uploaded
+// per PR by CI.
+func shardCompare(batchSize int) {
+	header("Shard groups: one position per machine vs two machines per position (over TCP)")
+	fmt.Printf("dialing, batch %d, GOMAXPROCS %d\n\n", batchSize, runtime.GOMAXPROCS(0))
+
+	type modeResult struct {
+		Name        string  `json:"name"`
+		ShardsPer   int     `json:"shards_per_position"`
+		Seconds     float64 `json:"seconds"`
+		CoordMB     float64 `json:"coordinator_mb"`
+		Published   bool    `json:"published"`
+		MergeShards int     `json:"daemons_total"`
+	}
+
+	runMode := func(shardsPerPos int) modeResult {
+		const positions = 3
+		nz := noise.Laplace{Mu: 2, B: 0}
+		var servers []*rpc.Server
+		defer func() {
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		leads := make([]*rpc.MixerClient, 0, positions)
+		extras := make([][]coordinator.Mixer, positions)
+		var all []*rpc.MixerClient
+		for i := 0; i < positions; i++ {
+			for s := 0; s < shardsPerPos; s++ {
+				cfg := mixnet.Config{
+					Name: "m", Position: i, ChainLength: positions,
+					AddFriendNoise: &nz, DialingNoise: &nz,
+					Parallelism: parallelism,
+				}
+				if shardsPerPos > 1 {
+					cfg.ShardIndex, cfg.ShardCount = s, shardsPerPos
+				}
+				m, err := mixnet.New(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				srv := rpc.NewServer()
+				rpc.RegisterMixer(srv, m)
+				addr, err := srv.Listen("127.0.0.1:0")
+				if err != nil {
+					log.Fatal(err)
+				}
+				servers = append(servers, srv)
+				mc, err := rpc.DialMixer(addr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				all = append(all, mc)
+				if s == 0 {
+					leads = append(leads, mc)
+				} else {
+					extras[i] = append(extras[i], mc)
+				}
+			}
+		}
+		store := cdn.NewStore(2)
+		cdnSrv := rpc.NewServer()
+		rpc.RegisterCDN(cdnSrv, store)
+		cdnAddr, err := cdnSrv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, cdnSrv)
+
+		e := entry.New()
+		coord := &coordinator.Coordinator{
+			Entry: e, CDN: store,
+			TargetRequestsPerMailbox: 24000,
+			ChainForward:             true,
+			CDNAddr:                  cdnAddr,
+			Shards:                   extras,
+		}
+		for _, mc := range leads {
+			coord.Mixers = append(coord.Mixers, mc)
+		}
+		coord.SetExpectedVolume(wire.Dialing, batchSize)
+		settings, err := coord.OpenDialingRound(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		batch, err := sim.GenerateBatch(nil, settings, sim.Workload{
+			Real: batchSize / 20, Cover: batchSize - batchSize/20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, onion := range batch {
+			if err := e.Submit(wire.Dialing, 1, onion); err != nil {
+				log.Fatal(err)
+			}
+		}
+		before := uint64(0)
+		for _, mc := range all {
+			st := mc.TransportStats()
+			before += st.BytesSent + st.BytesReceived
+		}
+		start := time.Now()
+		if _, err := coord.CloseRound(wire.Dialing, 1); err != nil {
+			log.Fatal(err)
+		}
+		after := uint64(0)
+		for _, mc := range all {
+			st := mc.TransportStats()
+			after += st.BytesSent + st.BytesReceived
+		}
+		name := "unsharded (1 daemon per position)"
+		if shardsPerPos > 1 {
+			name = fmt.Sprintf("sharded (%d daemons per position)", shardsPerPos)
+		}
+		return modeResult{
+			Name:        name,
+			ShardsPer:   shardsPerPos,
+			Seconds:     time.Since(start).Seconds(),
+			CoordMB:     float64(after-before) / 1e6,
+			Published:   store.Published(wire.Dialing, 1),
+			MergeShards: positions * shardsPerPos,
+		}
+	}
+
+	var results []modeResult
+	for _, shardsPerPos := range []int{1, 2} {
+		r := runMode(shardsPerPos)
+		status := "ok"
+		if !r.Published {
+			status = "NOT PUBLISHED"
+		}
+		fmt.Printf("%-44s %8.3f s   %8.2f MB coordinator traffic   %s\n", r.Name, r.Seconds, r.CoordMB, status)
+		results = append(results, r)
+	}
+	fmt.Println("\n(each position's peel + noise splits across its shards; the position's")
+	fmt.Println(" permutation stays one full-batch shuffle, run at the group's merge)")
+
+	if jsonPath != "" {
+		record := struct {
+			Experiment string       `json:"experiment"`
+			Batch      int          `json:"batch"`
+			GoMaxProcs int          `json:"gomaxprocs"`
+			Modes      []modeResult `json:"modes"`
+		}{"shard-compare", batchSize, runtime.GOMAXPROCS(0), results}
+		data, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
 }
 
 // measureIBEDecrypt returns seconds per trial decryption with our pairing.

@@ -252,8 +252,28 @@ func confirmFromInbox(client *alpenhorn.Client, emailAddr, inboxDir string, numP
 }
 
 // roundLoop participates in every round the deployment announces.
+//
+// Dialing rounds are scanned through the client's BOUNDED backlog: every
+// published round is queued (core.Client.QueueDialScans, which drops the
+// oldest rounds with a logged count once the client is too far behind)
+// and drained in order. A round whose scan keeps failing is skipped after
+// a few attempts — §5.1's give-up-and-advance move — so one bad mailbox
+// fetch cannot wedge the loop.
 func roundLoop(client *core.Client, frontend *rpc.FrontendClient, stop <-chan struct{}) {
-	var lastAFSubmit, lastAFScan, lastDLSubmit, lastDLScan uint32
+	var lastAFSubmit, lastAFScan, lastDLSubmit uint32
+	// A failing scan retries only while its round stays at the backlog
+	// head, with a TIME budget (not an attempt count — attempts are
+	// coupled to the poll interval, and §5.1's give-up is "after some
+	// time", not after 1.5 seconds of a frontend restart). Giving up
+	// advances the keywheels, which permanently destroys that round's
+	// incoming calls, so the budget errs long; it also bounds the
+	// head-of-line stall a CDN-evicted round can cause. One
+	// round+deadline pair (not a per-round map, which would leak entries
+	// for rounds the backlog cap later drops) tracks it.
+	const scanRetryBudget = 5 * time.Minute
+	var retryRound uint32
+	var retryDeadline time.Time
+	var retryLogged bool
 	ticker := time.NewTicker(500 * time.Millisecond)
 	defer ticker.Stop()
 	for {
@@ -286,12 +306,33 @@ func roundLoop(client *core.Client, frontend *rpc.FrontendClient, stop <-chan st
 					log.Printf("dialing round %d submit: %v (will retry next round)", st.CurrentOpen, err)
 				}
 			}
-			if st.LatestPublished > lastDLScan && st.LatestPublished == lastDLSubmit {
-				if err := client.ScanDialRound(st.LatestPublished); err == nil {
-					lastDLScan = st.LatestPublished
-				} else {
-					log.Printf("dialing round %d scan: %v", st.LatestPublished, err)
+			if st.LatestPublished > 0 {
+				client.QueueDialScans(st.LatestPublished)
+			}
+			for {
+				round, ok := client.NextDialScan()
+				if !ok {
+					break
 				}
+				if round != retryRound {
+					retryRound, retryDeadline = round, time.Now().Add(scanRetryBudget)
+					retryLogged = false
+				}
+				err := client.ScanDialRound(round)
+				if err == nil {
+					continue
+				}
+				if time.Now().After(retryDeadline) {
+					log.Printf("dialing round %d scan: %v (giving up after %v, advancing keywheels)", round, err, scanRetryBudget)
+					client.SkipDialRound(round)
+					continue
+				}
+				if !retryLogged {
+					log.Printf("dialing round %d scan: %v (retrying for up to %v)", round, err, scanRetryBudget)
+					retryLogged = true
+				}
+				client.RequeueDialScan(round)
+				break
 			}
 		}
 	}

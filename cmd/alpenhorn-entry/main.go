@@ -7,6 +7,12 @@
 //	    -mixers localhost:7101,localhost:7102,localhost:7103 \
 //	    -addfriend-interval 30s -dialing-interval 10s
 //
+// -mixers is a flat list: daemons are grouped into chain positions (and,
+// when several daemons advertise the same position with -shard i/N, into
+// that position's shard group) by what each daemon reports. Sharded
+// positions require the chain-forward data plane (-chain-forward, the
+// default).
+//
 // Clients connect here, fetch the deployment directory (server addresses
 // and pinned keys), and then poll round status to participate.
 package main
@@ -58,16 +64,59 @@ func main() {
 		dir.PKGBLSKeys = append(dir.PKGBLSKeys, info.BLSKey)
 		pkgs = append(pkgs, pc)
 	}
-	var mixers []coordinator.Mixer
+	// Group mixers into per-position shard sets by what each daemon
+	// advertises (-position and -shard i/N). Clients only ever see one
+	// key per POSITION — a shard group is one logical mixer, so the
+	// directory and round settings are identical to an unsharded chain.
+	byPosition := make(map[int]map[int]*rpc.MixerClient)
 	for _, a := range strings.Split(*mixerAddrs, ",") {
 		mc, err := rpc.DialMixer(a)
 		if err != nil {
 			log.Fatalf("connecting to mixer %s: %v", a, err)
 		}
 		info := mc.Info()
-		log.Printf("mixer %s (%s, position %d) key %x…", a, info.Name, info.Position, info.SigningKey[:8])
-		dir.MixerKeys = append(dir.MixerKeys, info.SigningKey)
-		mixers = append(mixers, mc)
+		count := info.ShardCount
+		if count == 0 {
+			count = 1
+		}
+		log.Printf("mixer %s (%s, position %d, shard %d/%d) key %x…", a, info.Name, info.Position, info.ShardIndex, count, info.SigningKey[:8])
+		group := byPosition[info.Position]
+		if group == nil {
+			group = make(map[int]*rpc.MixerClient)
+			byPosition[info.Position] = group
+		}
+		if _, dup := group[info.ShardIndex]; dup {
+			log.Fatalf("two mixers advertise position %d shard %d", info.Position, info.ShardIndex)
+		}
+		group[info.ShardIndex] = mc
+	}
+	var mixers []coordinator.Mixer
+	shards := make([][]coordinator.Mixer, len(byPosition))
+	for i := 0; i < len(byPosition); i++ {
+		group, ok := byPosition[i]
+		if !ok {
+			log.Fatalf("no mixer advertises position %d (positions must be contiguous from 0)", i)
+		}
+		for s := 0; s < len(group); s++ {
+			mc, ok := group[s]
+			if !ok {
+				log.Fatalf("position %d: no mixer advertises shard %d (shard indices must be contiguous from 0)", i, s)
+			}
+			if want := mc.Info().ShardCount; want != 0 && want != len(group) {
+				log.Fatalf("position %d: shard %d expects a group of %d, found %d", i, s, want, len(group))
+			}
+			if s == 0 {
+				// The lead announces the position's round keys; its
+				// signing key is the one clients pin.
+				dir.MixerKeys = append(dir.MixerKeys, mc.Info().SigningKey)
+				mixers = append(mixers, mc)
+			} else {
+				shards[i] = append(shards[i], mc)
+			}
+		}
+		if len(group) > 1 {
+			log.Printf("position %d is sharded across %d daemons (lead %s)", i, len(group), group[0].Addr())
+		}
 	}
 	dir.NumMixers = len(mixers)
 
@@ -76,9 +125,11 @@ func main() {
 	coord := &coordinator.Coordinator{
 		Entry:                    e,
 		Mixers:                   mixers,
+		Shards:                   shards,
 		PKGs:                     pkgs,
 		CDN:                      store,
 		TargetRequestsPerMailbox: 24000,
+		Logger:                   log.Default(),
 	}
 	if *chainForward {
 		// The publish surface gets its own listener: it is a WRITE

@@ -8,6 +8,19 @@
 //	alpenhorn-mixer -addr :7102 -position 1 -chain 3
 //	alpenhorn-mixer -addr :7103 -position 2 -chain 3
 //
+// One position may be SHARDED across several machines run by the same
+// operator — they jointly peel the position's batch, divide its noise,
+// and merge into a single full-batch shuffle on shard 0 (the lead):
+//
+//	alpenhorn-mixer -addr :7102 -position 1 -chain 3 -shard 0/2
+//	alpenhorn-mixer -addr :7112 -position 1 -chain 3 -shard 1/2
+//
+// The entry daemon groups mixers by their advertised position and shard
+// index; the coordinator plans the shard routes each round. Shard 0
+// generates the position's round key (the other shards pull it over the
+// server plane — keep mixer addresses off the client network) and hosts
+// the group's merge, so give it the beefiest machine.
+//
 // The daemon serves both data planes: coordinator-relayed streaming, and
 // chain-forwarding, where the coordinator assigns it a successor address
 // each round (mix.round.route) and the daemon pushes its post-shuffle
@@ -23,6 +36,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -43,7 +57,16 @@ func main() {
 	dlMu := flag.Float64("dialing-mu", noise.DialingNoise.Mu, "mean dialing noise per mailbox")
 	dlB := flag.Float64("dialing-b", noise.DialingNoise.B, "dialing noise scale (0 = deterministic)")
 	legacy := flag.Bool("legacy", false, "serve only the pre-streaming RPC surface (rolling-upgrade rehearsal)")
+	shard := flag.String("shard", "", "shard identity i/N when N daemons jointly serve this position (e.g. 0/2; shard 0 leads the group)")
 	flag.Parse()
+
+	shardIndex, shardCount := 0, 0
+	if *shard != "" {
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &shardIndex, &shardCount); err != nil ||
+			shardCount < 1 || shardIndex < 0 || shardIndex >= shardCount {
+			log.Fatalf("bad -shard %q: want i/N with 0 <= i < N", *shard)
+		}
+	}
 
 	m, err := mixnet.New(mixnet.Config{
 		Name:           *name,
@@ -51,6 +74,8 @@ func main() {
 		ChainLength:    *chain,
 		AddFriendNoise: &noise.Laplace{Mu: *afMu, B: *afB},
 		DialingNoise:   &noise.Laplace{Mu: *dlMu, B: *dlB},
+		ShardIndex:     shardIndex,
+		ShardCount:     shardCount,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -67,7 +92,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("alpenhorn-mixer %q (position %d/%d) listening on %s (legacy=%v)", *name, *position, *chain, bound, *legacy)
+	shardLabel := "unsharded"
+	if shardCount > 0 {
+		shardLabel = fmt.Sprintf("shard %d/%d", shardIndex, shardCount)
+	}
+	log.Printf("alpenhorn-mixer %q (position %d/%d, %s) listening on %s (legacy=%v)", *name, *position, *chain, shardLabel, bound, *legacy)
 	log.Printf("long-term signing key: %x", m.SigningKey())
 
 	sig := make(chan os.Signal, 1)

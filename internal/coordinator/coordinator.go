@@ -15,7 +15,7 @@
 //     daemons): each mixer daemon pushes its post-shuffle output directly
 //     to its successor, and the last daemon builds the mailboxes and
 //     publishes them straight to the CDN. The coordinator only streams
-//     the entry server's batch to the FIRST mixer and then exchanges
+//     the entry server's batch to the FIRST position and then exchanges
 //     control messages — route announcements, completion waits, aborts.
 //     At paper scale (~24k-request mailboxes, millions of onions) this
 //     keeps the coordinator off the bandwidth-critical path entirely.
@@ -27,6 +27,31 @@
 //
 //   - Sequential (benchmarks): strict stage-by-stage full-batch Mix
 //     calls, the unpipelined baseline.
+//
+// # Shard groups
+//
+// On the chain-forward plane, one chain position may be SHARDED across
+// several daemons (Shards): the coordinator plans the group each round
+// and announces it through the routes. Shard 0 of a group — its LEAD —
+// generates and announces the position's one round key (the other shards
+// pull it from the lead directly; the private key never crosses the
+// coordinator), hosts the group's merge, and is where the position's
+// single full-batch shuffle runs. Every member learns its shard index
+// and group size at round open (SetRoundShard, before noise generation,
+// because the group divides the position's per-mailbox noise), and the
+// routes give each merge server the successor position's FULL shard set
+// so it can deal its post-shuffle chunks across them. Aborts fan out to
+// every shard of every position. Clients never see any of this: round
+// settings carry one key per position either way.
+//
+// Sharded rounds have NO fallback plane — the noise was divided at round
+// open, so if the fleet cannot run the sharded chain-forward plane the
+// round fails at open rather than running with an eroded noise floor.
+//
+// The coordinator also keeps per-round health (Status): wall time,
+// batch size, and — for forwarded rounds — each daemon's self-reported
+// duration and batch bytes from the mix.round.wait long-poll. This is
+// the seed of the round scheduler's flap detection.
 //
 // One add-friend round proceeds as:
 //
@@ -50,8 +75,10 @@ package coordinator
 
 import (
 	"fmt"
+	"log"
 	"strings"
 	"sync"
+	"time"
 
 	"alpenhorn/internal/cdn"
 	"alpenhorn/internal/entry"
@@ -103,6 +130,11 @@ func supportsStreaming(m Mixer) bool {
 	return true
 }
 
+// RouteSpec is wire.RouteSpec: one daemon's forwarding assignment for a
+// round — where its output goes and, when its position is sharded, its
+// place in the shard group.
+type RouteSpec = wire.RouteSpec
+
 // ForwardMixer is the chain-forward control surface of a Mixer whose
 // daemon can push its post-shuffle output to a successor itself.
 // rpc.MixerClient implements it; in-process mixnet.Servers do not (they
@@ -115,16 +147,47 @@ type ForwardMixer interface {
 	// route/wait/abort surface (capability-version negotiation; false
 	// during a rolling upgrade from an older daemon).
 	SupportsForwarding() bool
-	// OpenRoute tells the daemon where the round's output goes: the
-	// successor mixer's address, or the CDN publish address for the
-	// last server.
-	OpenRoute(service wire.Service, round uint32, numMailboxes uint32, chunkSize int, successor, cdnAddr string) error
+	// OpenRoute tells the daemon where the round's output goes and its
+	// shard-group placement, if any.
+	OpenRoute(service wire.Service, round uint32, spec RouteSpec) error
 	// WaitRound blocks until the daemon's data-plane role in the round
-	// completes, returning its error if it failed or was aborted.
-	WaitRound(service wire.Service, round uint32) error
+	// completes, returning the daemon's self-reported duration and byte
+	// counts, and its error if it failed or was aborted.
+	WaitRound(service wire.Service, round uint32) (wire.MixerRoundStats, error)
 	// AbortRound discards the daemon's in-flight stream and route,
 	// unblocking any waiter; the daemon propagates the abort downstream.
 	AbortRound(service wire.Service, round uint32, reason string) error
+}
+
+// ShardMixer is the shard-group control surface of a Mixer: per-round
+// shard layout and group key exchange. rpc.MixerClient implements it for
+// StreamVersionShard daemons.
+type ShardMixer interface {
+	// SetRoundShard places the daemon in the round's shard group for
+	// its position (shard index of count). Must precede PrepareNoise:
+	// the group divides the position's per-mailbox noise.
+	SetRoundShard(service wire.Service, round uint32, index, count int) error
+	// ImportRoundKeyFrom makes the daemon pull the position's round
+	// onion key directly from the group's lead — the private key moves
+	// inside the group's trust domain, the coordinator only names the
+	// source.
+	ImportRoundKeyFrom(service wire.Service, round uint32, leadAddr string) error
+}
+
+// shardCapable mirrors streamCapable for the shard-group surface.
+type shardCapable interface {
+	SupportsSharding() bool
+}
+
+// supportsSharding reports whether m's shard surface is usable. Unlike
+// streaming (default true for in-process servers), sharding defaults to
+// FALSE: it only exists across daemons, and a silent downgrade would
+// break the noise-division invariant.
+func supportsSharding(m Mixer) bool {
+	if sc, ok := m.(shardCapable); ok {
+		return sc.SupportsSharding()
+	}
+	return false
 }
 
 // PKG is the coordinator's view of one PKG server. It is satisfied by
@@ -141,6 +204,16 @@ type Coordinator struct {
 	Mixers []Mixer
 	PKGs   []PKG
 	CDN    *cdn.Store
+
+	// Shards lists ADDITIONAL shard daemons per chain position:
+	// position i is served by Mixers[i] (shard 0 — the group's lead,
+	// key source, and merge server) plus Shards[i] (shards 1..N-1), in
+	// shard-index order. A nil or empty entry leaves the position
+	// unsharded. Sharded rounds require the chain-forward data plane
+	// and shard-capable daemons everywhere; there is no silent
+	// fallback, because the shards divide the position's noise at round
+	// open.
+	Shards [][]Mixer
 
 	// TargetRequestsPerMailbox controls how many requests (real + noise)
 	// the coordinator aims to put in one mailbox; the paper sizes
@@ -169,10 +242,87 @@ type Coordinator struct {
 	// coordinator's own frontend). Required for ChainForward rounds.
 	CDNAddr string
 
+	// Logger, when set, gets one round-health line per closed round.
+	Logger *log.Logger
+
 	// ExpectedVolume estimates the next round's request count for
 	// mailbox sizing. Updated from each observed batch.
 	mu             sync.Mutex
 	expectedVolume map[wire.Service]int
+	health         []RoundHealth
+}
+
+// healthRing bounds how many recent rounds Status retains.
+const healthRing = 8
+
+// DaemonRoundStats is one daemon's outcome in a closed round, built from
+// its mix.round.wait reply.
+type DaemonRoundStats struct {
+	Position int
+	Shard    int
+	Addr     string
+	Stats    wire.MixerRoundStats
+	Err      string
+}
+
+// RoundHealth is the coordinator's record of one closed round: overall
+// wall time plus each daemon's self-reported duration and batch bytes.
+// The scheduler seed for skipping or replacing a flapping daemon.
+type RoundHealth struct {
+	Service  wire.Service
+	Round    uint32
+	Batch    int
+	Duration time.Duration
+	// Forwarded reports which data plane ran; per-daemon stats exist
+	// only for forwarded rounds (they come from mix.round.wait).
+	Forwarded bool
+	Daemons   []DaemonRoundStats
+	Err       string
+}
+
+// String renders the health record as the coordinator's per-round log line.
+func (h RoundHealth) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v round %d: batch=%d duration=%s", h.Service, h.Round, h.Batch, h.Duration.Round(time.Millisecond))
+	if !h.Forwarded {
+		b.WriteString(" plane=relayed")
+	}
+	if h.Err != "" {
+		fmt.Fprintf(&b, " err=%q", h.Err)
+	}
+	for _, d := range h.Daemons {
+		fmt.Fprintf(&b, " pos%d/s%d=%s/%dKB-in/%dKB-out",
+			d.Position, d.Shard, d.Stats.Duration.Round(time.Millisecond),
+			d.Stats.BytesIn/1024, d.Stats.BytesOut/1024)
+		if d.Err != "" {
+			fmt.Fprintf(&b, "(err=%q)", d.Err)
+		}
+	}
+	return b.String()
+}
+
+// Status returns the health records of recent rounds, newest last. The
+// slice is a copy; callers may keep it.
+func (c *Coordinator) Status() []RoundHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RoundHealth, len(c.health))
+	copy(out, c.health)
+	return out
+}
+
+// recordHealth appends a round's health to the bounded ring and emits the
+// per-round log line.
+func (c *Coordinator) recordHealth(h RoundHealth) {
+	c.mu.Lock()
+	c.health = append(c.health, h)
+	if len(c.health) > healthRing {
+		c.health = c.health[len(c.health)-healthRing:]
+	}
+	c.mu.Unlock()
+	if c.Logger != nil {
+		c.Logger.Printf("round health: %s", h)
+	}
 }
 
 // New creates a coordinator over in-process servers, the common case for
@@ -303,7 +453,39 @@ func (c *Coordinator) OpenDialingRound(round uint32) (*wire.RoundSettings, error
 	return settings, nil
 }
 
+// shardGroup returns position i's full shard set: Mixers[i] (the lead,
+// shard 0) plus Shards[i].
+func (c *Coordinator) shardGroup(i int) []Mixer {
+	group := []Mixer{c.Mixers[i]}
+	if i < len(c.Shards) {
+		group = append(group, c.Shards[i]...)
+	}
+	return group
+}
+
+// sharded reports whether any chain position has more than one shard.
+func (c *Coordinator) sharded() bool {
+	for _, extra := range c.Shards {
+		if len(extra) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
+	if c.sharded() {
+		if c.Sequential {
+			return fmt.Errorf("coordinator: sharded positions cannot run the sequential data plane")
+		}
+		if !c.ChainForward || c.CDNAddr == "" {
+			return fmt.Errorf("coordinator: sharded positions require the chain-forward data plane and a CDN address")
+		}
+	}
+	// The position LEADS announce the round keys: clients wrap one onion
+	// layer per position, so a shard group shares one key, generated by
+	// its lead and announced once. The settings are identical whether or
+	// not any position is sharded — sharding is invisible to clients.
 	keys := make([][]byte, len(c.Mixers))
 	settings.Mixers = make([]wire.MixerRoundKey, len(c.Mixers))
 	err := fanOut(len(c.Mixers), func(i int) error {
@@ -318,25 +500,71 @@ func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
 	if err != nil {
 		return err
 	}
-	// Each mixer needs the onion keys of the servers after it to wrap its
-	// noise; with the keys distributed, every server can generate its
-	// round noise concurrently with client intake, so the mix never waits
-	// for it. (Sequential mode skips the preparation — it benchmarks the
-	// unpipelined chain, where noise generation happens inside Mix.)
-	return fanOut(len(c.Mixers), func(i int) error {
-		m := c.Mixers[i]
-		if err := m.SetDownstreamKeys(settings.Service, settings.Round, keys[i+1:]); err != nil {
-			return fmt.Errorf("coordinator: mixer %d downstream keys: %w", i, err)
+	if c.sharded() {
+		if err := c.openShardGroups(settings.Service, settings.Round); err != nil {
+			return err
 		}
-		if c.Sequential {
+	}
+	// Every shard of every position needs the onion keys of the
+	// POSITIONS after it to wrap its noise; with the keys distributed,
+	// every server can generate its round noise concurrently with client
+	// intake, so the mix never waits for it. (Sequential mode skips the
+	// preparation — it benchmarks the unpipelined chain, where noise
+	// generation happens inside Mix.)
+	return fanOut(len(c.Mixers), func(i int) error {
+		group := c.shardGroup(i)
+		return fanOut(len(group), func(s int) error {
+			m := group[s]
+			if err := m.SetDownstreamKeys(settings.Service, settings.Round, keys[i+1:]); err != nil {
+				return fmt.Errorf("coordinator: mixer %d/%d downstream keys: %w", i, s, err)
+			}
+			if c.Sequential {
+				return nil
+			}
+			if np, ok := m.(NoisePreparer); ok && supportsStreaming(m) {
+				if err := np.PrepareNoise(settings.Service, settings.Round, settings.NumMailboxes); err != nil {
+					return fmt.Errorf("coordinator: mixer %d/%d prepare noise: %w", i, s, err)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// openShardGroups prepares every sharded position for the round: the
+// group members pull the lead's round key (one key per position — shards
+// are one logical server), and every member, lead included, learns its
+// shard index and group size so its noise share divides correctly. Runs
+// strictly before PrepareNoise.
+func (c *Coordinator) openShardGroups(service wire.Service, round uint32) error {
+	return fanOut(len(c.Mixers), func(i int) error {
+		group := c.shardGroup(i)
+		if len(group) == 1 {
 			return nil
 		}
-		if np, ok := m.(NoisePreparer); ok && supportsStreaming(m) {
-			if err := np.PrepareNoise(settings.Service, settings.Round, settings.NumMailboxes); err != nil {
-				return fmt.Errorf("coordinator: mixer %d prepare noise: %w", i, err)
-			}
+		lead, ok := c.Mixers[i].(ForwardMixer)
+		if !ok || !lead.SupportsForwarding() || !supportsSharding(c.Mixers[i]) {
+			return fmt.Errorf("coordinator: position %d is sharded but its lead cannot serve a shard group", i)
 		}
-		return nil
+		// Members are independent of one another (only import-before-
+		// layout matters, per member), so the group fans out like every
+		// other daemon RPC.
+		return fanOut(len(group), func(s int) error {
+			m := group[s]
+			sm, ok := m.(ShardMixer)
+			if !ok || !supportsSharding(m) {
+				return fmt.Errorf("coordinator: position %d shard %d does not support shard groups", i, s)
+			}
+			if s > 0 {
+				if err := sm.ImportRoundKeyFrom(service, round, lead.Addr()); err != nil {
+					return fmt.Errorf("coordinator: position %d shard %d importing round key: %w", i, s, err)
+				}
+			}
+			if err := sm.SetRoundShard(service, round, s, len(group)); err != nil {
+				return fmt.Errorf("coordinator: position %d shard %d layout: %w", i, s, err)
+			}
+			return nil
+		})
 	})
 }
 
@@ -363,6 +591,7 @@ func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
 // round); callers MUST treat the mailboxes as read-only. Mutating them
 // would corrupt what the CDN serves.
 func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32][]byte, error) {
+	start := time.Now()
 	settings, err := c.Entry.Settings(service, round)
 	if err != nil {
 		return nil, err
@@ -396,8 +625,21 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	// that outlive their round are a forward-secrecy hazard.
 	defer c.closeMixerRounds(service, round)
 
-	if fwd := c.forwardMixers(); fwd != nil {
-		if err := c.runChainForwarded(service, round, settings.NumMailboxes, batch, chunkSize, fwd); err != nil {
+	groups, err := c.forwardGroups()
+	if err != nil {
+		return nil, err
+	}
+	if groups != nil {
+		daemons, err := c.runChainForwarded(service, round, settings.NumMailboxes, batch, chunkSize, groups)
+		h := RoundHealth{
+			Service: service, Round: round, Batch: len(batch),
+			Duration: time.Since(start), Forwarded: true, Daemons: daemons,
+		}
+		if err != nil {
+			h.Err = err.Error()
+		}
+		c.recordHealth(h)
+		if err != nil {
 			return nil, err
 		}
 		return nil, nil
@@ -405,6 +647,7 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 
 	final, err := c.runChain(service, round, settings.NumMailboxes, mixnet.ChunkSource(batch, chunkSize), chunkSize)
 	if err != nil {
+		c.recordHealth(RoundHealth{Service: service, Round: round, Batch: len(batch), Duration: time.Since(start), Err: err.Error()})
 		return nil, err
 	}
 	mailboxes, err := mixnet.BuildMailboxes(service, settings.NumMailboxes, final)
@@ -420,96 +663,170 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	if err := c.CDN.PublishOwned(service, round, published); err != nil {
 		return nil, err
 	}
+	c.recordHealth(RoundHealth{Service: service, Round: round, Batch: len(batch), Duration: time.Since(start)})
 	return mailboxes, nil
 }
 
-// closeMixerRounds erases every mixer's round key, fanning the calls out
-// (each is a network round trip against daemons). Erasure failures are
-// the daemons' problem — CloseRound is fire-and-forget, like the
-// in-process API.
+// closeMixerRounds erases the round key on every shard of every position,
+// fanning the calls out (each is a network round trip against daemons).
+// Erasure failures are the daemons' problem — CloseRound is
+// fire-and-forget, like the in-process API.
 func (c *Coordinator) closeMixerRounds(service wire.Service, round uint32) {
 	_ = fanOut(len(c.Mixers), func(i int) error {
-		c.Mixers[i].CloseRound(service, round)
+		for _, m := range c.shardGroup(i) {
+			m.CloseRound(service, round)
+		}
 		return nil
 	})
 }
 
-// forwardMixers returns the chain as ForwardMixers when the chain-forward
-// data plane is usable: ChainForward is set, a CDN publish address exists,
-// and every mixer supports both streaming and forwarding. Otherwise nil,
-// and the round falls back to the coordinator-relayed pipeline.
-func (c *Coordinator) forwardMixers() []ForwardMixer {
-	if !c.ChainForward || c.Sequential || c.CDNAddr == "" || len(c.Mixers) == 0 {
-		return nil
-	}
-	fwd := make([]ForwardMixer, len(c.Mixers))
-	for i, m := range c.Mixers {
-		fm, ok := m.(ForwardMixer)
-		if !ok || !fm.SupportsForwarding() || !supportsStreaming(m) {
-			return nil
+// forwardGroups returns the chain as per-position ForwardMixer shard
+// groups when the chain-forward data plane is usable: ChainForward is
+// set, a CDN publish address exists, and every daemon supports streaming
+// and forwarding (plus the shard surface wherever a position is
+// sharded). An unsharded fleet that can't forward returns nil and the
+// round falls back to the coordinator-relayed pipeline; a SHARDED fleet
+// that can't forward is an error — the noise was divided at round open,
+// so no other data plane can run this round.
+func (c *Coordinator) forwardGroups() ([][]ForwardMixer, error) {
+	sharded := c.sharded()
+	usable := c.ChainForward && !c.Sequential && c.CDNAddr != "" && len(c.Mixers) > 0
+	if !usable {
+		if sharded {
+			return nil, fmt.Errorf("coordinator: sharded positions require the chain-forward data plane")
 		}
-		if _, ok := m.(StreamMixer); !ok {
-			return nil
-		}
-		fwd[i] = fm
+		return nil, nil
 	}
-	return fwd
+	groups := make([][]ForwardMixer, len(c.Mixers))
+	for i := range c.Mixers {
+		group := c.shardGroup(i)
+		groups[i] = make([]ForwardMixer, len(group))
+		for s, m := range group {
+			fm, isForward := m.(ForwardMixer)
+			_, isStream := m.(StreamMixer)
+			ok := isForward && isStream && fm.SupportsForwarding() && supportsStreaming(m)
+			if ok && sharded && !supportsSharding(m) {
+				ok = false
+			}
+			if !ok {
+				if sharded {
+					return nil, fmt.Errorf("coordinator: position %d shard %d cannot serve a sharded chain-forward round", i, s)
+				}
+				return nil, nil
+			}
+			groups[i][s] = fm
+		}
+	}
+	return groups, nil
+}
+
+// routedDaemon is one daemon's place in a forwarded round's route graph.
+type routedDaemon struct {
+	pos, shard int
+	fm         ForwardMixer
+}
+
+func flattenGroups(groups [][]ForwardMixer) []routedDaemon {
+	var all []routedDaemon
+	for i, group := range groups {
+		for s, fm := range group {
+			all = append(all, routedDaemon{pos: i, shard: s, fm: fm})
+		}
+	}
+	return all
 }
 
 // runChainForwarded drives the chain-forward data plane: open a route on
 // every daemon (back to front, so each successor is routed before its
-// predecessor could possibly forward), stream the entry batch to the
-// first mixer, then wait on every daemon's completion. On the first
-// failure the round is aborted everywhere — daemons also propagate aborts
-// down the chain themselves, so a mid-chain death cannot wedge its
-// successors.
-func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int, fwd []ForwardMixer) error {
+// predecessor could possibly forward), deal the entry batch across the
+// first position's shard set, then wait on every daemon's completion.
+// Routes announce the shard topology per position: every member learns
+// its shard index and group size, non-merge shards learn their group's
+// merge address, and each merge server learns the successor position's
+// FULL shard set. On the first failure the round is aborted on every
+// shard of every position — daemons also propagate aborts down the chain
+// and across their groups themselves, so a mid-chain death cannot wedge
+// its successors.
+//
+// The returned per-daemon stats (from mix.round.wait) feed the round
+// health record even when the round fails.
+func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int, groups [][]ForwardMixer) ([]DaemonRoundStats, error) {
+	all := flattenGroups(groups)
 	abortAll := func(reason error) {
-		_ = fanOut(len(fwd), func(i int) error {
-			return fwd[i].AbortRound(service, round, reason.Error())
+		_ = fanOut(len(all), func(i int) error {
+			return all[i].fm.AbortRound(service, round, reason.Error())
 		})
 	}
 
-	for i := len(fwd) - 1; i >= 0; i-- {
-		successor, cdnAddr := "", ""
-		if i == len(fwd)-1 {
+	for i := len(groups) - 1; i >= 0; i-- {
+		group := groups[i]
+		var successors []string
+		cdnAddr := ""
+		if i == len(groups)-1 {
 			cdnAddr = c.CDNAddr
 		} else {
-			successor = fwd[i+1].Addr()
+			for _, fm := range groups[i+1] {
+				successors = append(successors, fm.Addr())
+			}
 		}
-		if err := fwd[i].OpenRoute(service, round, numMailboxes, chunkSize, successor, cdnAddr); err != nil {
-			err = fmt.Errorf("coordinator: routing mixer %d: %w", i, err)
+		// Positions are routed back-to-front (a successor must be routed
+		// before its predecessor could forward), but the shards WITHIN a
+		// position are independent and fan out.
+		err := fanOut(len(group), func(s int) error {
+			spec := RouteSpec{
+				NumMailboxes: numMailboxes,
+				ChunkSize:    chunkSize,
+				ShardIndex:   s,
+				ShardCount:   len(group),
+			}
+			if s == 0 {
+				// The lead is the group's merge server: the position's
+				// post-shuffle output leaves the group from here.
+				spec.Successors = successors
+				spec.CDNAddr = cdnAddr
+			} else {
+				spec.MergeAddr = group[0].Addr()
+			}
+			if err := group[s].OpenRoute(service, round, spec); err != nil {
+				return fmt.Errorf("coordinator: routing mixer %d/%d: %w", i, s, err)
+			}
+			return nil
+		})
+		if err != nil {
 			abortAll(err)
-			return err
+			return nil, err
 		}
 	}
 
 	// The entry batch is the one payload the coordinator still moves: it
 	// owns the entry server, so this hop is unavoidable and costs one
 	// batch-width, not one per chain hop.
-	first := c.Mixers[0].(StreamMixer)
-	if err := c.feedFirstMixer(first, service, round, numMailboxes, batch, chunkSize); err != nil {
-		err = fmt.Errorf("coordinator: feeding mixer 0: %w", err)
+	if err := c.feedFirstGroup(service, round, numMailboxes, batch, chunkSize); err != nil {
+		err = fmt.Errorf("coordinator: feeding position 0: %w", err)
 		abortAll(err)
-		return err
+		return nil, err
 	}
 
-	errs := make([]error, len(fwd))
+	daemons := make([]DaemonRoundStats, len(all))
+	errs := make([]error, len(all))
 	var abortOnce sync.Once
 	var wg sync.WaitGroup
-	wg.Add(len(fwd))
-	for i := range fwd {
-		go func(i int) {
+	wg.Add(len(all))
+	for i, rd := range all {
+		go func(i int, rd routedDaemon) {
 			defer wg.Done()
-			if err := fwd[i].WaitRound(service, round); err != nil {
+			stats, err := rd.fm.WaitRound(service, round)
+			daemons[i] = DaemonRoundStats{Position: rd.pos, Shard: rd.shard, Addr: rd.fm.Addr(), Stats: stats}
+			if err != nil {
+				daemons[i].Err = err.Error()
 				errs[i] = err
 				// First failure: abort everywhere, which releases every
 				// other daemon's waiter too.
 				abortOnce.Do(func() {
-					abortAll(fmt.Errorf("mixer %d: %v", i, err))
+					abortAll(fmt.Errorf("mixer %d/%d: %v", rd.pos, rd.shard, err))
 				})
 			}
-		}(i)
+		}(i, rd)
 	}
 	wg.Wait()
 
@@ -519,34 +836,51 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 		if err == nil {
 			continue
 		}
-		wrapped := fmt.Errorf("coordinator: forwarded chain, mixer %d: %w", i, err)
+		wrapped := fmt.Errorf("coordinator: forwarded chain, mixer %d/%d: %w", all[i].pos, all[i].shard, err)
 		if firstErr == nil {
 			firstErr = wrapped
 		}
 		if !strings.HasPrefix(err.Error(), "aborted:") {
-			return wrapped
+			return daemons, wrapped
 		}
 	}
-	return firstErr
+	return daemons, firstErr
 }
 
-// feedFirstMixer streams the closed entry batch into the head of the
-// chain.
-func (c *Coordinator) feedFirstMixer(first StreamMixer, service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int) error {
-	if err := first.StreamBegin(service, round, numMailboxes); err != nil {
-		return err
+// feedFirstGroup deals the closed entry batch across the first position's
+// shard set, chunk i to shard i mod N — the same deterministic deal the
+// daemons use between positions. Every shard gets its own stream; an
+// unsharded first position degenerates to the single-stream feed.
+func (c *Coordinator) feedFirstGroup(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int) error {
+	group := c.shardGroup(0)
+	first := make([]StreamMixer, len(group))
+	for s, m := range group {
+		sm, ok := m.(StreamMixer)
+		if !ok {
+			return fmt.Errorf("coordinator: position 0 shard %d cannot stream", s)
+		}
+		first[s] = sm
 	}
-	for lo := 0; lo < len(batch); lo += chunkSize {
+	for s, sm := range first {
+		if err := sm.StreamBegin(service, round, numMailboxes); err != nil {
+			return fmt.Errorf("coordinator: opening stream to shard %d: %w", s, err)
+		}
+	}
+	for i, lo := 0, 0; lo < len(batch); i, lo = i+1, lo+chunkSize {
 		hi := lo + chunkSize
 		if hi > len(batch) {
 			hi = len(batch)
 		}
-		if err := first.StreamChunk(service, round, batch[lo:hi]); err != nil {
+		if err := first[i%len(first)].StreamChunk(service, round, batch[lo:hi]); err != nil {
 			return err
 		}
 	}
-	_, err := first.StreamEnd(service, round)
-	return err
+	for s, sm := range first {
+		if _, err := sm.StreamEnd(service, round); err != nil {
+			return fmt.Errorf("coordinator: closing stream to shard %d: %w", s, err)
+		}
+	}
+	return nil
 }
 
 // runChain streams the batch through the mix chain. Stages run

@@ -369,3 +369,51 @@ func TestVolumeTrackingAcrossRounds(t *testing.T) {
 		t.Fatalf("add-friend volume leaked from dialing: K = %d, want 1", k)
 	}
 }
+
+// TestRelayedRoundRecordsHealth: rounds on the coordinator-relayed data
+// plane still land in Status() — without per-daemon stats, which only
+// exist where mix.round.wait does.
+func TestRelayedRoundRecordsHealth(t *testing.T) {
+	c := newTestCoordinator(t, 2, 1)
+	if _, err := c.OpenDialingRound(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CloseRound(wire.Dialing, 1); err != nil {
+		t.Fatal(err)
+	}
+	health := c.Status()
+	if len(health) != 1 {
+		t.Fatalf("Status(): %d records, want 1", len(health))
+	}
+	h := health[0]
+	if h.Forwarded || h.Service != wire.Dialing || h.Round != 1 || h.Err != "" || len(h.Daemons) != 0 {
+		t.Fatalf("relayed health record: %+v", h)
+	}
+	if h.String() == "" {
+		t.Fatal("health log line is empty")
+	}
+}
+
+// TestShardedConfigRequiresCapableFleet: a coordinator configured with
+// shard groups must refuse to open rounds over in-process mixers (no
+// forwarding, no shard surface) instead of silently degrading — the
+// shards would have divided the position's noise.
+func TestShardedConfigRequiresCapableFleet(t *testing.T) {
+	c := newTestCoordinator(t, 2, 1)
+	nz := noise.Laplace{Mu: 1, B: 0}
+	extra, err := mixnet.New(mixnet.Config{
+		Name: "m", Position: 0, ChainLength: 2,
+		AddFriendNoise: &nz, DialingNoise: &nz,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shards = [][]Mixer{{extra}, nil}
+	if _, err := c.OpenDialingRound(1); err == nil {
+		t.Fatal("sharded round opened over a fleet that cannot forward")
+	}
+	c.ChainForward, c.CDNAddr = true, "127.0.0.1:1"
+	if _, err := c.OpenDialingRound(2); err == nil {
+		t.Fatal("sharded round opened over in-process mixers with no shard surface")
+	}
+}

@@ -149,6 +149,16 @@ type Config struct {
 	// the add-friend round trip.
 	DialRoundDelta uint32
 
+	// MaxDialBacklog bounds how many published-but-unscanned dialing
+	// rounds the client queues (QueueDialScans) when it falls behind —
+	// a client offline for a day of 10-second rounds would otherwise
+	// queue thousands of mailbox fetches. Beyond the cap the OLDEST
+	// rounds are dropped: their keywheel secrets are advanced away
+	// (the same forward-secrecy move as SkipDialRound) and the drop is
+	// reported through the Handler as a counted error. 0 means
+	// DefaultMaxDialBacklog.
+	MaxDialBacklog int
+
 	Handler Handler
 
 	// Rand defaults to crypto/rand.
@@ -172,6 +182,12 @@ type Client struct {
 	pending   map[string]*pendingFriend
 	calls     []queuedCall
 	dialRound uint32 // latest dialing round processed
+
+	// dialBacklog holds published dialing rounds awaiting a scan, in
+	// round order, bounded by Config.MaxDialBacklog. In-memory only: a
+	// restarted client rebuilds it from the frontend's round status.
+	dialBacklog []uint32
+	lastQueued  uint32
 
 	// Per-round extraction results, erased after the round's scan.
 	roundKeys map[uint32]*roundSecrets

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDialBacklogBounded pins the client's memory bound when it falls far
+// behind the dialing schedule: the scan backlog keeps only the newest
+// DefaultMaxDialBacklog rounds, the dropped count is reported through the
+// handler, and the dropped rounds' keywheel secrets are advanced away
+// (forward secrecy — the same move as SkipDialRound).
+func TestDialBacklogBounded(t *testing.T) {
+	_, alice, ha, _, _ := newPair(t)
+
+	const latest = 200
+	const kept = 64 // core.DefaultMaxDialBacklog
+	errsBefore := ha.ErrorCount()
+	alice.QueueDialScans(latest)
+
+	if got := alice.DialBacklog(); got != kept {
+		t.Fatalf("backlog after falling %d rounds behind: %d, want %d", latest, got, kept)
+	}
+	if ha.ErrorCount() != errsBefore+1 {
+		t.Fatalf("dropped rounds not reported: %d errors", ha.ErrorCount()-errsBefore)
+	}
+	if msg := ha.LastError().Error(); !strings.Contains(msg, "dropped 136 oldest rounds") {
+		t.Fatalf("drop report: %q", msg)
+	}
+	// Forward secrecy: the client's dial round advanced past every
+	// dropped round (wheel secrets for them are gone).
+	if got := alice.DialRound(); got != latest-kept+1 {
+		t.Fatalf("dial round after drop: %d, want %d", got, latest-kept+1)
+	}
+
+	// The kept rounds drain oldest-first, and a failed scan can be
+	// requeued without growing the backlog.
+	r, ok := alice.NextDialScan()
+	if !ok || r != latest-kept+1 {
+		t.Fatalf("NextDialScan: %d/%v, want %d", r, ok, latest-kept+1)
+	}
+	alice.RequeueDialScan(r)
+	if r2, _ := alice.NextDialScan(); r2 != r {
+		t.Fatalf("requeued round not returned first: %d != %d", r2, r)
+	}
+	if got := alice.DialBacklog(); got != kept-1 {
+		t.Fatalf("backlog after one pop: %d, want %d", got, kept-1)
+	}
+
+	// Re-announcing an already-queued latest round queues nothing new.
+	alice.QueueDialScans(latest)
+	if got := alice.DialBacklog(); got != kept-1 {
+		t.Fatalf("idempotent re-queue grew the backlog: %d", got)
+	}
+}
+
+// TestQueueDialScansAfterSkip is the regression pin for an off-by-one
+// that made the round loop skip EVERY OTHER dialing round: after a
+// client processes (or skips) round r, its dialRound is r+1 — and round
+// r+1, once published, must still be queued for scanning.
+func TestQueueDialScansAfterSkip(t *testing.T) {
+	_, _, _, bob, _ := newPair(t)
+	bob.SkipDialRound(5) // dialRound is now 6
+	bob.QueueDialScans(6)
+	if r, ok := bob.NextDialScan(); !ok || r != 6 {
+		t.Fatalf("round 6 not queued after processing round 5: got %d/%v", r, ok)
+	}
+}

@@ -194,6 +194,100 @@ func (c *Client) SkipDialRound(round uint32) {
 	c.persistLocked()
 }
 
+// DefaultMaxDialBacklog is the scan-backlog bound when
+// Config.MaxDialBacklog is zero.
+const DefaultMaxDialBacklog = 64
+
+// QueueDialScans records that every dialing round up to latest has been
+// published and awaits a scan. The backlog is BOUNDED: when a client
+// falls far behind (offline laptop, long partition), the oldest queued
+// rounds are dropped rather than held for thousands of mailbox fetches —
+// their keywheel secrets are advanced away, exactly as if SkipDialRound
+// had given up on them, and the handler is told how many rounds were
+// dropped. Memory stays O(MaxDialBacklog) no matter how far behind the
+// client is.
+func (c *Client) QueueDialScans(latest uint32) {
+	limit := c.cfg.MaxDialBacklog
+	if limit <= 0 {
+		limit = DefaultMaxDialBacklog
+	}
+	var dropped int
+	var droppedThrough uint32
+	c.mu.Lock()
+	from := c.lastQueued + 1
+	if from < c.dialRound {
+		// Rounds BELOW dialRound were already processed (or skipped) —
+		// dialRound itself is the next round the client expects, so it
+		// must still be queued; scanning earlier rounds again would
+		// only find advanced wheels.
+		from = c.dialRound
+	}
+	if uint32(limit) < latest {
+		// A client far behind (fresh install, long-offline laptop)
+		// skips straight to the newest `limit` rounds instead of
+		// materializing — and then fetching — thousands of ancient
+		// rounds the CDN no longer holds.
+		if minFrom := latest - uint32(limit) + 1; from < minFrom {
+			dropped = int(minFrom - from)
+			droppedThrough = minFrom - 1
+			from = minFrom
+		}
+	}
+	for r := from; r <= latest; r++ {
+		c.dialBacklog = append(c.dialBacklog, r)
+	}
+	if latest >= c.lastQueued {
+		c.lastQueued = latest
+	}
+	if over := len(c.dialBacklog) - limit; over > 0 {
+		// Still over the cap (requeues, repeated announcements): shed
+		// the oldest queued rounds too.
+		dropped += over
+		droppedThrough = c.dialBacklog[over-1]
+		c.dialBacklog = append(c.dialBacklog[:0], c.dialBacklog[over:]...)
+	}
+	if dropped > 0 {
+		// Forward secrecy for the dropped rounds: erase their wheel
+		// secrets now, like SkipDialRound.
+		c.advanceWheelsLocked(droppedThrough + 1)
+		c.persistLocked()
+	}
+	c.mu.Unlock()
+	if dropped > 0 {
+		c.reportErr(fmt.Errorf("core: dial scan backlog full: dropped %d oldest rounds (through round %d)", dropped, droppedThrough))
+	}
+}
+
+// NextDialScan pops the oldest queued dialing round to scan; ok is false
+// when the backlog is empty.
+func (c *Client) NextDialScan() (round uint32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.dialBacklog) == 0 {
+		return 0, false
+	}
+	round = c.dialBacklog[0]
+	c.dialBacklog = c.dialBacklog[1:]
+	return round, true
+}
+
+// RequeueDialScan puts a round back at the head of the scan backlog after
+// a failed attempt; the caller decides when to give up on it instead
+// (SkipDialRound). Cannot grow the backlog past its bound: it only
+// returns a round NextDialScan just removed.
+func (c *Client) RequeueDialScan(round uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dialBacklog = append([]uint32{round}, c.dialBacklog...)
+}
+
+// DialBacklog reports how many published rounds are queued for scanning.
+func (c *Client) DialBacklog() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.dialBacklog)
+}
+
 // advanceWheelsLocked rolls every keywheel forward to the given round,
 // erasing old secrets. Wheels that start in the future are left alone.
 func (c *Client) advanceWheelsLocked(to uint32) {

@@ -23,14 +23,54 @@
 // batch is present, which is what the anytrust unlinkability argument
 // needs.
 //
+// # Shard groups
+//
+// One CHAIN POSITION may be served by several Server instances on
+// separate machines — a shard group, one logical mixer split for
+// throughput. The group's contract keeps sharding invisible to both
+// clients and the anytrust argument:
+//
+//   - One key per position. Shard 0 (the lead) generates the round onion
+//     key and announces it; the other shards install the same key
+//     (ExportRoundKey/ImportRoundKey — group-internal traffic only).
+//     Clients wrap exactly one onion layer for the position, sharded or
+//     not.
+//
+//   - Divided noise, preserved scale. Each shard draws per-mailbox
+//     noise from Laplace(ceil(µ/N), b) — the position's MEAN divided,
+//     its scale b intact (SetRoundShard fixes N before any noise
+//     exists). Ceil rounding means the group's union can only meet or
+//     exceed the unsharded µ, and full-scale draws keep §6's ε = s/b
+//     analysis unchanged; dividing sampled counts instead would shrink
+//     the effective scale and erode the guarantee.
+//
+//   - One full-batch shuffle, at the merge. Shards peel their slices
+//     WITHOUT shuffling (StreamEndShard) and hand them to the group's
+//     merge server, where the slice that arrives last completes the
+//     merge: MergeShuffle concatenates the slices in shard-index order
+//     and applies a single uniformly random permutation over the whole
+//     position's batch. The position's mixing contribution is therefore
+//     identical to an unsharded server's — never N smaller shuffles an
+//     observer could partition.
+//
+// A shard group is one trust domain (it shares the round private key);
+// peeled-but-unshuffled slices travel only inside it. Positions with a
+// single shard never touch any of this machinery.
+//
 // This package is transport-agnostic: the same chunked surface is driven
 // by in-process pipelines (ChainPipelined), by a coordinator relaying
 // chunks over RPC, and by daemons forwarding chunks directly to their
-// successors (internal/rpc's chain-forward data plane). Because chunk
-// arrival order defines pre-shuffle order and every randomness draw comes
-// from Config.Rand in a fixed sequence, all three produce byte-identical
-// mailboxes under a fixed seed — the property the cross-data-plane
-// determinism tests pin down.
+// successors (internal/rpc's chain-forward data plane, which also routes
+// the shard-group deal/merge). Because chunk arrival order defines
+// pre-shuffle order and every randomness draw comes from Config.Rand in a
+// fixed sequence, the UNSHARDED data planes produce byte-identical
+// mailboxes under a fixed seed. Across shard COUNTS the guarantee is
+// set-level, not order-level — the deal legitimately reorders the
+// pre-shuffle batch and noise bytes are per-machine randomness — so
+// byte-identity across 1/2/3-shard chains holds for order-independent
+// mailbox encodings (dialing's Bloom filters) with noise silenced, which
+// is exactly what the cross-shard-count determinism test pins; add-friend
+// mailboxes (order-sensitive concatenations) keep only the set guarantee.
 package mixnet
 
 import (
@@ -39,6 +79,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -67,7 +108,21 @@ type roundState struct {
 	noise *noiseBatch
 	// stream is the in-progress chunked intake, if any.
 	stream *stream
-	closed bool
+	// shardIndex/shardCount place this server inside the round's shard
+	// group for its chain position (SetRoundShard). shardCount 0 means
+	// the position is unsharded (equivalent to a group of one).
+	shardIndex int
+	shardCount int
+	closed     bool
+}
+
+// effectiveShards returns the round's shard-group size, treating the unset
+// state as a group of one.
+func (st *roundState) effectiveShards() int {
+	if st.shardCount <= 0 {
+		return 1
+	}
+	return st.shardCount
 }
 
 // noiseBatch is a future for one round's noise messages, generated
@@ -100,6 +155,11 @@ type Server struct {
 	randSrc     io.Reader
 	parallelism int
 
+	// Static shard identity (Config.ShardIndex/ShardCount); 0 count
+	// means unpinned.
+	shardIndex int
+	shardCount int
+
 	mu     sync.Mutex
 	rounds map[roundKey]*roundState
 
@@ -126,6 +186,14 @@ type Config struct {
 	// generation; 0 means runtime.GOMAXPROCS(0). 1 forces the
 	// sequential path.
 	Parallelism int
+	// ShardIndex/ShardCount pin this daemon's place in its position's
+	// shard group (cmd/alpenhorn-mixer -shard i/N). ShardCount 0 leaves
+	// the daemon unpinned: it accepts whatever per-round shard layout
+	// the coordinator announces. When pinned, SetRoundShard rejects a
+	// conflicting layout — a misconfigured coordinator cannot silently
+	// make one machine double as two shards.
+	ShardIndex int
+	ShardCount int
 }
 
 // lockedReader serializes reads of a non-thread-safe randomness source so
@@ -146,6 +214,9 @@ func (l *lockedReader) Read(p []byte) (int, error) {
 func New(cfg Config) (*Server, error) {
 	if cfg.Position < 0 || cfg.ChainLength <= 0 || cfg.Position >= cfg.ChainLength {
 		return nil, errors.New("mixnet: invalid chain position")
+	}
+	if cfg.ShardCount > 0 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		return nil, errors.New("mixnet: invalid shard index")
 	}
 	randSrc := cfg.Rand
 	switch randSrc {
@@ -172,6 +243,8 @@ func New(cfg Config) (*Server, error) {
 		DialingNoise:   noise.DialingNoise,
 		randSrc:        randSrc,
 		parallelism:    par,
+		shardIndex:     cfg.ShardIndex,
+		shardCount:     cfg.ShardCount,
 		rounds:         make(map[roundKey]*roundState),
 	}
 	if cfg.AddFriendNoise != nil {
@@ -213,6 +286,112 @@ func (s *Server) NewRound(service wire.Service, round uint32) (wire.MixerRoundKe
 		OnionKey: kb,
 		Sig:      ed25519.Sign(s.signingPriv, wire.MixerKeyMessage(service, round, kb)),
 	}, nil
+}
+
+// ShardIdentity returns the daemon's pinned (index, count) shard identity;
+// count 0 means unpinned.
+func (s *Server) ShardIdentity() (int, int) { return s.shardIndex, s.shardCount }
+
+// SetRoundShard places this server in a shard group for the round: it is
+// shard index of count servers jointly serving one chain position. It must
+// be called before the round's noise is prepared — the group divides the
+// position's noise, so a layout change after generation would break the
+// per-mailbox distribution invariant. A server pinned with Config.ShardCount
+// rejects a conflicting layout.
+func (s *Server) SetRoundShard(service wire.Service, round uint32, index, count int) error {
+	if count <= 0 || index < 0 || index >= count {
+		return fmt.Errorf("mixnet: invalid shard layout %d/%d", index, count)
+	}
+	if s.shardCount > 0 && (index != s.shardIndex || count != s.shardCount) {
+		return fmt.Errorf("mixnet: shard layout %d/%d conflicts with this daemon's pinned identity %d/%d",
+			index, count, s.shardIndex, s.shardCount)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.openState(service, round)
+	if err != nil {
+		return err
+	}
+	if st.shardCount > 0 && (st.shardIndex != index || st.shardCount != count) {
+		return fmt.Errorf("mixnet: round %d (%s) already sharded as %d/%d", round, service, st.shardIndex, st.shardCount)
+	}
+	if st.noise != nil {
+		return fmt.Errorf("mixnet: round %d (%s): shard layout set after noise generation", round, service)
+	}
+	st.shardIndex, st.shardCount = index, count
+	return nil
+}
+
+// RoundShard reports the round's shard layout (index, count); (0, 1) for
+// an unsharded round.
+func (s *Server) RoundShard(service wire.Service, round uint32) (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.rounds[roundKey{service, round}]
+	if !ok {
+		return 0, 1
+	}
+	return st.shardIndex, st.effectiveShards()
+}
+
+// ExportRoundKey returns the round's onion private key so the other shards
+// of this position can install it (ImportRoundKey). A shard group is ONE
+// logical mixnet server split across machines: clients wrap one onion
+// layer per position, so every shard must peel with the same key.
+//
+// Only a server PINNED as a shard-group member (Config.ShardCount > 0)
+// serves the export: on an unsharded daemon a reachable export surface
+// would hand any peer the means to peel this position's layer and
+// collapse the anytrust argument. Pinned deployments must additionally
+// keep the surface inside the group's network — exactly like the
+// cdn.publish write surface stays off the client plane.
+func (s *Server) ExportRoundKey(service wire.Service, round uint32) ([]byte, error) {
+	if s.shardCount <= 0 {
+		return nil, errors.New("mixnet: round keys are only exportable inside a pinned shard group (-shard i/N)")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.openState(service, round)
+	if err != nil {
+		return nil, err
+	}
+	return st.priv.Bytes(), nil
+}
+
+// ImportRoundKey installs a round onion key exported by the shard group's
+// lead, creating the round if this server has not opened it yet. Importing
+// the same key again is a no-op; a conflicting key is an error. Like the
+// export, it is refused outside a pinned shard group: an open import
+// surface would let any peer rotate a round key out from under the
+// announced settings.
+func (s *Server) ImportRoundKey(service wire.Service, round uint32, privBytes []byte) error {
+	if s.shardCount <= 0 {
+		return errors.New("mixnet: round keys are only importable inside a pinned shard group (-shard i/N)")
+	}
+	priv, err := onionbox.UnmarshalPrivateKey(privBytes)
+	if err != nil {
+		return fmt.Errorf("mixnet: importing round key: %w", err)
+	}
+	pub := priv.Public()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := roundKey{service, round}
+	st, ok := s.rounds[k]
+	if ok && st.closed {
+		return fmt.Errorf("mixnet: round %d (%s) closed", round, service)
+	}
+	if !ok {
+		s.rounds[k] = &roundState{priv: priv, pub: pub}
+		return nil
+	}
+	if string(st.pub.Bytes()) == string(pub.Bytes()) {
+		return nil
+	}
+	if st.noise != nil || st.stream != nil {
+		return fmt.Errorf("mixnet: round %d (%s): key import after round started", round, service)
+	}
+	st.priv, st.pub = priv, pub
+	return nil
 }
 
 // SetDownstreamKeys tells the server the round onion keys of the servers
@@ -297,10 +476,11 @@ func (s *Server) PrepareNoise(service wire.Service, round uint32, numMailboxes u
 	nb := &noiseBatch{numMailboxes: numMailboxes, done: make(chan struct{})}
 	st.noise = nb
 	downstream := st.downstream
+	shards := st.effectiveShards()
 	s.mu.Unlock()
 
 	go func() {
-		nb.msgs, nb.err = s.generateNoise(service, numMailboxes, downstream)
+		nb.msgs, nb.err = s.generateNoise(service, numMailboxes, downstream, shards)
 		close(nb.done)
 	}()
 	return nil
@@ -339,16 +519,19 @@ func (s *Server) Mix(service wire.Service, round uint32, numMailboxes uint32, ba
 	priv := st.priv
 	downstream := st.downstream
 	nb := st.takeNoise(numMailboxes)
+	shards := st.effectiveShards()
 	s.mu.Unlock()
 
 	out := decryptBatch(priv, batch, s.parallelism)
-	return s.finishBatch(service, numMailboxes, downstream, nb, len(batch), out)
+	return s.finishBatch(service, numMailboxes, downstream, nb, len(batch), out, shards, true)
 }
 
 // finishBatch appends the round's noise (prepared, or generated inline) to
-// the peeled messages, shuffles, and updates stats. It is the per-server
-// barrier shared by Mix and StreamEnd.
-func (s *Server) finishBatch(service wire.Service, numMailboxes uint32, downstream []*onionbox.PublicKey, nb *noiseBatch, batchLen int, out [][]byte) ([][]byte, error) {
+// the peeled messages, shuffles (unless this server is one shard of a
+// group, whose output is shuffled only at the group's merge), and updates
+// stats. It is the per-server barrier shared by Mix, StreamEnd, and
+// StreamEndShard.
+func (s *Server) finishBatch(service wire.Service, numMailboxes uint32, downstream []*onionbox.PublicKey, nb *noiseBatch, batchLen int, out [][]byte, shards int, doShuffle bool) ([][]byte, error) {
 	var noiseMsgs [][]byte
 	if nb != nil {
 		<-nb.done
@@ -361,21 +544,52 @@ func (s *Server) finishBatch(service wire.Service, numMailboxes uint32, downstre
 		// the cover mailbox, wrapped for the rest of the chain so that
 		// downstream servers cannot tell noise from real traffic (§6).
 		var err error
-		noiseMsgs, err = s.generateNoise(service, numMailboxes, downstream)
+		noiseMsgs, err = s.generateNoise(service, numMailboxes, downstream, shards)
 		if err != nil {
 			return nil, err
 		}
 	}
 	out = append(out, noiseMsgs...)
 
-	if err := shuffle(s.randSrc, out); err != nil {
-		return nil, err
+	if doShuffle {
+		if err := shuffle(s.randSrc, out); err != nil {
+			return nil, err
+		}
 	}
 
 	s.mu.Lock()
 	s.processed += uint64(batchLen)
 	s.noiseSent += uint64(len(noiseMsgs))
 	s.mu.Unlock()
+	return out, nil
+}
+
+// MergeShuffle is the shard group's barrier: it concatenates the group's
+// peeled outputs in shard-index order and applies ONE uniformly random
+// permutation over the whole position's batch, drawn from this server's
+// randomness. It runs on the group's merge server, triggered by whichever
+// shard's output arrives last; the result is exactly what an unsharded
+// server would emit — the position's permutation covers the full batch, so
+// splitting the peel across machines never weakens the anytrust mixing
+// argument.
+func (s *Server) MergeShuffle(service wire.Service, round uint32, parts [][][]byte) ([][]byte, error) {
+	s.mu.Lock()
+	_, err := s.openState(service, round)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([][]byte, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	if err := shuffle(s.randSrc, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -478,10 +692,26 @@ func decryptParallel(priv *onionbox.PrivateKey, batch [][]byte, workers int) [][
 // by ciphertext anonymity, §4.3); fake dial requests are random tokens.
 // Mailboxes are sharded across the worker pool: each noise onion costs one
 // X25519 seal per downstream hop, which dominates round setup otherwise.
-func (s *Server) generateNoise(service wire.Service, numMailboxes uint32, downstream []*onionbox.PublicKey) ([][]byte, error) {
+//
+// When the server is one of `shards` machines jointly serving its chain
+// position, each shard samples a distribution with mean ceil(µ/shards)
+// and the position's FULL scale b. Dividing only the MEAN keeps the
+// guarantee intact: ceil rounding means the union's expected noise can
+// only meet or exceed the unsharded µ, and because every shard's draw
+// retains scale b, the mailbox counts an adversary observes still carry
+// at least one full-scale Laplace perturbation — the ε = s/b analysis of
+// §6 is unchanged. (Dividing the sampled COUNT instead would shrink the
+// effective scale to ~b/N and multiply the privacy loss by N.)
+func (s *Server) generateNoise(service wire.Service, numMailboxes uint32, downstream []*onionbox.PublicKey, shards int) ([][]byte, error) {
+	if shards < 1 {
+		shards = 1
+	}
 	dist := s.AddFriendNoise
 	if service == wire.Dialing {
 		dist = s.DialingNoise
+	}
+	if shards > 1 {
+		dist.Mu = math.Ceil(dist.Mu / float64(shards))
 	}
 	perMailbox := func(mb uint32) ([][]byte, error) {
 		n, err := dist.Sample(s.randSrc)

@@ -128,6 +128,21 @@ func (s *Server) StreamAbort(service wire.Service, round uint32) error {
 // returns it. The shuffle barrier is preserved: no output exists before
 // every input chunk has been processed.
 func (s *Server) StreamEnd(service wire.Service, round uint32) ([][]byte, error) {
+	return s.streamEnd(service, round, true)
+}
+
+// StreamEndShard closes intake WITHOUT the shuffle: it returns this
+// shard's peeled slice of the position's batch plus its noise share, in
+// intake order. The output is only ever handed to the shard group's merge
+// server, which concatenates every shard's slice and applies the
+// position's single full-batch permutation (MergeShuffle) — nothing
+// leaves the position's trust domain unshuffled. Unsharded rounds keep
+// using StreamEnd, whose inline shuffle is the exact pre-shard path.
+func (s *Server) StreamEndShard(service wire.Service, round uint32) ([][]byte, error) {
+	return s.streamEnd(service, round, false)
+}
+
+func (s *Server) streamEnd(service wire.Service, round uint32, doShuffle bool) ([][]byte, error) {
 	s.mu.Lock()
 	st, err := s.openState(service, round)
 	if err != nil {
@@ -142,6 +157,7 @@ func (s *Server) StreamEnd(service wire.Service, round uint32) ([][]byte, error)
 	st.stream = nil
 	downstream := st.downstream
 	nb := st.takeNoise(sm.numMailboxes)
+	shards := st.effectiveShards()
 	s.mu.Unlock()
 
 	sm.wg.Wait()
@@ -153,5 +169,5 @@ func (s *Server) StreamEnd(service wire.Service, round uint32) ([][]byte, error)
 	for _, c := range sm.results {
 		out = append(out, c...)
 	}
-	return s.finishBatch(service, sm.numMailboxes, downstream, nb, sm.inputs, out)
+	return s.finishBatch(service, sm.numMailboxes, downstream, nb, sm.inputs, out, shards, doShuffle)
 }

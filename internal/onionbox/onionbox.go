@@ -59,6 +59,21 @@ func GenerateKey(rand io.Reader) (*PublicKey, *PrivateKey, error) {
 // Public returns the public key for k.
 func (k *PrivateKey) Public() *PublicKey { return &PublicKey{k: k.k.PublicKey()} }
 
+// Bytes returns the 32-byte encoding of the private key. It exists so the
+// shards of one mixnet position — a single trust domain standing in for
+// one logical server — can share a round key; nothing else should ever
+// serialize a private key.
+func (k *PrivateKey) Bytes() []byte { return k.k.Bytes() }
+
+// UnmarshalPrivateKey decodes a 32-byte X25519 private key.
+func UnmarshalPrivateKey(data []byte) (*PrivateKey, error) {
+	k, err := ecdh.X25519().NewPrivateKey(data)
+	if err != nil {
+		return nil, err
+	}
+	return &PrivateKey{k: k}, nil
+}
+
 // Bytes returns the 32-byte encoding of the public key.
 func (p *PublicKey) Bytes() []byte { return p.k.Bytes() }
 

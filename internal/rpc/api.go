@@ -59,6 +59,11 @@ type deregisterArgs struct {
 type roundArgs struct {
 	Service wire.Service `json:"service"`
 	Round   uint32       `json:"round"`
+	// Upstream identifies which of a fan-in route's NumUpstream writers
+	// a mix.stream.end comes from, so a duplicated end (an upstream
+	// restarting and re-sending) cannot close the intake early. Ignored
+	// by every other method.
+	Upstream int `json:"upstream,omitempty"`
 }
 
 // RegisterPKG exposes a pkgserver.Server over RPC.
@@ -174,6 +179,10 @@ const (
 	// pushes its post-shuffle output to its successor itself and the
 	// last server publishes mailboxes straight to the CDN.
 	StreamVersionForward = 2
+	// StreamVersionShard: shard-group routes — one chain position served
+	// by several daemons (mix.round.shard, mix.round.exportkey/importkey,
+	// the mix.merge.* deposit surface, and fan-out/fan-in routing).
+	StreamVersionShard = 3
 )
 
 // MixerInfo advertises a mixer's pinned key and chain position.
@@ -191,6 +200,11 @@ type MixerInfo struct {
 	DialingMu     float64 `json:"dialing_mu"`
 	Streaming     bool    `json:"streaming,omitempty"`
 	StreamVersion int     `json:"stream_version,omitempty"`
+	// ShardIndex/ShardCount advertise the daemon's pinned place in its
+	// position's shard group (-shard i/N); ShardCount 0 means unpinned
+	// (a whole position to itself unless the coordinator says otherwise).
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 }
 
 type downstreamArgs struct {
@@ -333,23 +347,65 @@ func (m *MixerClient) SupportsForwarding() bool {
 	return m.info.StreamVersion >= StreamVersionForward
 }
 
-// OpenRoute implements coordinator.ForwardMixer: it tells the daemon
-// where this round's post-shuffle output goes — the successor mixer's RPC
-// address, or (for the last server) the CDN's publish address.
-func (m *MixerClient) OpenRoute(service wire.Service, round uint32, numMailboxes uint32, chunkSize int, successor, cdnAddr string) error {
-	return m.c.Call("mix.round.route", routeArgs{
-		Service: service, Round: round, NumMailboxes: numMailboxes,
-		ChunkSize: chunkSize, Successor: successor, CDNAddr: cdnAddr,
+// SupportsSharding reports whether the daemon serves the shard-group
+// surface (per-round shard layouts, group key exchange, merge deposits).
+// The coordinator refuses to open a sharded round unless every daemon in
+// the fleet does — a partial shard rollout cannot silently degrade the
+// noise division.
+func (m *MixerClient) SupportsSharding() bool {
+	return m.info.StreamVersion >= StreamVersionShard
+}
+
+// SetRoundShard implements coordinator.ShardMixer: the daemon is shard
+// `index` of `count` jointly serving its chain position this round. Must
+// precede PrepareNoise — the group divides the position's noise.
+func (m *MixerClient) SetRoundShard(service wire.Service, round uint32, index, count int) error {
+	return m.c.Call("mix.round.shard", shardArgs{
+		Service: service, Round: round, ShardIndex: index, ShardCount: count,
 	}, nil)
+}
+
+// ImportRoundKeyFrom implements coordinator.ShardMixer: the daemon dials
+// the shard group's lead directly and installs the position's round onion
+// key. The private key moves server-to-server inside the group's trust
+// domain; the coordinator only names the source.
+func (m *MixerClient) ImportRoundKeyFrom(service wire.Service, round uint32, leadAddr string) error {
+	return m.c.Call("mix.round.importkey", importKeyArgs{
+		Service: service, Round: round, LeadAddr: leadAddr,
+	}, nil)
+}
+
+// OpenRoute implements coordinator.ForwardMixer: it tells the daemon
+// where this round's post-shuffle output goes — the successor position's
+// shard set (or the CDN's publish address for the last position) — and
+// its own shard-group placement. A single unsharded successor rides the
+// legacy Successor field so a StreamVersionForward daemon in an unsharded
+// chain keeps working during a rolling upgrade.
+func (m *MixerClient) OpenRoute(service wire.Service, round uint32, spec wire.RouteSpec) error {
+	a := routeArgs{
+		Service: service, Round: round,
+		NumMailboxes: spec.NumMailboxes, ChunkSize: spec.ChunkSize,
+		CDNAddr:    spec.CDNAddr,
+		ShardIndex: spec.ShardIndex, ShardCount: spec.ShardCount,
+		MergeAddr: spec.MergeAddr, NumUpstream: spec.NumUpstream,
+	}
+	if len(spec.Successors) == 1 && spec.ShardCount <= 1 {
+		a.Successor = spec.Successors[0]
+	} else {
+		a.Successors = spec.Successors
+	}
+	return m.c.Call("mix.round.route", a, nil)
 }
 
 // WaitRound implements coordinator.ForwardMixer: it blocks until the
 // daemon's data-plane role in the round completes (forwarded downstream,
 // or published to the CDN) and returns the daemon's error if it failed or
-// was aborted. The wait is a bounded long-poll on a dedicated connection
-// so the daemon never parks a handler forever and the coordinator can
-// still send control calls (e.g. an abort) on the main connection.
-func (m *MixerClient) WaitRound(service wire.Service, round uint32) error {
+// was aborted, along with the daemon's self-reported duration and batch
+// byte counts for the coordinator's round-health tracking. The wait is a
+// bounded long-poll on a dedicated connection so the daemon never parks a
+// handler forever and the coordinator can still send control calls (e.g.
+// an abort) on the main connection.
+func (m *MixerClient) WaitRound(service wire.Service, round uint32) (wire.MixerRoundStats, error) {
 	m.waitMu.Lock()
 	if m.waitc == nil {
 		m.waitc = Dial(m.addr)
@@ -365,16 +421,21 @@ func (m *MixerClient) WaitRound(service wire.Service, round uint32) error {
 	for {
 		var reply waitReply
 		if err := wc.Call("mix.round.wait", roundArgs{Service: service, Round: round}, &reply); err != nil {
-			return err
+			return wire.MixerRoundStats{}, err
 		}
 		if reply.Done {
-			if reply.Error != "" {
-				return errors.New(reply.Error)
+			stats := wire.MixerRoundStats{
+				Duration: time.Duration(reply.DurationMs) * time.Millisecond,
+				BytesIn:  reply.BytesIn,
+				BytesOut: reply.BytesOut,
 			}
-			return nil
+			if reply.Error != "" {
+				return stats, errors.New(reply.Error)
+			}
+			return stats, nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("rpc: round %d (%s) did not complete within %v", round, service, timeout)
+			return wire.MixerRoundStats{}, fmt.Errorf("rpc: round %d (%s) did not complete within %v", round, service, timeout)
 		}
 	}
 }
@@ -416,11 +477,19 @@ func (m *MixerClient) StreamChunk(service wire.Service, round uint32, chunk [][]
 // itself; StreamEnd then returns no batch and the caller learns the
 // outcome from WaitRound.
 func (m *MixerClient) StreamEnd(service wire.Service, round uint32) ([][]byte, error) {
+	return m.StreamEndAs(service, round, 0)
+}
+
+// StreamEndAs is StreamEnd for a daemon routed with NumUpstream > 1
+// (fan-in): upstream says WHICH of the route's writers is finished, so
+// the daemon closes its intake exactly once per upstream no matter how
+// ends are duplicated or interleaved.
+func (m *MixerClient) StreamEndAs(service wire.Service, round uint32, upstream int) ([][]byte, error) {
 	// At most once: StreamEnd consumes the stream, so a duplicate after a
 	// lost reply would fail "no stream in progress" (relay) or spawn a
 	// second forwarding attempt against consumed state (chain-forward).
 	var reply streamEndReply
-	if err := m.c.CallOnce("mix.stream.end", roundArgs{Service: service, Round: round}, &reply); err != nil {
+	if err := m.c.CallOnce("mix.stream.end", roundArgs{Service: service, Round: round, Upstream: upstream}, &reply); err != nil {
 		return nil, err
 	}
 	if reply.Forwarded {

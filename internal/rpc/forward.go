@@ -3,6 +3,7 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -33,6 +34,23 @@ import (
 //     mix.round.abort both down the chain and back to the waiting
 //     coordinator.
 //
+//   - Shard groups (StreamVersionShard): one chain position may be served
+//     by N daemons. The route then also carries the daemon's shard index,
+//     the group size, the group's merge address, and the FULL successor
+//     shard set. Each shard peels its slice of the position's batch and
+//     generates its divided noise share; shards stream their peeled
+//     slices to the group's merge server (mix.merge.begin/chunk/end),
+//     and the deposit that completes the set — the last-arriving shard —
+//     triggers the position's single seeded shuffle over the concatenated
+//     batch (mixnet.MergeShuffle). The merge server then DEALS its
+//     post-shuffle chunks round-robin across the successor position's
+//     shard set (or builds and publishes the mailboxes at the end of the
+//     chain). Fan-in is counted: an intake only closes once an
+//     end-of-stream has arrived from every expected upstream (the route's
+//     NumUpstream for onion intake, the group size for merge deposits).
+//     A shard set of size one takes none of these branches — it runs the
+//     exact chain-forward path above.
+//
 // Relay remains fully served so a newer coordinator can drive a mixed
 // fleet during a rolling upgrade.
 
@@ -44,10 +62,38 @@ type outKey struct {
 // route is one round's forwarding assignment on a daemon, created by
 // mix.round.route and resolved exactly once (completion or abort).
 type route struct {
-	successor    string // next mixer's RPC address; "" for the last server
-	cdnAddr      string // cdn.publish address; set only on the last server
+	successors   []string // next position's shard set; empty for the last position
+	cdnAddr      string   // cdn.publish address; set only on the last position's merge server
 	numMailboxes uint32
 	chunkSize    int
+
+	// Shard-group layout. shardCount 1 is the unsharded chain-forward
+	// path; mergeAddr is where a non-merge shard deposits its peeled
+	// slice ("" on the merge server itself).
+	shardIndex  int
+	shardCount  int
+	mergeAddr   string
+	numUpstream int // stream ends to await before the local peel closes
+
+	// Intake progress (fan-in counting). endedUpstreams dedupes ends by
+	// upstream identity when numUpstream > 1, so a restarted upstream
+	// re-sending its end cannot close the intake early; endsSeen counts
+	// the distinct ends and intakeClosed latches the (single) close.
+	begun          bool
+	endsSeen       int
+	endedUpstreams []bool
+	intakeClosed   bool
+
+	// Merge state (merge server only): each shard's peeled slice, in
+	// shard-index order, and which shards have delivered theirs.
+	mergeParts [][][]byte
+	mergeEnded []bool
+
+	// Self-reported accounting for mix.round.wait.
+	opened   time.Time
+	duration time.Duration
+	bytesIn  uint64
+	bytesOut uint64
 
 	done     chan struct{} // closed when err is final
 	err      error
@@ -76,6 +122,16 @@ type routeArgs struct {
 	ChunkSize    int          `json:"chunk_size"`
 	Successor    string       `json:"successor,omitempty"`
 	CDNAddr      string       `json:"cdn_addr,omitempty"`
+	// Shard-group routing (StreamVersionShard). Successors names the
+	// NEXT position's full shard set (supersedes Successor when set);
+	// MergeAddr is the group's merge server for a non-merge shard;
+	// NumUpstream is how many upstream end-of-streams close the onion
+	// intake (0 = 1).
+	ShardIndex  int      `json:"shard_index,omitempty"`
+	ShardCount  int      `json:"shard_count,omitempty"`
+	MergeAddr   string   `json:"merge_addr,omitempty"`
+	Successors  []string `json:"successors,omitempty"`
+	NumUpstream int      `json:"num_upstream,omitempty"`
 }
 
 type abortArgs struct {
@@ -87,6 +143,34 @@ type abortArgs struct {
 type waitReply struct {
 	Done  bool   `json:"done"`
 	Error string `json:"error,omitempty"`
+	// Self-reported role accounting, valid when Done.
+	DurationMs int64  `json:"duration_ms,omitempty"`
+	BytesIn    uint64 `json:"bytes_in,omitempty"`
+	BytesOut   uint64 `json:"bytes_out,omitempty"`
+}
+
+type shardArgs struct {
+	Service    wire.Service `json:"service"`
+	Round      uint32       `json:"round"`
+	ShardIndex int          `json:"shard_index"`
+	ShardCount int          `json:"shard_count"`
+}
+
+type importKeyArgs struct {
+	Service  wire.Service `json:"service"`
+	Round    uint32       `json:"round"`
+	LeadAddr string       `json:"lead_addr"`
+}
+
+type exportKeyReply struct {
+	Key []byte `json:"key"`
+}
+
+type mergeArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	Shard   int          `json:"shard"`
+	Batch   [][]byte     `json:"batch,omitempty"`
 }
 
 // MixerDaemon is the RPC-facing state of one mixer daemon: the relay-mode
@@ -120,6 +204,30 @@ func (d *MixerDaemon) PendingOutboxes() int {
 	return len(d.outbox)
 }
 
+// mergeRoute validates a merge-surface call: the round must have a route,
+// this daemon must be the round's merge server, and the shard index must
+// be inside the group (and not the merge server's own — its slice never
+// crosses the merge surface).
+func (d *MixerDaemon) mergeRoute(a mergeArgs) (*route, outKey, error) {
+	k := outKey{a.Service, a.Round}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rt := d.routes[k]
+	if rt == nil {
+		return nil, k, fmt.Errorf("rpc: round %d (%s) has no route", a.Round, a.Service)
+	}
+	if rt.mergeEnded == nil {
+		return nil, k, fmt.Errorf("rpc: round %d (%s): this daemon is not the merge server", a.Round, a.Service)
+	}
+	if a.Shard < 0 || a.Shard >= rt.shardCount {
+		return nil, k, fmt.Errorf("rpc: round %d (%s): shard %d outside group of %d", a.Round, a.Service, a.Shard, rt.shardCount)
+	}
+	if a.Shard == rt.shardIndex {
+		return nil, k, fmt.Errorf("rpc: round %d (%s): merge server's own slice is deposited locally", a.Round, a.Service)
+	}
+	return rt, k, nil
+}
+
 // peer returns a cached RPC client for a successor (or CDN) address.
 // Connections are reused across rounds; the Client reconnects lazily
 // after failures.
@@ -144,39 +252,74 @@ func (d *MixerDaemon) resolve(rt *route, err error) bool {
 	}
 	rt.resolved = true
 	rt.err = err
+	rt.duration = time.Since(rt.opened)
+	rt.mergeParts = nil // drop any half-merged slices
 	close(rt.done)
 	return true
 }
 
 // finish resolves the route with the outcome of this daemon's data-plane
-// role. On failure it also propagates an abort to the round's successor,
-// so the downstream chain stops waiting for chunks that will never come.
+// role. On failure it also propagates an abort to every successor shard
+// and to the group's merge server, so nothing downstream keeps waiting
+// for chunks (or deposits) that will never come.
 func (d *MixerDaemon) finish(k outKey, rt *route, err error) {
 	if !d.resolve(rt, err) || err == nil {
 		return
 	}
-	if rt.successor != "" {
-		go func() {
-			_ = d.peer(rt.successor).Call("mix.round.abort", abortArgs{
+	targets := append([]string(nil), rt.successors...)
+	if rt.mergeAddr != "" {
+		targets = append(targets, rt.mergeAddr)
+	}
+	for _, addr := range targets {
+		go func(addr string) {
+			_ = d.peer(addr).Call("mix.round.abort", abortArgs{
 				Service: k.service, Round: k.round, Reason: err.Error(),
 			}, nil)
-		}()
+		}(addr)
 	}
 }
 
 // forward is the daemon's data-plane role for one chain-forward round,
-// run on its own goroutine once the upstream closes the stream: finish
-// the local mix (noise + shuffle), then either push the output to the
-// successor in chunks or — on the last server — build the mailboxes and
-// publish them to the CDN.
+// run on its own goroutine once every upstream has closed the stream.
+//
+// Unsharded (shard set of size one): finish the local mix (noise +
+// shuffle) and hand the result to finishPosition — the pre-shard path,
+// unchanged.
+//
+// Sharded: finish only the local peel + noise share (StreamEndShard; the
+// shuffle happens once, over the whole position's batch, at the group's
+// merge) and either stream the slice to the merge server or — on the
+// merge server itself — record it as a deposit, which may complete the
+// merge.
 func (d *MixerDaemon) forward(k outKey, rt *route) {
+	if rt.shardCount > 1 {
+		out, err := d.m.StreamEndShard(k.service, k.round)
+		if err != nil {
+			d.finish(k, rt, err)
+			return
+		}
+		if rt.mergeAddr != "" {
+			d.finish(k, rt, d.pushDeposit(k, rt, out))
+			return
+		}
+		d.addDeposit(k, rt, rt.shardIndex, out)
+		return
+	}
 	out, err := d.m.StreamEnd(k.service, k.round)
 	if err != nil {
 		d.finish(k, rt, err)
 		return
 	}
-	if rt.successor != "" {
-		d.finish(k, rt, d.pushDownstream(k, rt, out))
+	d.finishPosition(k, rt, out)
+}
+
+// finishPosition completes a position's data-plane duty once its full
+// post-shuffle batch exists on this daemon: deal it across the successor
+// position's shard set, or — at the end of the chain — build the round's
+// mailboxes and publish them to the CDN.
+func (d *MixerDaemon) finishPosition(k outKey, rt *route, out [][]byte) {
+	if len(rt.successors) > 0 {
+		d.finish(k, rt, d.dealDownstream(k, rt, out))
 		return
 	}
 	boxes, err := mixnet.BuildMailboxes(k.service, rt.numMailboxes, out)
@@ -184,42 +327,85 @@ func (d *MixerDaemon) forward(k outKey, rt *route) {
 		d.finish(k, rt, err)
 		return
 	}
+	var published uint64
+	for _, box := range boxes {
+		published += uint64(len(box))
+	}
+	d.mu.Lock()
+	rt.bytesOut += published
+	d.mu.Unlock()
 	d.finish(k, rt, PublishMailboxes(d.peer(rt.cdnAddr), k.service, k.round, boxes))
 }
 
-// pushDownstream streams a finished batch to the round's successor. The
-// opening call retries with backoff (the successor may still be coming
-// up, and an unsent begin is safe to repeat). The data calls are sent AT
-// MOST ONCE — a transparent retry after a lost reply would append a
-// chunk twice and corrupt the batch — so any mid-stream transport
-// failure aborts the round instead, and the next round carries the
-// traffic.
-func (d *MixerDaemon) pushDownstream(k outKey, rt *route, out [][]byte) error {
-	c := d.peer(rt.successor)
+// addDeposit records one shard's peeled slice on the group's merge
+// server. The deposit that completes the set — the last-arriving shard —
+// performs the position's merge: the slices are concatenated in
+// shard-index order and shuffled ONCE with the merge server's seeded
+// randomness (mixnet.MergeShuffle), then the position's output moves on.
+// Remote shards deliver their slices in chunks over the merge surface
+// (mix.merge.chunk appends, mix.merge.end calls this with a nil part);
+// the merge server's own forward goroutine delivers its slice whole.
+func (d *MixerDaemon) addDeposit(k outKey, rt *route, shard int, part [][]byte) {
+	d.mu.Lock()
+	if rt.resolved || rt.mergeEnded == nil || rt.mergeEnded[shard] {
+		// Round already failed, or a duplicate end; nothing to merge.
+		d.mu.Unlock()
+		return
+	}
+	rt.mergeParts[shard] = append(rt.mergeParts[shard], part...)
+	rt.mergeEnded[shard] = true
+	for _, done := range rt.mergeEnded {
+		if !done {
+			d.mu.Unlock()
+			return
+		}
+	}
+	parts := rt.mergeParts
+	rt.mergeParts = nil
+	d.mu.Unlock()
+
+	out, err := d.m.MergeShuffle(k.service, k.round, parts)
+	if err != nil {
+		d.finish(k, rt, err)
+		return
+	}
+	d.finishPosition(k, rt, out)
+}
+
+// openStream dials addr and opens a chunked stream with retry/backoff on
+// the idempotent opening call: forwarding a round is often the first
+// traffic a fresh peer sees, so transient dial failures get a few
+// backed-off attempts before the round aborts.
+func (d *MixerDaemon) openStream(addr, method string, args any) (*Client, error) {
+	c := d.peer(addr)
 	var err error
 	for attempt := 0; attempt < forwardDialAttempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(forwardDialBackoff << (attempt - 1))
 		}
-		err = c.CallOnce("mix.stream.begin", mixArgs{
-			Service: k.service, Round: k.round, NumMailboxes: rt.numMailboxes,
-		}, nil)
+		err = c.CallOnce(method, args, nil)
 		if err == nil || !errors.Is(err, ErrTransport) {
 			// Handler errors won't improve with a re-send; only
-			// transport failures (successor still binding, stale
-			// connection) are worth the backoff.
+			// transport failures (peer still binding, stale connection)
+			// are worth the backoff.
 			break
 		}
 	}
 	if err != nil && strings.Contains(err.Error(), "stream already in progress") {
 		// A begin from an earlier attempt executed but its reply was
-		// lost. This daemon is the round's only legitimate upstream, so
+		// lost. This daemon is the stream's only legitimate writer, so
 		// the open stream is ours: proceed.
 		err = nil
 	}
 	if err != nil {
-		return fmt.Errorf("rpc: opening stream to successor %s: %w", rt.successor, err)
+		return nil, fmt.Errorf("rpc: opening stream to %s: %w", addr, err)
 	}
+	return c, nil
+}
+
+// effectiveChunk returns the route's chunk size clamped to the frame
+// budget.
+func (rt *route) effectiveChunk() int {
 	chunkSize := rt.chunkSize
 	if chunkSize <= 0 {
 		chunkSize = mixnet.DefaultStreamChunk
@@ -227,17 +413,110 @@ func (d *MixerDaemon) pushDownstream(k outKey, rt *route, out [][]byte) error {
 	if chunkSize > streamPullMax {
 		chunkSize = streamPullMax
 	}
+	return chunkSize
+}
+
+// pushDownstream streams a finished batch to one successor shard. The
+// opening call retries with backoff (the successor may still be coming
+// up, and an unsent begin is safe to repeat). The data calls are sent AT
+// MOST ONCE — a transparent retry after a lost reply would append a
+// chunk twice and corrupt the batch — so any mid-stream transport
+// failure aborts the round instead, and the next round carries the
+// traffic.
+func (d *MixerDaemon) pushDownstream(k outKey, rt *route, addr string, out [][]byte) error {
+	c, err := d.openStream(addr, "mix.stream.begin", mixArgs{
+		Service: k.service, Round: k.round, NumMailboxes: rt.numMailboxes,
+	})
+	if err != nil {
+		return err
+	}
+	chunkSize := rt.effectiveChunk()
+	var sent uint64
 	for lo := 0; lo < len(out); lo += chunkSize {
 		hi := min(lo+chunkSize, len(out))
 		if err := c.CallOnce("mix.stream.chunk", mixArgs{
 			Service: k.service, Round: k.round, Batch: out[lo:hi],
 		}, nil); err != nil {
-			return fmt.Errorf("rpc: forwarding chunk to %s: %w", rt.successor, err)
+			return fmt.Errorf("rpc: forwarding chunk to %s: %w", addr, err)
+		}
+		for _, msg := range out[lo:hi] {
+			sent += uint64(len(msg))
 		}
 	}
 	if err := c.CallOnce("mix.stream.end", roundArgs{Service: k.service, Round: k.round}, nil); err != nil {
-		return fmt.Errorf("rpc: closing stream to %s: %w", rt.successor, err)
+		return fmt.Errorf("rpc: closing stream to %s: %w", addr, err)
 	}
+	d.mu.Lock()
+	rt.bytesOut += sent
+	d.mu.Unlock()
+	return nil
+}
+
+// dealDownstream distributes a position's post-shuffle output across the
+// successor position's shard set: chunk i goes to successor shard
+// i mod N. The deal is deterministic — given the same post-shuffle batch
+// and chunk size, every run hands every successor shard the same slice —
+// so sharding never hides nondeterminism in the data plane. Each
+// successor gets its own chunked stream, pushed concurrently.
+func (d *MixerDaemon) dealDownstream(k outKey, rt *route, out [][]byte) error {
+	if len(rt.successors) == 1 {
+		return d.pushDownstream(k, rt, rt.successors[0], out)
+	}
+	chunkSize := rt.effectiveChunk()
+	perShard := make([][][]byte, len(rt.successors))
+	for i, lo := 0, 0; lo < len(out); i, lo = i+1, lo+chunkSize {
+		hi := min(lo+chunkSize, len(out))
+		perShard[i%len(perShard)] = append(perShard[i%len(perShard)], out[lo:hi]...)
+	}
+	errs := make([]error, len(rt.successors))
+	var wg sync.WaitGroup
+	wg.Add(len(rt.successors))
+	for j, addr := range rt.successors {
+		go func(j int, addr string) {
+			defer wg.Done()
+			errs[j] = d.pushDownstream(k, rt, addr, perShard[j])
+		}(j, addr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushDeposit streams this shard's peeled slice to the group's merge
+// server over the merge surface. Same at-most-once discipline as
+// pushDownstream: only the idempotent opening call is retried.
+func (d *MixerDaemon) pushDeposit(k outKey, rt *route, out [][]byte) error {
+	c, err := d.openStream(rt.mergeAddr, "mix.merge.begin", mergeArgs{
+		Service: k.service, Round: k.round, Shard: rt.shardIndex,
+	})
+	if err != nil {
+		return err
+	}
+	chunkSize := rt.effectiveChunk()
+	var sent uint64
+	for lo := 0; lo < len(out); lo += chunkSize {
+		hi := min(lo+chunkSize, len(out))
+		if err := c.CallOnce("mix.merge.chunk", mergeArgs{
+			Service: k.service, Round: k.round, Shard: rt.shardIndex, Batch: out[lo:hi],
+		}, nil); err != nil {
+			return fmt.Errorf("rpc: depositing slice with merge server %s: %w", rt.mergeAddr, err)
+		}
+		for _, msg := range out[lo:hi] {
+			sent += uint64(len(msg))
+		}
+	}
+	if err := c.CallOnce("mix.merge.end", mergeArgs{
+		Service: k.service, Round: k.round, Shard: rt.shardIndex,
+	}, nil); err != nil {
+		return fmt.Errorf("rpc: closing deposit with merge server %s: %w", rt.mergeAddr, err)
+	}
+	d.mu.Lock()
+	rt.bytesOut += sent
+	d.mu.Unlock()
 	return nil
 }
 
@@ -253,6 +532,7 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 	}
 
 	HandleFunc(s, "mix.info", func(struct{}) (any, error) {
+		shardIndex, shardCount := m.ShardIdentity()
 		return MixerInfo{
 			Name:          m.Name,
 			Position:      m.Position,
@@ -260,7 +540,9 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 			AddFriendMu:   m.AddFriendNoise.Mu,
 			DialingMu:     m.DialingNoise.Mu,
 			Streaming:     true,
-			StreamVersion: StreamVersionForward,
+			StreamVersion: StreamVersionShard,
+			ShardIndex:    shardIndex,
+			ShardCount:    shardCount,
 		}, nil
 	})
 	HandleFunc(s, "mix.newround", func(a roundArgs) (any, error) {
@@ -272,6 +554,32 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 	HandleFunc(s, "mix.preparenoise", func(a mixArgs) (any, error) {
 		return nil, m.PrepareNoise(a.Service, a.Round, a.NumMailboxes)
 	})
+	HandleFunc(s, "mix.round.shard", func(a shardArgs) (any, error) {
+		return nil, m.SetRoundShard(a.Service, a.Round, a.ShardIndex, a.ShardCount)
+	})
+	HandleFunc(s, "mix.round.exportkey", func(a roundArgs) (any, error) {
+		// Serves the round onion private key to the OTHER shards of this
+		// position (one logical server split across machines). Like
+		// cdn.publish, this surface must stay off the client plane: a
+		// deployment restricts it to the shard group's network.
+		key, err := m.ExportRoundKey(a.Service, a.Round)
+		if err != nil {
+			return nil, err
+		}
+		return exportKeyReply{Key: key}, nil
+	})
+	HandleFunc(s, "mix.round.importkey", func(a importKeyArgs) (any, error) {
+		// The daemon pulls the group key from the lead itself, so the
+		// private key moves server-to-server inside the group's trust
+		// domain; the coordinator only names the source.
+		var reply exportKeyReply
+		if err := d.peer(a.LeadAddr).Call("mix.round.exportkey", roundArgs{
+			Service: a.Service, Round: a.Round,
+		}, &reply); err != nil {
+			return nil, fmt.Errorf("rpc: fetching round key from lead %s: %w", a.LeadAddr, err)
+		}
+		return nil, m.ImportRoundKey(a.Service, a.Round, reply.Key)
+	})
 	HandleFunc(s, "mix.mix", func(a mixArgs) (any, error) {
 		return m.Mix(a.Service, a.Round, a.NumMailboxes, a.Batch)
 	})
@@ -279,8 +587,40 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 		if !m.RoundOpen(a.Service, a.Round) {
 			return nil, fmt.Errorf("rpc: round %d (%s) not open", a.Round, a.Service)
 		}
-		if a.Successor == "" && a.CDNAddr == "" {
+		successors := a.Successors
+		if len(successors) == 0 && a.Successor != "" {
+			successors = []string{a.Successor}
+		}
+		shardCount := a.ShardCount
+		if shardCount <= 0 {
+			shardCount = 1
+		}
+		numUpstream := a.NumUpstream
+		if numUpstream <= 0 {
+			numUpstream = 1
+		}
+		if a.ShardIndex < 0 || a.ShardIndex >= shardCount {
+			return nil, fmt.Errorf("rpc: round %d (%s): bad shard index %d/%d", a.Round, a.Service, a.ShardIndex, shardCount)
+		}
+		if shardCount > 1 {
+			// The route must agree with the shard layout the round's
+			// noise was divided under; a mismatch means the coordinator
+			// skipped mix.round.shard and the noise floor would be wrong.
+			idx, count := m.RoundShard(a.Service, a.Round)
+			if idx != a.ShardIndex || count != shardCount {
+				return nil, fmt.Errorf("rpc: round %d (%s): route shard %d/%d conflicts with round layout %d/%d",
+					a.Round, a.Service, a.ShardIndex, shardCount, idx, count)
+			}
+		}
+		if shardCount == 1 && a.MergeAddr != "" {
+			return nil, fmt.Errorf("rpc: round %d (%s): unsharded route cannot have a merge server", a.Round, a.Service)
+		}
+		merge := shardCount == 1 || a.MergeAddr == ""
+		if merge && len(successors) == 0 && a.CDNAddr == "" {
 			return nil, fmt.Errorf("rpc: round %d (%s): route needs a successor or a CDN address", a.Round, a.Service)
+		}
+		if !merge && (len(successors) > 0 || a.CDNAddr != "") {
+			return nil, fmt.Errorf("rpc: round %d (%s): non-merge shard cannot have successors", a.Round, a.Service)
 		}
 		k := outKey{a.Service, a.Round}
 		d.mu.Lock()
@@ -288,19 +628,65 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 		if rt, ok := d.routes[k]; ok {
 			// Idempotent re-announce (the coordinator's call layer may
 			// retry a lost reply); a CONFLICTING route is an error.
-			if rt.successor == a.Successor && rt.cdnAddr == a.CDNAddr &&
-				rt.numMailboxes == a.NumMailboxes && rt.chunkSize == a.ChunkSize {
+			if slices.Equal(rt.successors, successors) && rt.cdnAddr == a.CDNAddr &&
+				rt.numMailboxes == a.NumMailboxes && rt.chunkSize == a.ChunkSize &&
+				rt.shardIndex == a.ShardIndex && rt.shardCount == shardCount &&
+				rt.mergeAddr == a.MergeAddr && rt.numUpstream == numUpstream {
 				return nil, nil
 			}
 			return nil, fmt.Errorf("rpc: round %d (%s) already routed elsewhere", a.Round, a.Service)
 		}
-		d.routes[k] = &route{
-			successor:    a.Successor,
+		rt := &route{
+			successors:   successors,
 			cdnAddr:      a.CDNAddr,
 			numMailboxes: a.NumMailboxes,
 			chunkSize:    a.ChunkSize,
+			shardIndex:   a.ShardIndex,
+			shardCount:   shardCount,
+			mergeAddr:    a.MergeAddr,
+			numUpstream:  numUpstream,
+			opened:       time.Now(),
 			done:         make(chan struct{}),
 		}
+		if shardCount > 1 && merge {
+			rt.mergeParts = make([][][]byte, shardCount)
+			rt.mergeEnded = make([]bool, shardCount)
+		}
+		d.routes[k] = rt
+		return nil, nil
+	})
+	HandleFunc(s, "mix.merge.begin", func(a mergeArgs) (any, error) {
+		// Idempotent: opening a deposit only validates that this daemon
+		// is the round's merge server and the shard is expected. Safe to
+		// repeat, so the depositor's dial retry can ride on it.
+		_, _, err := d.mergeRoute(a)
+		return nil, err
+	})
+	HandleFunc(s, "mix.merge.chunk", func(a mergeArgs) (any, error) {
+		rt, _, err := d.mergeRoute(a)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		if !rt.resolved && rt.mergeEnded != nil && !rt.mergeEnded[a.Shard] {
+			rt.mergeParts[a.Shard] = append(rt.mergeParts[a.Shard], a.Batch...)
+			for _, msg := range a.Batch {
+				rt.bytesIn += uint64(len(msg))
+			}
+		}
+		d.mu.Unlock()
+		return nil, nil
+	})
+	HandleFunc(s, "mix.merge.end", func(a mergeArgs) (any, error) {
+		rt, k, err := d.mergeRoute(a)
+		if err != nil {
+			return nil, err
+		}
+		// The end that completes the set runs the merge: concatenate in
+		// shard-index order, seeded shuffle, and move the position's
+		// output on. That work belongs on its own goroutine, not in the
+		// RPC handler the depositing shard is waiting on.
+		go d.addDeposit(k, rt, a.Shard, nil)
 		return nil, nil
 	})
 	HandleFunc(s, "mix.round.wait", func(a roundArgs) (any, error) {
@@ -313,10 +699,17 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 		}
 		select {
 		case <-rt.done:
-			reply := waitReply{Done: true}
+			d.mu.Lock()
+			reply := waitReply{
+				Done:       true,
+				DurationMs: rt.duration.Milliseconds(),
+				BytesIn:    rt.bytesIn,
+				BytesOut:   rt.bytesOut,
+			}
 			if rt.err != nil {
 				reply.Error = rt.err.Error()
 			}
+			d.mu.Unlock()
 			return reply, nil
 		case <-time.After(waitPollInterval):
 			return waitReply{}, nil
@@ -335,15 +728,62 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 		return nil, nil
 	})
 	HandleFunc(s, "mix.stream.begin", func(a mixArgs) (any, error) {
+		k := outKey{a.Service, a.Round}
+		d.mu.Lock()
+		if rt := d.routes[k]; rt != nil && rt.numUpstream > 1 {
+			// Fan-in: the first upstream's begin opens the round's one
+			// stream (under d.mu, so a racing upstream cannot slip a
+			// chunk in before the stream exists); later begins join it.
+			if rt.begun {
+				d.mu.Unlock()
+				return nil, nil
+			}
+			rt.begun = true
+			err := m.StreamBegin(a.Service, a.Round, a.NumMailboxes)
+			if err != nil {
+				rt.begun = false
+			}
+			d.mu.Unlock()
+			return nil, err
+		}
+		d.mu.Unlock()
 		return nil, m.StreamBegin(a.Service, a.Round, a.NumMailboxes)
 	})
 	HandleFunc(s, "mix.stream.chunk", func(a mixArgs) (any, error) {
+		d.mu.Lock()
+		if rt := d.routes[outKey{a.Service, a.Round}]; rt != nil {
+			for _, msg := range a.Batch {
+				rt.bytesIn += uint64(len(msg))
+			}
+		}
+		d.mu.Unlock()
 		return nil, m.StreamChunk(a.Service, a.Round, a.Batch)
 	})
 	HandleFunc(s, "mix.stream.end", func(a roundArgs) (any, error) {
 		k := outKey{a.Service, a.Round}
 		d.mu.Lock()
 		rt := d.routes[k]
+		if rt != nil && rt.numUpstream > 1 {
+			// Fan-in: ends are deduped by UPSTREAM IDENTITY, not
+			// counted bare — a restarted upstream re-sending its end
+			// must not stand in for one that is still streaming.
+			if a.Upstream < 0 || a.Upstream >= rt.numUpstream {
+				d.mu.Unlock()
+				return nil, fmt.Errorf("rpc: round %d (%s): upstream %d outside fan-in of %d", a.Round, a.Service, a.Upstream, rt.numUpstream)
+			}
+			if rt.endedUpstreams == nil {
+				rt.endedUpstreams = make([]bool, rt.numUpstream)
+			}
+			if !rt.endedUpstreams[a.Upstream] {
+				rt.endedUpstreams[a.Upstream] = true
+				rt.endsSeen++
+			}
+			if rt.endsSeen < rt.numUpstream || rt.intakeClosed {
+				d.mu.Unlock()
+				return streamEndReply{Forwarded: true}, nil
+			}
+			rt.intakeClosed = true
+		}
 		d.mu.Unlock()
 		if rt != nil {
 			// Chain-forward: acknowledge intake now; the mix and the

@@ -91,3 +91,13 @@ func (h *Handler) ErrorCount() int {
 	defer h.mu.Unlock()
 	return len(h.Errors)
 }
+
+// LastError returns the most recently recorded error, or nil.
+func (h *Handler) LastError() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.Errors) == 0 {
+		return nil
+	}
+	return h.Errors[len(h.Errors)-1]
+}

@@ -4,7 +4,43 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"time"
 )
+
+// RouteSpec is one mixer daemon's forwarding assignment for a round
+// (mix.round.route): where its post-shuffle output goes and, when its
+// chain position is sharded across machines, its place in the shard
+// group. The zero shard fields describe an unsharded daemon, which the
+// route surface treats exactly like a pre-shard chain-forward route.
+type RouteSpec struct {
+	NumMailboxes uint32
+	ChunkSize    int
+	// Successors is the NEXT position's full shard set (one address for
+	// an unsharded successor); empty for the last position, which
+	// publishes to CDNAddr instead. Only a group's merge server carries
+	// either.
+	Successors []string
+	CDNAddr    string
+	// Shard-group placement: this daemon is shard ShardIndex of
+	// ShardCount serving its position; non-merge shards deposit their
+	// peeled slice at MergeAddr. NumUpstream is how many upstream
+	// end-of-streams close the daemon's onion intake (0 = 1).
+	ShardIndex  int
+	ShardCount  int
+	MergeAddr   string
+	NumUpstream int
+}
+
+// MixerRoundStats is one daemon's self-reported accounting for its
+// data-plane role in a round, returned by the mix.round.wait long-poll:
+// how long the role took (route open → resolution) and the batch bytes
+// that crossed the daemon (onion intake + merge deposits in, forwarding +
+// publishing out). The coordinator aggregates these into per-round health.
+type MixerRoundStats struct {
+	Duration time.Duration
+	BytesIn  uint64
+	BytesOut uint64
+}
 
 // RoundSettings describes everything a client needs to participate in one
 // round of one protocol: the per-round keys of every mixer and (for
