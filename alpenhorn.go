@@ -9,16 +9,33 @@
 // calling, and compromising a machine later reveals nothing about past
 // communication (forward secrecy for metadata).
 //
-// The package exposes the client API from Figure 1 of the paper:
+// The package exposes the EVENT-DRIVEN client API from Figure 1 of the
+// paper: the application queues intents and receives callbacks, and the
+// library participates in every round on its behalf:
 //
-//	client, _ := alpenhorn.NewClient(cfg)   // cfg names the servers
-//	client.Register()                       // email-verified registration
+//	client, _ := alpenhorn.NewClient(cfg)   // cfg names the servers + Handler
+//	client.Register(ctx)                    // email-verified registration
+//	go client.Run(ctx)                      // the managed round loop
 //	client.AddFriend("bob@example.org", nil)
 //	client.Call("bob@example.org", 0)       // intent 0
 //
-// Friendship confirmations and incoming calls are delivered through the
-// application's Handler (the NewFriend / IncomingCall callbacks of the
-// paper).
+// Run owns everything between the application and the deployment's round
+// schedule: it follows the frontend's round announcements (a push-based
+// entry.events stream when the frontend serves one, transparent
+// status-polling fallback when it does not), submits every round — a real
+// request when one is queued, indistinguishable cover traffic otherwise —
+// scans every published mailbox through a bounded, crash-persistent
+// backlog with ranged fetches, retries failed scans on the §5.1 time
+// budget before advancing the keywheels past them, and reconnects with
+// backoff when the frontend dies. ConnectAddFriend and ConnectDialing
+// expose the same loop per service, each returning a handle with
+// Err/Close. Friendship confirmations and incoming calls are delivered
+// through the application's Handler (the NewFriend / IncomingCall
+// callbacks of the paper).
+//
+// Every server-touching method takes a context.Context, honored through
+// the transport: cancelling it interrupts in-flight network calls, so a
+// dead frontend can never wedge a client.
 //
 // Three protocols underpin the API:
 //
@@ -62,16 +79,35 @@ type Friend = core.Friend
 // Persister stores serialized client state.
 type Persister = core.Persister
 
+// ServiceHandle is one service's running round loop, returned by
+// Client.ConnectAddFriend / Client.ConnectDialing.
+type ServiceHandle = core.ServiceHandle
+
+// RoundStatus is the frontend's per-service round progress (the poll
+// surface; push transports fold their events into the same shape).
+type RoundStatus = core.RoundStatus
+
 // Server interfaces: implementations may be in-process (internal/sim) or
-// network clients (cmd daemons).
+// network clients (cmd daemons). All methods take a leading context.
 type (
 	// PKG is the client's view of one private-key generator server.
 	PKG = core.PKG
 	// EntryServer is the client's view of the entry server.
 	EntryServer = core.EntryServer
-	// MailboxStore is the client's view of the mailbox CDN.
+	// MailboxStore is the client's view of the mailbox CDN; FetchRange
+	// lets a catching-up client cover a span of rounds in one request.
 	MailboxStore = core.MailboxStore
+	// StatusProvider is the optional poll-based round-progress surface;
+	// Run uses it when the frontend cannot push events.
+	StatusProvider = core.StatusProvider
+	// RoundWatcher is the optional push-based round-event surface
+	// (resumable by cursor); Run prefers it when available.
+	RoundWatcher = core.RoundWatcher
 )
+
+// ErrEventsUnsupported is returned by a RoundWatcher whose frontend does
+// not stream round events; Run falls back to Status polling.
+var ErrEventsUnsupported = core.ErrEventsUnsupported
 
 // NewClient creates a client with a fresh long-term signing key.
 // Call Register (then ConfirmRegistration with the emailed tokens) before

@@ -10,6 +10,7 @@
 package alpenhorn_test
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"testing"
@@ -343,7 +344,7 @@ func BenchmarkKeyExtraction(b *testing.B) {
 				}
 				// Submit includes extraction of all PKG key shares
 				// plus attestation verification.
-				if err := client.SubmitAddFriendRound(round); err != nil {
+				if err := client.SubmitAddFriendRound(context.Background(), round); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -13,10 +13,11 @@
 //	alpenhorn-bench -exp mix-compare # sequential vs parallel vs pipelined round cost
 //	alpenhorn-bench -exp chain-forward # relayed vs server-forwarded data plane over TCP
 //	alpenhorn-bench -exp shard-compare # unsharded vs shard-group positions over TCP
+//	alpenhorn-bench -exp status-load # 500 ms status pollers vs entry.events streamers
 //	alpenhorn-bench -all            # everything
 //
-// -json FILE writes the shard-compare results as a JSON record (CI
-// uploads it per PR to track the perf trajectory).
+// -json FILE writes the shard-compare / status-load results as a JSON
+// record (CI uploads them per PR to track the perf trajectory).
 //
 // The -parallelism flag sets the mixers' decryption/noise worker count for
 // every experiment that runs real rounds (0 = GOMAXPROCS, 1 = the
@@ -31,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/json"
 	"flag"
@@ -43,6 +45,7 @@ import (
 
 	"alpenhorn/internal/cdn"
 	"alpenhorn/internal/coordinator"
+	"alpenhorn/internal/core"
 	"alpenhorn/internal/entry"
 	"alpenhorn/internal/ibe"
 	"alpenhorn/internal/keywheel"
@@ -56,11 +59,11 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "paper figure to regenerate (6-10)")
-	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal, mix-compare, chain-forward, shard-compare")
+	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal, mix-compare, chain-forward, shard-compare, status-load")
 	all := flag.Bool("all", false, "run everything")
 	users := flag.Int("calibration-batch", 4000, "batch size for real-round mix calibration")
 	par := flag.Int("parallelism", 0, "mixer decryption/noise workers (0 = GOMAXPROCS, 1 = sequential)")
-	jsonOut := flag.String("json", "", "write machine-readable results (shard-compare) to this file")
+	jsonOut := flag.String("json", "", "write machine-readable results (shard-compare, status-load) to this file")
 	flag.Parse()
 	parallelism = *par
 	jsonPath = *jsonOut
@@ -84,6 +87,7 @@ func main() {
 	run(-1, "mix-compare", mixCompare)
 	run(-1, "chain-forward", chainForwardCompare)
 	run(-1, "shard-compare", shardCompare)
+	run(-1, "status-load", func(int) { statusLoad() })
 	if !any {
 		flag.Usage()
 		os.Exit(2)
@@ -94,8 +98,37 @@ func main() {
 // experiment that runs real rounds.
 var parallelism int
 
-// jsonPath is the -json flag: where shard-compare writes its record.
+// jsonPath is the -json flag: where JSON-writing experiments record
+// results. With -all, several experiments write JSON in one run; the
+// first keeps the given path and later ones append their name, so no
+// record silently clobbers another.
 var jsonPath string
+
+// jsonPathUsedBy remembers which experiment wrote jsonPath verbatim.
+var jsonPathUsedBy string
+
+// writeJSONRecord writes one experiment's record to the -json path (or a
+// derived "<path>.<exp>.json" when another experiment already claimed the
+// path this run) and prints where it went.
+func writeJSONRecord(exp string, record any) {
+	if jsonPath == "" {
+		return
+	}
+	path := jsonPath
+	if jsonPathUsedBy == "" {
+		jsonPathUsedBy = exp
+	} else if jsonPathUsedBy != exp {
+		path = jsonPath + "." + exp + ".json"
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
@@ -490,22 +523,143 @@ func shardCompare(batchSize int) {
 	fmt.Println("\n(each position's peel + noise splits across its shards; the position's")
 	fmt.Println(" permutation stays one full-batch shuffle, run at the group's merge)")
 
-	if jsonPath != "" {
-		record := struct {
-			Experiment string       `json:"experiment"`
-			Batch      int          `json:"batch"`
-			GoMaxProcs int          `json:"gomaxprocs"`
-			Modes      []modeResult `json:"modes"`
-		}{"shard-compare", batchSize, runtime.GOMAXPROCS(0), results}
-		data, err := json.MarshalIndent(record, "", "  ")
+	writeJSONRecord("shard-compare", struct {
+		Experiment string       `json:"experiment"`
+		Batch      int          `json:"batch"`
+		GoMaxProcs int          `json:"gomaxprocs"`
+		Modes      []modeResult `json:"modes"`
+	}{"shard-compare", batchSize, runtime.GOMAXPROCS(0), results})
+}
+
+// statusLoad measures the frontend's per-client request load for round
+// tracking: N clients following M dialing rounds through Client.Run, once
+// against a push frontend (entry.events long-poll) and once against a
+// poll-only frontend (500 ms frontend.status polling — the pre-event-
+// stream client behaviour). At the ROADMAP's million-user scale the
+// 2 Hz × 2-service status polling is the frontend's dominant request
+// source; this experiment records what the push surface takes off it.
+func statusLoad() {
+	header("Frontend status load: 500 ms pollers vs entry.events streamers (over TCP)")
+	// Round pacing matters: a poller's cost is poll-rate x round length
+	// regardless of activity, a streamer's is per-event. 2.5 s rounds are
+	// already conservative (the entry daemon defaults to 10 s dialing
+	// rounds, where the gap is ~4x wider still).
+	const (
+		numClients    = 4
+		numRounds     = 4
+		roundInterval = 2500 * time.Millisecond
+	)
+	fmt.Printf("%d clients, %d dialing rounds, %v per round\n\n", numClients, numRounds, roundInterval)
+
+	type modeResult struct {
+		Name          string  `json:"name"`
+		Streaming     bool    `json:"streaming"`
+		Clients       int     `json:"clients"`
+		Rounds        int     `json:"rounds"`
+		Tracking      uint64  `json:"tracking_requests"`
+		Requests      uint64  `json:"frontend_requests"`
+		Bytes         uint64  `json:"frontend_bytes"`
+		PerClientRate float64 `json:"tracking_per_client_per_round"`
+	}
+
+	runMode := func(streaming bool) modeResult {
+		network, err := sim.NewNetwork(sim.Config{NumPKGs: 1, NumMixers: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		srv := rpc.NewServer()
+		if streaming {
+			rpc.RegisterFrontend(srv, network.Entry, network.CDN, rpc.Directory{NumMixers: 1})
+		} else {
+			rpc.RegisterPollFrontend(srv, network.Entry, network.CDN, rpc.Directory{NumMixers: 1})
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nwrote %s\n", jsonPath)
+		defer srv.Close()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var frontends []*rpc.FrontendClient
+		for i := 0; i < numClients; i++ {
+			fe := rpc.DialFrontend(addr)
+			frontends = append(frontends, fe)
+			h := &sim.Handler{AcceptAll: true}
+			cfg := network.ClientConfig(fmt.Sprintf("user%d@bench.example", i), h)
+			cfg.Entry = fe
+			cfg.Mailboxes = fe
+			client, err := core.NewClient(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := client.Register(ctx); err != nil {
+				log.Fatal(err)
+			}
+			if err := network.ConfirmAll(client); err != nil {
+				log.Fatal(err)
+			}
+			handle, err := client.ConnectDialing(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer handle.Close()
+		}
+
+		for r := uint32(1); r <= numRounds; r++ {
+			start := time.Now()
+			if _, err := network.Coord.OpenDialingRound(r); err != nil {
+				log.Fatal(err)
+			}
+			for network.Entry.BatchSize(wire.Dialing, r) < numClients && time.Since(start) < 10*time.Second {
+				time.Sleep(2 * time.Millisecond)
+			}
+			if remaining := roundInterval - time.Since(start); remaining > 0 {
+				time.Sleep(remaining)
+			}
+			if _, err := network.Coord.CloseRound(wire.Dialing, r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Let the final scans land before counting.
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+
+		res := modeResult{Streaming: streaming, Clients: numClients, Rounds: numRounds}
+		if streaming {
+			res.Name = "streaming (entry.events long-poll)"
+		} else {
+			res.Name = "polling (500 ms frontend.status)"
+		}
+		for _, fe := range frontends {
+			res.Tracking += fe.CallCount("frontend.status") + fe.CallCount("entry.events")
+			st := fe.TransportStats()
+			res.Requests += st.Calls
+			res.Bytes += st.BytesSent + st.BytesReceived
+			fe.Close()
+		}
+		res.PerClientRate = float64(res.Tracking) / float64(numClients) / float64(numRounds)
+		return res
 	}
+
+	var results []modeResult
+	for _, streaming := range []bool{false, true} {
+		r := runMode(streaming)
+		fmt.Printf("%-38s %6d tracking req  %6d total req  %8.1f KB  (%.1f tracking req/client/round)\n",
+			r.Name, r.Tracking, r.Requests, float64(r.Bytes)/1024, r.PerClientRate)
+		results = append(results, r)
+	}
+	if results[1].Tracking > 0 {
+		fmt.Printf("\nstreaming clients issue %.1fx fewer round-tracking requests\n",
+			float64(results[0].Tracking)/float64(results[1].Tracking))
+	}
+	fmt.Println("(an idle streaming client costs one parked entry.events call per 25 s;")
+	fmt.Println(" a poller costs 2 Hz x 2 services regardless of round activity)")
+
+	writeJSONRecord("status-load", struct {
+		Experiment string       `json:"experiment"`
+		Modes      []modeResult `json:"modes"`
+	}{"status-load", results})
 }
 
 // measureIBEDecrypt returns seconds per trial decryption with our pairing.
@@ -657,7 +811,7 @@ func extraction() {
 				log.Fatal(err)
 			}
 			start := time.Now()
-			if err := client.SubmitAddFriendRound(r); err != nil {
+			if err := client.SubmitAddFriendRound(context.Background(), r); err != nil {
 				log.Fatal(err)
 			}
 			total += time.Since(start)

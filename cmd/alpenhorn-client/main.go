@@ -13,13 +13,19 @@
 //	secret                print the last call's session key (for PANDA)
 //	quit                  save state and exit
 //
-// A background loop participates in every round (cover traffic included)
-// by polling the entry daemon for round status.
+// Round participation (cover traffic included) is owned by the client
+// library: client.Run follows the frontend's round announcements —
+// push-based entry.events against a current frontend, transparent
+// status-polling fallback against an older one — and drives every
+// submit and scan, including the bounded dial-scan backlog and the §5.1
+// give-up policy. This binary only renders events and queues work.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/base32"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -27,12 +33,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"alpenhorn"
-	"alpenhorn/internal/core"
 	"alpenhorn/internal/rpc"
-	"alpenhorn/internal/wire"
 
 	"crypto/ed25519"
 	"flag"
@@ -70,7 +73,7 @@ func (h *printHandler) OutgoingCall(call alpenhorn.Call) {
 }
 
 func (h *printHandler) Error(err error) {
-	fmt.Printf("\n[alpenhorn] %v\n> ", err)
+	log.Printf("[alpenhorn] %v", err)
 }
 
 // statePersister writes client state to a file.
@@ -93,8 +96,11 @@ func main() {
 		*statePath = strings.ReplaceAll(*emailAddr, "@", "_at_") + ".state"
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	frontend := rpc.DialFrontend(*entryAddr)
-	dir, err := frontend.Directory()
+	dir, err := frontend.Directory(ctx)
 	if err != nil {
 		log.Fatalf("fetching deployment directory: %v", err)
 	}
@@ -137,17 +143,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("registering with PKGs...")
-		if err := client.Register(); err != nil {
+		if err := client.Register(ctx); err != nil {
 			log.Fatalf("registration: %v", err)
 		}
-		if err := confirmFromInbox(client, *emailAddr, *inboxDir, len(cfg.PKGs)); err != nil {
+		if err := confirmFromInbox(ctx, client, *emailAddr, *inboxDir, len(cfg.PKGs)); err != nil {
 			log.Fatalf("confirmation: %v", err)
 		}
 		fmt.Println("registered and confirmed")
 	}
 
-	stop := make(chan struct{})
-	go roundLoop(client, frontend, stop)
+	// The library owns the round loop; this goroutine lives until quit.
+	go func() {
+		if err := client.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("round loop stopped: %v", err)
+		}
+	}()
 
 	fmt.Printf("alpenhorn-client for %s — type 'help'\n", *emailAddr)
 	handler := cfg.Handler.(*printHandler)
@@ -205,7 +215,7 @@ func main() {
 					base32.StdEncoding.EncodeToString(call.SessionKey[:20]))
 			}
 		case "quit", "exit":
-			close(stop)
+			cancel()
 			return
 		default:
 			fmt.Println("unknown command; type 'help'")
@@ -216,7 +226,7 @@ func main() {
 
 // confirmFromInbox reads the per-PKG confirmation tokens written by
 // alpenhorn-pkg daemons into the inbox directory.
-func confirmFromInbox(client *alpenhorn.Client, emailAddr, inboxDir string, numPKGs int) error {
+func confirmFromInbox(ctx context.Context, client *alpenhorn.Client, emailAddr, inboxDir string, numPKGs int) error {
 	if inboxDir == "" {
 		return fmt.Errorf("need -inbox-dir to read confirmation tokens")
 	}
@@ -237,7 +247,7 @@ func confirmFromInbox(client *alpenhorn.Client, emailAddr, inboxDir string, numP
 				lastErr = err
 				continue
 			}
-			if err := client.ConfirmRegistration(i, strings.TrimSpace(string(data))); err != nil {
+			if err := client.ConfirmRegistration(ctx, i, strings.TrimSpace(string(data))); err != nil {
 				lastErr = err
 				continue
 			}
@@ -249,91 +259,4 @@ func confirmFromInbox(client *alpenhorn.Client, emailAddr, inboxDir string, numP
 		}
 	}
 	return nil
-}
-
-// roundLoop participates in every round the deployment announces.
-//
-// Dialing rounds are scanned through the client's BOUNDED backlog: every
-// published round is queued (core.Client.QueueDialScans, which drops the
-// oldest rounds with a logged count once the client is too far behind)
-// and drained in order. A round whose scan keeps failing is skipped after
-// a few attempts — §5.1's give-up-and-advance move — so one bad mailbox
-// fetch cannot wedge the loop.
-func roundLoop(client *core.Client, frontend *rpc.FrontendClient, stop <-chan struct{}) {
-	var lastAFSubmit, lastAFScan, lastDLSubmit uint32
-	// A failing scan retries only while its round stays at the backlog
-	// head, with a TIME budget (not an attempt count — attempts are
-	// coupled to the poll interval, and §5.1's give-up is "after some
-	// time", not after 1.5 seconds of a frontend restart). Giving up
-	// advances the keywheels, which permanently destroys that round's
-	// incoming calls, so the budget errs long; it also bounds the
-	// head-of-line stall a CDN-evicted round can cause. One
-	// round+deadline pair (not a per-round map, which would leak entries
-	// for rounds the backlog cap later drops) tracks it.
-	const scanRetryBudget = 5 * time.Minute
-	var retryRound uint32
-	var retryDeadline time.Time
-	var retryLogged bool
-	ticker := time.NewTicker(500 * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-ticker.C:
-		}
-		if st, err := frontend.Status(wire.AddFriend); err == nil {
-			if st.CurrentOpen > lastAFSubmit {
-				if err := client.SubmitAddFriendRound(st.CurrentOpen); err == nil {
-					lastAFSubmit = st.CurrentOpen
-				} else {
-					log.Printf("addfriend round %d submit: %v (will retry next round)", st.CurrentOpen, err)
-				}
-			}
-			if st.LatestPublished > lastAFScan && st.LatestPublished == lastAFSubmit {
-				if err := client.ScanAddFriendRound(st.LatestPublished); err == nil {
-					lastAFScan = st.LatestPublished
-				} else {
-					log.Printf("addfriend round %d scan: %v", st.LatestPublished, err)
-				}
-			}
-		}
-		if st, err := frontend.Status(wire.Dialing); err == nil {
-			if st.CurrentOpen > lastDLSubmit {
-				if err := client.SubmitDialRound(st.CurrentOpen); err == nil {
-					lastDLSubmit = st.CurrentOpen
-				} else {
-					log.Printf("dialing round %d submit: %v (will retry next round)", st.CurrentOpen, err)
-				}
-			}
-			if st.LatestPublished > 0 {
-				client.QueueDialScans(st.LatestPublished)
-			}
-			for {
-				round, ok := client.NextDialScan()
-				if !ok {
-					break
-				}
-				if round != retryRound {
-					retryRound, retryDeadline = round, time.Now().Add(scanRetryBudget)
-					retryLogged = false
-				}
-				err := client.ScanDialRound(round)
-				if err == nil {
-					continue
-				}
-				if time.Now().After(retryDeadline) {
-					log.Printf("dialing round %d scan: %v (giving up after %v, advancing keywheels)", round, err, scanRetryBudget)
-					client.SkipDialRound(round)
-					continue
-				}
-				if !retryLogged {
-					log.Printf("dialing round %d scan: %v (retrying for up to %v)", round, err, scanRetryBudget)
-					retryLogged = true
-				}
-				client.RequeueDialScan(round)
-				break
-			}
-		}
-	}
 }

@@ -154,9 +154,8 @@ func main() {
 		log.Printf("chain-forward data plane enabled (cdn.publish listening on %s, advertised as %s)", cdnBound, coord.CDNAddr)
 	}
 
-	state := &rpc.FrontendState{}
 	server := rpc.NewServer()
-	rpc.RegisterFrontend(server, e, store, dir, state)
+	rpc.RegisterFrontend(server, e, store, dir)
 	bound, err := server.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -164,8 +163,8 @@ func main() {
 	log.Printf("alpenhorn-entry listening on %s", bound)
 
 	stop := make(chan struct{})
-	go runRounds(coord, state, wire.AddFriend, *afInterval, *submitWindow, stop)
-	go runRounds(coord, state, wire.Dialing, *dlInterval, *submitWindow, stop)
+	go runRounds(coord, wire.AddFriend, *afInterval, *submitWindow, stop)
+	go runRounds(coord, wire.Dialing, *dlInterval, *submitWindow, stop)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -178,8 +177,10 @@ func main() {
 // runRounds drives one protocol's rounds on a timer: open, wait for the
 // submit window, then close — which runs the data plane, publishes the
 // mailboxes, and (for add-friend) erases the PKG master keys, since
-// clients extract only during the submit window.
-func runRounds(c *coordinator.Coordinator, state *rpc.FrontendState, service wire.Service, interval, window time.Duration, stop <-chan struct{}) {
+// clients extract only during the submit window. Open and published
+// announcements flow through the entry server's event log, which serves
+// both the frontend.status poll surface and the entry.events push stream.
+func runRounds(c *coordinator.Coordinator, service wire.Service, interval, window time.Duration, stop <-chan struct{}) {
 	round := uint32(1)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -194,7 +195,6 @@ func runRounds(c *coordinator.Coordinator, state *rpc.FrontendState, service wir
 			log.Printf("%s round %d open: %v", service, round, err)
 			return
 		}
-		state.SetOpen(service, round)
 		log.Printf("%s round %d open (submit window %v)", service, round, window)
 
 		select {
@@ -208,7 +208,6 @@ func runRounds(c *coordinator.Coordinator, state *rpc.FrontendState, service wir
 			// requeue, and the next round carries the traffic.
 			log.Printf("%s round %d close: %v (continuing with next round)", service, round, err)
 		} else {
-			state.SetPublished(service, round)
 			log.Printf("%s round %d mailboxes published", service, round)
 		}
 		// PKG master keys for the round were already erased inside

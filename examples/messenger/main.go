@@ -15,10 +15,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"alpenhorn"
 	"alpenhorn/internal/sim"
 	"alpenhorn/internal/vuvuzela"
 )
@@ -39,10 +40,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Rounds are driven by the deployment; each client's Run loop follows
+	// the announcements and delivers results through its handler (the
+	// paper's event-driven Figure 1 API).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	network.StartRounds(ctx, sim.RoundDriver{WaitSubmissions: 2})
+	go func() { _ = alice.Run(ctx) }()
+	go func() { _ = bob.Run(ctx) }()
+
 	// /addfriend bob@example.org
 	fmt.Println("alice> /addfriend bob@example.org")
-	if err := network.Befriend(alice, bob, 1); err != nil {
+	if err := alice.AddFriend("bob@example.org", nil); err != nil {
 		log.Fatal(err)
+	}
+	if !aliceH.WaitConfirmed("bob@example.org", time.Minute) ||
+		!bobH.WaitConfirmed("alice@example.org", time.Minute) {
+		log.Fatal("friendship did not complete")
 	}
 	fmt.Println("alpenhorn: friendship confirmed (keywheels synchronized)")
 
@@ -51,18 +65,12 @@ func main() {
 	if err := alice.Call("bob@example.org", 0); err != nil {
 		log.Fatal(err)
 	}
-	clients := []*alpenhorn.Client{alice, bob}
-	for round := uint32(1); round <= 6; round++ {
-		if err := network.RunDialRound(round, clients); err != nil {
-			log.Fatal(err)
-		}
-		if len(bobH.IncomingCalls()) > 0 {
-			break
-		}
+	out, ok := aliceH.WaitOutgoing(1, time.Minute)
+	if !ok {
+		log.Fatal("call did not complete")
 	}
-	out := aliceH.OutgoingCalls()
-	in := bobH.IncomingCalls()
-	if len(out) == 0 || len(in) == 0 {
+	in, ok := bobH.WaitIncoming(1, time.Minute)
+	if !ok {
 		log.Fatal("call did not complete")
 	}
 	fmt.Println("alpenhorn: call established, handing session key to the conversation protocol")

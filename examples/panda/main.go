@@ -11,11 +11,12 @@
 package main
 
 import (
+	"context"
 	"encoding/base32"
 	"fmt"
 	"log"
+	"time"
 
-	"alpenhorn"
 	"alpenhorn/internal/sim"
 )
 
@@ -35,25 +36,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Both clients participate in every announced round through Run; the
+	// handshake and the call ride whichever rounds come next.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	network.StartRounds(ctx, sim.RoundDriver{WaitSubmissions: 2})
+	go func() { _ = alice.Run(ctx) }()
+	go func() { _ = bob.Run(ctx) }()
+
 	fmt.Println("alpenhorn-panda: friending alice@pond.example <-> bob@pond.example")
-	if err := network.Befriend(alice, bob, 1); err != nil {
+	if err := alice.AddFriend("bob@pond.example", nil); err != nil {
 		log.Fatal(err)
+	}
+	if !aliceH.WaitConfirmed("bob@pond.example", time.Minute) ||
+		!bobH.WaitConfirmed("alice@pond.example", time.Minute) {
+		log.Fatal("friendship did not complete")
 	}
 	if err := alice.Call("bob@pond.example", 0); err != nil {
 		log.Fatal(err)
 	}
-	clients := []*alpenhorn.Client{alice, bob}
-	for round := uint32(1); round <= 6; round++ {
-		if err := network.RunDialRound(round, clients); err != nil {
-			log.Fatal(err)
-		}
-		if len(bobH.IncomingCalls()) > 0 {
-			break
-		}
-	}
-	out := aliceH.OutgoingCalls()
-	in := bobH.IncomingCalls()
-	if len(out) == 0 || len(in) == 0 || out[0].SessionKey != in[0].SessionKey {
+	out, okOut := aliceH.WaitOutgoing(1, time.Minute)
+	in, okIn := bobH.WaitIncoming(1, time.Minute)
+	if !okOut || !okIn || out[0].SessionKey != in[0].SessionKey {
 		log.Fatal("call did not complete")
 	}
 

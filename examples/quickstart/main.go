@@ -10,11 +10,12 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"log"
+	"time"
 
-	"alpenhorn"
 	"alpenhorn/internal/sim"
 )
 
@@ -29,7 +30,7 @@ func main() {
 	}
 
 	// Each user supplies a handler: the application callbacks from
-	// Figure 1 of the paper.
+	// Figure 1 of the paper (NewFriend, ConfirmedFriend, IncomingCall…).
 	aliceHandler := &sim.Handler{AcceptAll: true}
 	bobHandler := &sim.Handler{AcceptAll: true}
 
@@ -43,46 +44,46 @@ func main() {
 	}
 	fmt.Println("registered alice@example.org and bob@example.org (email-confirmed at 3 PKGs)")
 
+	// The event-driven API: rounds are announced by the deployment and
+	// each client's Run loop follows them — submitting every round
+	// (cover traffic included, which is what hides real activity),
+	// scanning every published mailbox, and delivering results through
+	// the Handler. No application-side round bookkeeping.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	network.StartRounds(ctx, sim.RoundDriver{WaitSubmissions: 2})
+	go func() { _ = alice.Run(ctx) }()
+	go func() { _ = bob.Run(ctx) }()
+
 	// Alice adds Bob knowing ONLY his email address: no key lookup, no
 	// out-of-band exchange. (She could pass Bob's public key as a second
-	// argument if she had it — e.g. from a business card.)
+	// argument if she had it — e.g. from a business card.) The request
+	// goes out in the next add-friend round; Bob's handler accepts it
+	// and his response confirms the friendship a round later.
 	if err := alice.AddFriend("bob@example.org", nil); err != nil {
 		log.Fatal(err)
 	}
-
-	clients := []*alpenhorn.Client{alice, bob}
-
-	// Add-friend round 1: Alice's encrypted request reaches Bob's
-	// mailbox; his handler accepts it.
-	if err := network.RunAddFriendRound(1, clients); err != nil {
-		log.Fatal(err)
-	}
-	// Add-friend round 2: Bob's response confirms the friendship; both
-	// sides now share a keywheel.
-	if err := network.RunAddFriendRound(2, clients); err != nil {
-		log.Fatal(err)
+	if !aliceHandler.WaitConfirmed("bob@example.org", time.Minute) ||
+		!bobHandler.WaitConfirmed("alice@example.org", time.Minute) {
+		log.Fatal("friendship did not complete")
 	}
 	fmt.Printf("friendship confirmed: alice→%v, bob→%v\n",
 		alice.IsFriend("bob@example.org"), bob.IsFriend("alice@example.org"))
 
-	// Alice calls Bob with intent 0 ("let's chat right now", §5.3).
+	// Alice calls Bob with intent 0 ("let's chat right now", §5.3). The
+	// dial token rides a coming dialing round; Bob's scan finds it.
 	if err := alice.Call("bob@example.org", 0); err != nil {
 		log.Fatal(err)
 	}
-	for round := uint32(1); round <= 6; round++ {
-		if err := network.RunDialRound(round, clients); err != nil {
-			log.Fatal(err)
-		}
-		if len(bobHandler.IncomingCalls()) > 0 {
-			break
-		}
+	out, ok := aliceHandler.WaitOutgoing(1, time.Minute)
+	if !ok {
+		log.Fatal("call was never sent")
+	}
+	in, ok := bobHandler.WaitIncoming(1, time.Minute)
+	if !ok {
+		log.Fatal("call was never received")
 	}
 
-	out := aliceHandler.OutgoingCalls()
-	in := bobHandler.IncomingCalls()
-	if len(out) == 0 || len(in) == 0 {
-		log.Fatal("call did not complete")
-	}
 	fmt.Printf("alice's session key: %s…\n", hex.EncodeToString(out[0].SessionKey[:8]))
 	fmt.Printf("bob's   session key: %s…\n", hex.EncodeToString(in[0].SessionKey[:8]))
 	if out[0].SessionKey == in[0].SessionKey {

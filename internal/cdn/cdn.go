@@ -112,6 +112,47 @@ func (s *Store) Fetch(service wire.Service, round uint32, mailbox uint32) ([]byt
 	return out, nil
 }
 
+// MaxFetchRange bounds how many rounds one FetchRange call may cover, so
+// a single request cannot ask the store to assemble an unbounded reply.
+// It is far above any real client backlog (core.DefaultMaxDialBacklog).
+const MaxFetchRange = 1024
+
+// FetchRange returns one mailbox's contents for every PUBLISHED round in
+// [fromRound, toRound], keyed by round. Rounds in the range that are not
+// (or no longer) published are simply absent — a client draining a scan
+// backlog treats them like a failed Fetch for that round. The whole range
+// costs one request instead of one per round, which is what lets a client
+// behind by N rounds catch up without N round trips.
+func (s *Store) FetchRange(service wire.Service, fromRound, toRound uint32, mailbox uint32) (map[uint32][]byte, error) {
+	if fromRound > toRound {
+		return nil, fmt.Errorf("cdn: bad round range [%d, %d]", fromRound, toRound)
+	}
+	if toRound-fromRound >= MaxFetchRange {
+		return nil, fmt.Errorf("cdn: round range [%d, %d] exceeds %d rounds", fromRound, toRound, MaxFetchRange)
+	}
+	out := make(map[uint32][]byte)
+	s.mu.RLock()
+	for r := fromRound; r <= toRound; r++ {
+		boxes, ok := s.rounds[roundKey{service, r}]
+		if !ok {
+			continue
+		}
+		data := boxes[mailbox]
+		b := make([]byte, len(data))
+		copy(b, data)
+		out[r] = b
+	}
+	s.mu.RUnlock()
+
+	var served uint64
+	for _, b := range out {
+		served += uint64(len(b))
+	}
+	s.bytesServed.Add(served)
+	s.fetches.Add(1)
+	return out, nil
+}
+
 // Published reports whether a round's mailboxes are available.
 func (s *Store) Published(service wire.Service, round uint32) bool {
 	s.mu.RLock()

@@ -34,6 +34,53 @@ func TestPublishFetch(t *testing.T) {
 	}
 }
 
+func TestFetchRange(t *testing.T) {
+	s := NewStore(0)
+	for r := uint32(2); r <= 5; r++ {
+		if r == 4 {
+			continue // round 4 never published
+		}
+		if err := s.Publish(wire.Dialing, r, map[uint32][]byte{7: {byte(r)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.FetchRange(wire.Dialing, 1, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ranged fetch returned %d rounds, want 3", len(got))
+	}
+	for _, r := range []uint32{2, 3, 5} {
+		if len(got[r]) != 1 || got[r][0] != byte(r) {
+			t.Fatalf("round %d: %v", r, got[r])
+		}
+	}
+	if _, ok := got[4]; ok {
+		t.Fatal("unpublished round present in ranged reply")
+	}
+	// The whole range is ONE fetch for accounting purposes.
+	if s.Fetches() != 1 {
+		t.Fatalf("fetches %d, want 1", s.Fetches())
+	}
+	if s.BytesServed() != 3 {
+		t.Fatalf("bytes served %d, want 3", s.BytesServed())
+	}
+	// The reply is a private copy.
+	got[2][0] = 99
+	again, _ := s.Fetch(wire.Dialing, 2, 7)
+	if again[0] != 2 {
+		t.Fatal("ranged fetch aliases store buffer")
+	}
+	// Validation: inverted and oversized ranges are rejected.
+	if _, err := s.FetchRange(wire.Dialing, 5, 2, 7); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := s.FetchRange(wire.Dialing, 0, MaxFetchRange, 7); err == nil {
+		t.Fatal("oversized range accepted")
+	}
+}
+
 func TestRoundsAreImmutable(t *testing.T) {
 	s := NewStore(0)
 	if err := s.Publish(wire.AddFriend, 1, map[uint32][]byte{0: []byte("v1")}); err != nil {

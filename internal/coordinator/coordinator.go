@@ -642,6 +642,10 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 		if err != nil {
 			return nil, err
 		}
+		// The last daemon published straight to the CDN; tell the entry
+		// server so subscribers and entry.events watchers learn the
+		// round's mailboxes are available.
+		c.Entry.AnnouncePublished(service, round)
 		return nil, nil
 	}
 
@@ -664,6 +668,7 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 		return nil, err
 	}
 	c.recordHealth(RoundHealth{Service: service, Round: round, Batch: len(batch), Duration: time.Since(start)})
+	c.Entry.AnnouncePublished(service, round)
 	return mailboxes, nil
 }
 

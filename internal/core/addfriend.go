@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdh"
 	"crypto/ed25519"
 	"errors"
@@ -29,8 +30,8 @@ import (
 // The client calls this exactly once per round, whether or not the user is
 // adding anyone — the fixed-size cover request is what hides add-friend
 // activity.
-func (c *Client) SubmitAddFriendRound(round uint32) error {
-	settings, err := c.cfg.Entry.Settings(wire.AddFriend, round)
+func (c *Client) SubmitAddFriendRound(ctx context.Context, round uint32) error {
+	settings, err := c.cfg.Entry.Settings(ctx, wire.AddFriend, round)
 	if err != nil {
 		return fmt.Errorf("core: fetching settings: %w", err)
 	}
@@ -40,7 +41,7 @@ func (c *Client) SubmitAddFriendRound(round uint32) error {
 
 	// Step 1: acquire identity key shares and attestations from every
 	// PKG, verifying each PKG's BLS attestation before aggregating.
-	if err := c.extractRoundKeys(round); err != nil {
+	if err := c.extractRoundKeys(ctx, round); err != nil {
 		return fmt.Errorf("core: extracting round keys: %w", err)
 	}
 
@@ -54,7 +55,7 @@ func (c *Client) SubmitAddFriendRound(round uint32) error {
 	if err != nil {
 		return err
 	}
-	if err := c.cfg.Entry.Submit(wire.AddFriend, round, onion); err != nil {
+	if err := c.cfg.Entry.Submit(ctx, wire.AddFriend, round, onion); err != nil {
 		// The request never reached the entry server: leave it queued
 		// for the next round. Admission control (a full round) is a
 		// deferral, not a failure — report it and carry on; anything
@@ -74,7 +75,7 @@ func (c *Client) SubmitAddFriendRound(round uint32) error {
 
 // extractRoundKeys performs Algorithm 1 step 1 against every PKG and
 // caches the aggregated results for the round's scan phase.
-func (c *Client) extractRoundKeys(round uint32) error {
+func (c *Client) extractRoundKeys(ctx context.Context, round uint32) error {
 	c.mu.Lock()
 	if _, done := c.roundKeys[round]; done {
 		c.mu.Unlock()
@@ -88,7 +89,7 @@ func (c *Client) extractRoundKeys(round uint32) error {
 	idKeys := make([]*ibe.IdentityPrivateKey, len(c.cfg.PKGs))
 	sigs := make([]*bls.Signature, len(c.cfg.PKGs))
 	for i, pkg := range c.cfg.PKGs {
-		reply, err := pkg.Extract(c.cfg.Email, round, sig)
+		reply, err := pkg.Extract(ctx, c.cfg.Email, round, sig)
 		if err != nil {
 			return fmt.Errorf("PKG %d: %w", i, err)
 		}
@@ -201,6 +202,23 @@ func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSetting
 	return payload.Marshal(), commit, nil
 }
 
+// discardStaleRoundKeys erases cached add-friend round secrets for every
+// round below keep. The Run loop calls it once it submits round `keep`:
+// earlier rounds can no longer be scanned (a scan requires the round to
+// be this client's latest submission), so holding their identity keys
+// would violate §4.4's erasure discipline — the ability to decrypt a
+// round's mailbox must not outlive the round.
+func (c *Client) discardStaleRoundKeys(keep uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for round, rs := range c.roundKeys {
+		if round < keep {
+			rs.identityKey.Erase()
+			delete(c.roundKeys, round)
+		}
+	}
+}
+
 // wrapOnion wraps a payload for the round's mix chain (Algorithm 1 step 3).
 func (c *Client) wrapOnion(settings *wire.RoundSettings, payload []byte) ([]byte, error) {
 	hops := make([]*onionbox.PublicKey, len(settings.Mixers))
@@ -219,8 +237,8 @@ func (c *Client) wrapOnion(settings *wire.RoundSettings, payload []byte) ([]byte
 // every request with the round's aggregated identity key, authenticate and
 // process the ones addressed to us, then erase the round's identity key
 // (forward secrecy, §4.4).
-func (c *Client) ScanAddFriendRound(round uint32) error {
-	settings, err := c.cfg.Entry.Settings(wire.AddFriend, round)
+func (c *Client) ScanAddFriendRound(ctx context.Context, round uint32) error {
+	settings, err := c.cfg.Entry.Settings(ctx, wire.AddFriend, round)
 	if err != nil {
 		return fmt.Errorf("core: fetching settings: %w", err)
 	}
@@ -244,7 +262,7 @@ func (c *Client) ScanAddFriendRound(round uint32) error {
 		c.mu.Unlock()
 	}()
 
-	box, err := c.cfg.Mailboxes.Fetch(wire.AddFriend, round, wire.MailboxID(c.cfg.Email, settings.NumMailboxes))
+	box, err := c.cfg.Mailboxes.Fetch(ctx, wire.AddFriend, round, wire.MailboxID(c.cfg.Email, settings.NumMailboxes))
 	if err != nil {
 		return fmt.Errorf("core: fetching mailbox: %w", err)
 	}

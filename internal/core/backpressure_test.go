@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"alpenhorn/internal/core"
@@ -26,11 +27,11 @@ func TestAddFriendDeferredByFullRound(t *testing.T) {
 	if _, err := net.Coord.OpenAddFriendRound(1); err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.SubmitAddFriendRound(1); err != nil {
+	if err := bob.SubmitAddFriendRound(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	errsBefore := ha.ErrorCount()
-	if err := alice.SubmitAddFriendRound(1); err != nil {
+	if err := alice.SubmitAddFriendRound(context.Background(), 1); err != nil {
 		t.Fatalf("deferred submit must not error: %v", err)
 	}
 	if ha.ErrorCount() != errsBefore+1 {
@@ -39,10 +40,10 @@ func TestAddFriendDeferredByFullRound(t *testing.T) {
 	if _, err := net.Coord.CloseRound(wire.AddFriend, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.ScanAddFriendRound(1); err != nil {
+	if err := alice.ScanAddFriendRound(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.ScanAddFriendRound(1); err != nil {
+	if err := bob.ScanAddFriendRound(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	net.Coord.FinishAddFriendRound(1)
@@ -85,10 +86,10 @@ func TestDialDeferredByFullRound(t *testing.T) {
 	if _, err := net.Coord.OpenDialingRound(2); err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.SubmitDialRound(2); err != nil {
+	if err := bob.SubmitDialRound(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.SubmitDialRound(2); err != nil {
+	if err := alice.SubmitDialRound(context.Background(), 2); err != nil {
 		t.Fatalf("deferred dial submit must not error: %v", err)
 	}
 	if len(ha.OutgoingCalls()) != 0 {
@@ -97,10 +98,10 @@ func TestDialDeferredByFullRound(t *testing.T) {
 	if _, err := net.Coord.CloseRound(wire.Dialing, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.ScanDialRound(2); err != nil {
+	if err := alice.ScanDialRound(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.ScanDialRound(2); err != nil {
+	if err := bob.ScanDialRound(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 

@@ -9,16 +9,24 @@
 // the in-process server types (internal/pkgserver, internal/entry,
 // internal/cdn) and by the TCP adapters in the cmd/ daemons.
 //
-// Round processing is split into explicit phases so that tests, benchmarks,
-// and daemons can all drive the same code:
+// Most applications hand the client to Run (or the ConnectAddFriend /
+// ConnectDialing handles), which follows the frontend's round
+// announcements and drives every phase itself — see run.go. The phases
+// remain public so that tests, benchmarks, and simulations can drive
+// rounds deterministically:
 //
-//	SubmitAddFriendRound(r)  — extract round keys, send request or cover
-//	ScanAddFriendRound(r)    — download mailbox, decrypt, process, erase keys
-//	SubmitDialRound(r)       — send dial token or cover
-//	ScanDialRound(r)         — download Bloom filter, detect calls, advance wheels
+//	SubmitAddFriendRound(ctx, r)  — extract round keys, send request or cover
+//	ScanAddFriendRound(ctx, r)    — download mailbox, decrypt, process, erase keys
+//	SubmitDialRound(ctx, r)       — send dial token or cover
+//	ScanDialRound(ctx, r)         — download Bloom filter, detect calls, advance wheels
+//
+// Every server-touching method takes a leading context.Context, honored
+// through the transport: a dead frontend fails the call instead of
+// wedging the client.
 package core
 
 import (
+	"context"
 	"crypto/ecdh"
 	"crypto/ed25519"
 	"crypto/rand"
@@ -26,8 +34,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"alpenhorn/internal/bls"
+	"alpenhorn/internal/entry"
 	"alpenhorn/internal/ibe"
 	"alpenhorn/internal/keywheel"
 	"alpenhorn/internal/pkgserver"
@@ -36,21 +46,49 @@ import (
 
 // PKG is the client's view of one private-key generator.
 type PKG interface {
-	Register(email string, signingKey ed25519.PublicKey) error
-	ConfirmRegistration(email, token string) error
-	Extract(email string, round uint32, sig []byte) (*pkgserver.ExtractReply, error)
-	Deregister(email string, sig []byte) error
+	Register(ctx context.Context, email string, signingKey ed25519.PublicKey) error
+	ConfirmRegistration(ctx context.Context, email, token string) error
+	Extract(ctx context.Context, email string, round uint32, sig []byte) (*pkgserver.ExtractReply, error)
+	Deregister(ctx context.Context, email string, sig []byte) error
 }
 
 // EntryServer is the client's view of the entry server.
 type EntryServer interface {
-	Settings(service wire.Service, round uint32) (*wire.RoundSettings, error)
-	Submit(service wire.Service, round uint32, onion []byte) error
+	Settings(ctx context.Context, service wire.Service, round uint32) (*wire.RoundSettings, error)
+	Submit(ctx context.Context, service wire.Service, round uint32, onion []byte) error
 }
 
 // MailboxStore is the client's view of the CDN.
 type MailboxStore interface {
-	Fetch(service wire.Service, round uint32, mailbox uint32) ([]byte, error)
+	Fetch(ctx context.Context, service wire.Service, round uint32, mailbox uint32) ([]byte, error)
+	// FetchRange fetches one mailbox across every published round in
+	// [fromRound, toRound] in a single request, keyed by round;
+	// unavailable rounds are absent. Transports talking to a store
+	// without ranged fetches emulate it with per-round Fetch calls.
+	FetchRange(ctx context.Context, service wire.Service, fromRound, toRound uint32, mailbox uint32) (map[uint32][]byte, error)
+}
+
+// RoundStatus is a service's round progress as reported by the frontend.
+type RoundStatus = entry.RoundStatus
+
+// StatusProvider is the poll-based round-progress surface: the frontend
+// reports the newest open and newest published round per service. It is
+// the fallback transport for Run when the frontend cannot push events.
+type StatusProvider interface {
+	Status(ctx context.Context, service wire.Service) (RoundStatus, error)
+}
+
+// ErrEventsUnsupported is returned by a RoundWatcher whose frontend does
+// not serve the push-based event stream; Run falls back to Status polling.
+var ErrEventsUnsupported = errors.New("core: frontend does not stream round events")
+
+// RoundWatcher is the push-based round-progress surface: WatchRounds
+// blocks until announcements after cursor exist (or ctx ends) and returns
+// them with the cursor to resume from. Announcements carry monotonic
+// cursors, so a reconnecting client resumes where it left off and a
+// coalesced reply after a gap still carries the newest state.
+type RoundWatcher interface {
+	WatchRounds(ctx context.Context, cursor uint64) ([]entry.Announcement, uint64, error)
 }
 
 // Handler receives asynchronous events from the client. Implementations
@@ -159,6 +197,19 @@ type Config struct {
 	// DefaultMaxDialBacklog.
 	MaxDialBacklog int
 
+	// PollInterval is how often the Run loop polls frontend.Status when
+	// the frontend cannot push round events (0 = DefaultPollInterval).
+	// Push-capable frontends make this irrelevant: the loop parks on the
+	// event stream instead.
+	PollInterval time.Duration
+
+	// ScanRetryBudget is how long the Run loop keeps retrying a dialing
+	// round whose mailbox fetch fails before giving up and advancing the
+	// keywheels (§5.1's "after some time"; 0 = DefaultScanRetryBudget).
+	// Giving up permanently destroys that round's incoming calls, so the
+	// default errs long.
+	ScanRetryBudget time.Duration
+
 	Handler Handler
 
 	// Rand defaults to crypto/rand.
@@ -184,13 +235,20 @@ type Client struct {
 	dialRound uint32 // latest dialing round processed
 
 	// dialBacklog holds published dialing rounds awaiting a scan, in
-	// round order, bounded by Config.MaxDialBacklog. In-memory only: a
-	// restarted client rebuilds it from the frontend's round status.
+	// round order, bounded by Config.MaxDialBacklog. It persists with the
+	// client state (along with lastQueued, the backlog cursor), so a
+	// client restarted mid-round resumes its scans instead of rebuilding
+	// from the frontend's status.
 	dialBacklog []uint32
 	lastQueued  uint32
 
 	// Per-round extraction results, erased after the round's scan.
 	roundKeys map[uint32]*roundSecrets
+
+	// feed is the shared round-announcement pump behind Run and the
+	// Connect handles (run.go), reference-counted across handles.
+	feedMu sync.Mutex
+	feed   *roundFeed
 }
 
 type roundSecrets struct {
@@ -246,9 +304,9 @@ func (c *Client) SigningKey() ed25519.PublicKey { return c.signingPub }
 // PKG emails a confirmation token; complete the registration by calling
 // ConfirmRegistration with each token (applications typically automate
 // reading the inbox).
-func (c *Client) Register() error {
+func (c *Client) Register(ctx context.Context) error {
 	for i, pkg := range c.cfg.PKGs {
-		if err := pkg.Register(c.cfg.Email, c.signingPub); err != nil {
+		if err := pkg.Register(ctx, c.cfg.Email, c.signingPub); err != nil {
 			return fmt.Errorf("core: registering with PKG %d: %w", i, err)
 		}
 	}
@@ -257,20 +315,20 @@ func (c *Client) Register() error {
 
 // ConfirmRegistration completes registration at one PKG with the token it
 // emailed.
-func (c *Client) ConfirmRegistration(pkgIndex int, token string) error {
+func (c *Client) ConfirmRegistration(ctx context.Context, pkgIndex int, token string) error {
 	if pkgIndex < 0 || pkgIndex >= len(c.cfg.PKGs) {
 		return errors.New("core: PKG index out of range")
 	}
-	return c.cfg.PKGs[pkgIndex].ConfirmRegistration(c.cfg.Email, token)
+	return c.cfg.PKGs[pkgIndex].ConfirmRegistration(ctx, c.cfg.Email, token)
 }
 
 // Deregister revokes the account at every PKG (recovery from client
 // compromise, §9). The account enters the 30-day lockout period.
-func (c *Client) Deregister() error {
+func (c *Client) Deregister(ctx context.Context) error {
 	sig := ed25519.Sign(c.signingPriv, pkgserver.DeregisterMessage(c.cfg.Email))
 	var firstErr error
 	for i, pkg := range c.cfg.PKGs {
-		if err := pkg.Deregister(c.cfg.Email, sig); err != nil && firstErr == nil {
+		if err := pkg.Deregister(ctx, c.cfg.Email, sig); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("core: deregistering at PKG %d: %w", i, err)
 		}
 	}

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"crypto/ed25519"
 	"testing"
 
@@ -443,7 +444,7 @@ func TestFailedSubmitKeepsFriendRequestQueued(t *testing.T) {
 	if _, err := net.Coord.CloseRound(wire.AddFriend, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.SubmitAddFriendRound(1); err == nil {
+	if err := alice.SubmitAddFriendRound(context.Background(), 1); err == nil {
 		t.Fatal("submit to a closed round succeeded")
 	}
 	net.Coord.FinishAddFriendRound(1)
@@ -482,7 +483,7 @@ func TestFailedSubmitRequeuesCall(t *testing.T) {
 	if _, err := net.Coord.CloseRound(wire.Dialing, 4); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.SubmitDialRound(4); err == nil {
+	if err := alice.SubmitDialRound(context.Background(), 4); err == nil {
 		t.Fatal("submit to a closed round succeeded")
 	}
 	if len(ha.OutgoingCalls()) != 0 {

@@ -1,9 +1,53 @@
-package core_test
+package core
 
 import (
+	"crypto/ed25519"
+	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
+
+// backlogHandler records errors; the backlog tests need nothing else.
+type backlogHandler struct {
+	mu     sync.Mutex
+	errors []error
+}
+
+func (h *backlogHandler) NewFriend(string, ed25519.PublicKey) bool { return false }
+func (h *backlogHandler) ConfirmedFriend(string)                   {}
+func (h *backlogHandler) IncomingCall(Call)                        {}
+func (h *backlogHandler) OutgoingCall(Call)                        {}
+func (h *backlogHandler) Error(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.errors = append(h.errors, err)
+}
+
+func (h *backlogHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.errors)
+}
+
+func (h *backlogHandler) last() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.errors) == 0 {
+		return nil
+	}
+	return h.errors[len(h.errors)-1]
+}
+
+// newBacklogClient builds a bare client: the backlog needs no servers.
+func newBacklogClient(h *backlogHandler) *Client {
+	return &Client{
+		cfg:       Config{Email: "backlog@example.org", Handler: h},
+		friends:   make(map[string]*Friend),
+		pending:   make(map[string]*pendingFriend),
+		roundKeys: make(map[uint32]*roundSecrets),
+	}
+}
 
 // TestDialBacklogBounded pins the client's memory bound when it falls far
 // behind the dialing schedule: the scan backlog keeps only the newest
@@ -11,20 +55,20 @@ import (
 // handler, and the dropped rounds' keywheel secrets are advanced away
 // (forward secrecy — the same move as SkipDialRound).
 func TestDialBacklogBounded(t *testing.T) {
-	_, alice, ha, _, _ := newPair(t)
+	h := &backlogHandler{}
+	alice := newBacklogClient(h)
 
 	const latest = 200
-	const kept = 64 // core.DefaultMaxDialBacklog
-	errsBefore := ha.ErrorCount()
+	const kept = DefaultMaxDialBacklog
 	alice.QueueDialScans(latest)
 
 	if got := alice.DialBacklog(); got != kept {
 		t.Fatalf("backlog after falling %d rounds behind: %d, want %d", latest, got, kept)
 	}
-	if ha.ErrorCount() != errsBefore+1 {
-		t.Fatalf("dropped rounds not reported: %d errors", ha.ErrorCount()-errsBefore)
+	if h.count() != 1 {
+		t.Fatalf("dropped rounds not reported: %d errors", h.count())
 	}
-	if msg := ha.LastError().Error(); !strings.Contains(msg, "dropped 136 oldest rounds") {
+	if msg := h.last().Error(); !strings.Contains(msg, "dropped 136 oldest rounds") {
 		t.Fatalf("drop report: %q", msg)
 	}
 	// Forward secrecy: the client's dial round advanced past every
@@ -33,18 +77,22 @@ func TestDialBacklogBounded(t *testing.T) {
 		t.Fatalf("dial round after drop: %d, want %d", got, latest-kept+1)
 	}
 
-	// The kept rounds drain oldest-first, and a failed scan can be
-	// requeued without growing the backlog.
-	r, ok := alice.NextDialScan()
-	if !ok || r != latest-kept+1 {
-		t.Fatalf("NextDialScan: %d/%v, want %d", r, ok, latest-kept+1)
+	// The kept rounds drain oldest-first in consecutive spans; rounds
+	// leave the backlog only when their scan completes (finishDialScan),
+	// so the persisted backlog never loses in-flight rounds.
+	span := alice.peekDialScanSpan(16)
+	if len(span) != 16 || span[0] != latest-kept+1 {
+		t.Fatalf("peeked span %v, want 16 rounds from %d", span, latest-kept+1)
 	}
-	alice.RequeueDialScan(r)
-	if r2, _ := alice.NextDialScan(); r2 != r {
-		t.Fatalf("requeued round not returned first: %d != %d", r2, r)
+	if got := alice.DialBacklog(); got != kept {
+		t.Fatalf("peek removed rounds: backlog %d, want %d", got, kept)
 	}
+	alice.finishDialScan(span[0])
 	if got := alice.DialBacklog(); got != kept-1 {
-		t.Fatalf("backlog after one pop: %d, want %d", got, kept-1)
+		t.Fatalf("backlog after one finished scan: %d, want %d", got, kept-1)
+	}
+	if next := alice.peekDialScanSpan(1); len(next) != 1 || next[0] != span[1] {
+		t.Fatalf("next span head %v, want %d", next, span[1])
 	}
 
 	// Re-announcing an already-queued latest round queues nothing new.
@@ -59,10 +107,43 @@ func TestDialBacklogBounded(t *testing.T) {
 // client processes (or skips) round r, its dialRound is r+1 — and round
 // r+1, once published, must still be queued for scanning.
 func TestQueueDialScansAfterSkip(t *testing.T) {
-	_, _, _, bob, _ := newPair(t)
+	bob := newBacklogClient(&backlogHandler{})
 	bob.SkipDialRound(5) // dialRound is now 6
 	bob.QueueDialScans(6)
-	if r, ok := bob.NextDialScan(); !ok || r != 6 {
-		t.Fatalf("round 6 not queued after processing round 5: got %d/%v", r, ok)
+	if span := bob.peekDialScanSpan(1); len(span) != 1 || span[0] != 6 {
+		t.Fatalf("round 6 not queued after processing round 5: got %v", span)
 	}
 }
+
+// TestFinishDialScanPersists pins the crash-safety contract: a round
+// leaves the persisted backlog exactly when its scan completes, so state
+// written mid-span still names every unscanned round.
+func TestFinishDialScanPersists(t *testing.T) {
+	alice := newBacklogClient(&backlogHandler{})
+	var last []byte
+	alice.cfg.Persister = persistFunc(func(state []byte) error {
+		last = append(last[:0], state...)
+		return nil
+	})
+
+	alice.QueueDialScans(3) // rounds 1..3
+	alice.finishDialScan(2)
+	if got := alice.DialBacklog(); got != 2 {
+		t.Fatalf("backlog %d after finishing one round, want 2", got)
+	}
+	var st persistedState
+	if err := json.Unmarshal(last, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.DialBacklog) != 2 || st.DialBacklog[0] != 1 || st.DialBacklog[1] != 3 {
+		t.Fatalf("persisted backlog %v, want [1 3]", st.DialBacklog)
+	}
+	if st.LastQueued != 3 {
+		t.Fatalf("persisted cursor %d, want 3", st.LastQueued)
+	}
+}
+
+// persistFunc adapts a function to the Persister interface.
+type persistFunc func([]byte) error
+
+func (f persistFunc) Save(state []byte) error { return f(state) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,8 +17,8 @@ import (
 // SubmitDialRound submits this round's dialing request: a real dial token
 // if a call is queued, otherwise cover traffic. Like the add-friend
 // protocol, every client submits exactly one fixed-size request per round.
-func (c *Client) SubmitDialRound(round uint32) error {
-	settings, err := c.cfg.Entry.Settings(wire.Dialing, round)
+func (c *Client) SubmitDialRound(ctx context.Context, round uint32) error {
+	settings, err := c.cfg.Entry.Settings(ctx, wire.Dialing, round)
 	if err != nil {
 		return fmt.Errorf("core: fetching settings: %w", err)
 	}
@@ -33,7 +34,7 @@ func (c *Client) SubmitDialRound(round uint32) error {
 	if err != nil {
 		return err
 	}
-	if err := c.cfg.Entry.Submit(wire.Dialing, round, onion); err != nil {
+	if err := c.cfg.Entry.Submit(ctx, wire.Dialing, round, onion); err != nil {
 		// The token never reached the entry server (e.g. the round
 		// closed first, or admission control deferred us): requeue the
 		// call so a later round carries it instead of silently dropping
@@ -129,8 +130,8 @@ func (c *Client) buildDialPayload(round uint32, settings *wire.RoundSettings) ([
 // tokens from every friend and every intent (§5: "this is cheap to do
 // because hashing is fast and the number of intents is typically small"),
 // then advances every keywheel past the round for forward secrecy (§5.1).
-func (c *Client) ScanDialRound(round uint32) error {
-	settings, err := c.cfg.Entry.Settings(wire.Dialing, round)
+func (c *Client) ScanDialRound(ctx context.Context, round uint32) error {
+	settings, err := c.cfg.Entry.Settings(ctx, wire.Dialing, round)
 	if err != nil {
 		return fmt.Errorf("core: fetching settings: %w", err)
 	}
@@ -138,10 +139,19 @@ func (c *Client) ScanDialRound(round uint32) error {
 		return err
 	}
 
-	box, err := c.cfg.Mailboxes.Fetch(wire.Dialing, round, wire.MailboxID(c.cfg.Email, settings.NumMailboxes))
+	box, err := c.cfg.Mailboxes.Fetch(ctx, wire.Dialing, round, wire.MailboxID(c.cfg.Email, settings.NumMailboxes))
 	if err != nil {
 		return fmt.Errorf("core: fetching dialing mailbox: %w", err)
 	}
+	return c.scanDialBox(round, box)
+}
+
+// scanDialBox decodes and scans one fetched dialing mailbox (the second
+// half of ScanDialRound): test every friend x intent token against the
+// Bloom filter, deliver incoming calls, then advance every keywheel past
+// the round for forward secrecy (§5.1). The Run loop calls it with
+// mailboxes obtained through ranged fetches.
+func (c *Client) scanDialBox(round uint32, box []byte) error {
 	filter, err := bloom.Unmarshal(box)
 	if err != nil {
 		return fmt.Errorf("core: decoding Bloom filter: %w", err)
@@ -250,6 +260,11 @@ func (c *Client) QueueDialScans(latest uint32) {
 		// Forward secrecy for the dropped rounds: erase their wheel
 		// secrets now, like SkipDialRound.
 		c.advanceWheelsLocked(droppedThrough + 1)
+	}
+	if dropped > 0 || latest >= from {
+		// The backlog and its cursor persist with the client state, so a
+		// restart mid-round resumes these scans instead of rebuilding
+		// from the frontend's status.
 		c.persistLocked()
 	}
 	c.mu.Unlock()
@@ -258,27 +273,40 @@ func (c *Client) QueueDialScans(latest uint32) {
 	}
 }
 
-// NextDialScan pops the oldest queued dialing round to scan; ok is false
-// when the backlog is empty.
-func (c *Client) NextDialScan() (round uint32, ok bool) {
+// peekDialScanSpan returns a copy of the longest run of CONSECUTIVE
+// rounds at the head of the scan backlog, up to max, WITHOUT removing
+// them. The Run loop drains the backlog a span at a time — a consecutive
+// run against one mailbox is a single ranged CDN request instead of one
+// fetch per round — and removes each round with finishDialScan only once
+// its scan (or give-up) completed, so the persisted backlog never loses
+// in-flight rounds to a crash.
+func (c *Client) peekDialScanSpan(max int) []uint32 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.dialBacklog) == 0 {
-		return 0, false
+	if len(c.dialBacklog) == 0 || max <= 0 {
+		return nil
 	}
-	round = c.dialBacklog[0]
-	c.dialBacklog = c.dialBacklog[1:]
-	return round, true
+	n := 1
+	for n < len(c.dialBacklog) && n < max && c.dialBacklog[n] == c.dialBacklog[n-1]+1 {
+		n++
+	}
+	span := make([]uint32, n)
+	copy(span, c.dialBacklog[:n])
+	return span
 }
 
-// RequeueDialScan puts a round back at the head of the scan backlog after
-// a failed attempt; the caller decides when to give up on it instead
-// (SkipDialRound). Cannot grow the backlog past its bound: it only
-// returns a round NextDialScan just removed.
-func (c *Client) RequeueDialScan(round uint32) {
+// finishDialScan removes one round from the scan backlog — its scan
+// completed, or the §5.1 budget gave up on it — and persists the change.
+func (c *Client) finishDialScan(round uint32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.dialBacklog = append([]uint32{round}, c.dialBacklog...)
+	for i, r := range c.dialBacklog {
+		if r == round {
+			c.dialBacklog = append(c.dialBacklog[:i], c.dialBacklog[i+1:]...)
+			c.persistLocked()
+			return
+		}
+	}
 }
 
 // DialBacklog reports how many published rounds are queued for scanning.

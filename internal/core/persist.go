@@ -30,6 +30,13 @@ type persistedState struct {
 	Friends     []persistedFriend `json:"friends"`
 	Pending     []persistedPend   `json:"pending"`
 	Calls       []persistedCall   `json:"calls"`
+	// The dial-scan backlog and its cursor: published rounds still
+	// awaiting a scan, and the newest round ever queued. Persisting them
+	// lets a client restarted mid-round resume its scans exactly where it
+	// stopped instead of rebuilding the backlog from frontend status
+	// (and re-fetching — or worse, missing — rounds in between).
+	DialBacklog []uint32 `json:"dial_backlog,omitempty"`
+	LastQueued  uint32   `json:"last_queued,omitempty"`
 }
 
 type persistedFriend struct {
@@ -78,6 +85,8 @@ func (c *Client) marshalStateLocked() ([]byte, error) {
 		SigningPub:  c.signingPub,
 		SigningPriv: c.signingPriv,
 		DialRound:   c.dialRound,
+		DialBacklog: append([]uint32(nil), c.dialBacklog...),
+		LastQueued:  c.lastQueued,
 	}
 	for _, f := range c.friends {
 		pf := persistedFriend{
@@ -140,6 +149,8 @@ func LoadClient(cfg Config, state []byte) (*Client, error) {
 	c.signingPub = ed25519.PublicKey(st.SigningPub)
 	c.signingPriv = ed25519.PrivateKey(st.SigningPriv)
 	c.dialRound = st.DialRound
+	c.dialBacklog = append([]uint32(nil), st.DialBacklog...)
+	c.lastQueued = st.LastQueued
 
 	for _, pf := range st.Friends {
 		f := &Friend{

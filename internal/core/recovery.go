@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/ed25519"
 	"fmt"
 )
@@ -48,9 +49,9 @@ func (c *Client) ExportBackup() *RecoveryBackup {
 // After this call the client must re-Register() (and re-confirm via email)
 // before participating in rounds again; the PKGs' lockout windows admit the
 // new registration because the deregistration was signed by the old key.
-func (c *Client) RecoverFromCompromise(backup *RecoveryBackup) error {
+func (c *Client) RecoverFromCompromise(ctx context.Context, backup *RecoveryBackup) error {
 	// Step 1: revoke the old key while we still can.
-	if err := c.Deregister(); err != nil {
+	if err := c.Deregister(ctx); err != nil {
 		return fmt.Errorf("core: deregistering old key: %w", err)
 	}
 

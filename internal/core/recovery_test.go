@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -43,7 +44,7 @@ func TestCompromiseRecovery(t *testing.T) {
 	oldKey := alice.SigningKey()
 
 	// Compromise day: Alice recovers.
-	if err := alice.RecoverFromCompromise(backup); err != nil {
+	if err := alice.RecoverFromCompromise(context.Background(), backup); err != nil {
 		t.Fatal(err)
 	}
 	if bytes.Equal(alice.SigningKey(), oldKey) {
@@ -64,7 +65,7 @@ func TestCompromiseRecovery(t *testing.T) {
 	// After the lockout period Alice re-registers with her NEW key via
 	// email confirmation.
 	clock = clock.Add(pkgserver.LockoutPeriod + time.Hour)
-	if err := alice.Register(); err != nil {
+	if err := alice.Register(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := net.ConfirmAll(alice); err != nil {

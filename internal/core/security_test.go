@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"testing"
 
@@ -188,10 +189,10 @@ func TestCoverTrafficUniformity(t *testing.T) {
 	if _, err := net.Coord.OpenAddFriendRound(1); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.SubmitAddFriendRound(1); err != nil {
+	if err := alice.SubmitAddFriendRound(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.SubmitAddFriendRound(1); err != nil {
+	if err := bob.SubmitAddFriendRound(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	batch, err := net.Entry.CloseRound(wire.AddFriend, 1)
@@ -228,7 +229,7 @@ func TestNoiseMakesMailboxCountsNoisy(t *testing.T) {
 		if _, err := net.Coord.OpenAddFriendRound(r); err != nil {
 			t.Fatal(err)
 		}
-		if err := alice.SubmitAddFriendRound(r); err != nil {
+		if err := alice.SubmitAddFriendRound(context.Background(), r); err != nil {
 			t.Fatal(err)
 		}
 		boxes, err := net.Coord.CloseRound(wire.AddFriend, r)
@@ -246,7 +247,7 @@ func TestNoiseMakesMailboxCountsNoisy(t *testing.T) {
 		}
 		sizes[total] = true
 		net.Coord.FinishAddFriendRound(r)
-		if err := alice.ScanAddFriendRound(r); err != nil {
+		if err := alice.ScanAddFriendRound(context.Background(), r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -275,7 +276,7 @@ func TestTamperedSettingsRejected(t *testing.T) {
 	}
 	// The adversary swaps the first mixer's onion key for its own.
 	settings.Mixers[0].OnionKey = make([]byte, 32)
-	if err := alice.SubmitAddFriendRound(1); err == nil {
+	if err := alice.SubmitAddFriendRound(context.Background(), 1); err == nil {
 		t.Fatal("client used settings with a forged mixer key")
 	}
 }
@@ -296,7 +297,7 @@ func TestMalformedMailboxReported(t *testing.T) {
 	if _, err := net.Coord.OpenDialingRound(1); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.SubmitDialRound(1); err != nil {
+	if err := alice.SubmitDialRound(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	// Publish garbage instead of running the mixers.
@@ -306,7 +307,7 @@ func TestMalformedMailboxReported(t *testing.T) {
 	if err := net.CDN.Publish(wire.Dialing, 1, map[uint32][]byte{0: []byte("garbage")}); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.ScanDialRound(1); err == nil {
+	if err := alice.ScanDialRound(context.Background(), 1); err == nil {
 		t.Fatal("client accepted a garbage Bloom filter")
 	}
 }

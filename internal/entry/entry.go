@@ -6,9 +6,27 @@
 // client per round, real or cover — so a malicious entry server learns
 // nothing beyond liveness, and a censoring one can only mount denial of
 // service (which Alpenhorn explicitly does not defend against, §3.2).
+//
+// Round progress is published as an EVENT LOG: every round-opened and
+// round-published announcement gets a monotonic cursor. Consumers follow
+// it three ways, all built on the same log:
+//
+//   - Subscribe returns a buffered channel of announcements. A slow
+//     subscriber may miss deliveries, but every announcement carries its
+//     cursor, so a gap is DETECTABLE (cursor jump) and refillable with
+//     EventsSince — the pre-cursor API dropped announcements silently.
+//   - EventsSince(cursor, max) replays retained events after a cursor.
+//     When the cursor has fallen off the retained window (or is zero — a
+//     fresh consumer), the reply COALESCES to the newest event per
+//     (service, kind): round progress is monotonic, so the latest open
+//     and latest published round are all a late joiner needs.
+//   - WaitEvents parks until an event after the cursor exists (or the
+//     context ends), which is what the frontend's entry.events long-poll
+//     and the in-process sim transport ride on.
 package entry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,16 +46,56 @@ type roundState struct {
 	open      bool
 }
 
-// Announcement notifies subscribers that a round is accepting requests.
+// EventKind distinguishes round-progress announcements.
+type EventKind int
+
+const (
+	// RoundOpen: the round is announced and accepting submissions.
+	RoundOpen EventKind = iota + 1
+	// RoundPublished: the round's mailboxes are available on the CDN.
+	RoundPublished
+)
+
+// Announcement is one entry in the round-progress event log. Cursor is
+// monotonically increasing across all services; subscribers use it to
+// detect missed announcements and to resume (EventsSince / WaitEvents).
+// Settings is populated for RoundOpen announcements delivered in-process;
+// transports may drop it (clients fetch and verify settings separately).
 type Announcement struct {
+	Cursor   uint64
+	Service  wire.Service
+	Round    uint32
+	Kind     EventKind
 	Settings *wire.RoundSettings
 }
+
+// RoundStatus is a service's round progress at a point in time: the
+// newest announced round and the newest round whose mailboxes are
+// published. Zero means "none yet". It is the poll-based view of the
+// event log, kept for clients talking to frontends without entry.events.
+type RoundStatus struct {
+	CurrentOpen     uint32 `json:"current_open"`
+	LatestPublished uint32 `json:"latest_published"`
+}
+
+// eventLogSize bounds the retained event window. Consumers further behind
+// than this get the coalesced latest-per-kind snapshot, which (round
+// progress being monotonic) loses nothing they could still act on.
+const eventLogSize = 256
 
 // Server is an entry server. It is safe for concurrent use.
 type Server struct {
 	mu     sync.Mutex
 	rounds map[roundKey]*roundState
 	subs   []chan Announcement
+
+	// Event log: a bounded window of announcements, each cursor-stamped,
+	// plus the folded per-service status and a wake channel replaced on
+	// every append so WaitEvents can park without polling.
+	events     []Announcement
+	nextCursor uint64
+	status     map[wire.Service]RoundStatus
+	wake       chan struct{}
 
 	// MaxBatch bounds the number of requests per round (0 = unlimited).
 	// A deployment sets this to its provisioned capacity.
@@ -46,18 +104,56 @@ type Server struct {
 
 // New creates an entry server.
 func New() *Server {
-	return &Server{rounds: make(map[roundKey]*roundState)}
+	return &Server{
+		rounds:     make(map[roundKey]*roundState),
+		nextCursor: 1,
+		status:     make(map[wire.Service]RoundStatus),
+		wake:       make(chan struct{}),
+	}
 }
 
-// Subscribe returns a channel on which the server announces new rounds.
-// The channel is buffered; slow subscribers miss announcements rather than
-// blocking the system (clients can also poll Settings).
+// Subscribe returns a channel on which the server announces round events.
+// The channel is buffered; a slow subscriber misses announcements rather
+// than blocking the system, but every announcement carries its cursor, so
+// the subscriber DETECTS the gap (non-consecutive cursors) and refills it
+// with EventsSince.
 func (s *Server) Subscribe() <-chan Announcement {
 	ch := make(chan Announcement, 64)
 	s.mu.Lock()
 	s.subs = append(s.subs, ch)
 	s.mu.Unlock()
 	return ch
+}
+
+// appendEventLocked stamps, logs, folds, and fans out one announcement.
+// Caller holds s.mu.
+func (s *Server) appendEventLocked(ann Announcement) {
+	ann.Cursor = s.nextCursor
+	s.nextCursor++
+	s.events = append(s.events, ann)
+	if len(s.events) > eventLogSize {
+		s.events = s.events[len(s.events)-eventLogSize:]
+	}
+	st := s.status[ann.Service]
+	switch ann.Kind {
+	case RoundOpen:
+		if ann.Round > st.CurrentOpen {
+			st.CurrentOpen = ann.Round
+		}
+	case RoundPublished:
+		if ann.Round > st.LatestPublished {
+			st.LatestPublished = ann.Round
+		}
+	}
+	s.status[ann.Service] = st
+	close(s.wake)
+	s.wake = make(chan struct{})
+	for _, ch := range s.subs {
+		select {
+		case ch <- ann:
+		default: // slow subscriber: detectable via the cursor gap
+		}
+	}
 }
 
 // OpenRound announces a round and starts accepting requests for it.
@@ -73,13 +169,123 @@ func (s *Server) OpenRound(settings *wire.RoundSettings) error {
 		onionSize: wire.OnionSize(settings.Service, len(settings.Mixers)),
 		open:      true,
 	}
-	for _, ch := range s.subs {
+	s.appendEventLocked(Announcement{
+		Service:  settings.Service,
+		Round:    settings.Round,
+		Kind:     RoundOpen,
+		Settings: settings,
+	})
+	return nil
+}
+
+// AnnouncePublished records that a round's mailboxes are available on the
+// CDN and pushes the announcement to subscribers and waiters. The
+// coordinator calls it after a successful publish (relayed or
+// chain-forwarded).
+func (s *Server) AnnouncePublished(service wire.Service, round uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendEventLocked(Announcement{Service: service, Round: round, Kind: RoundPublished})
+}
+
+// Status returns a service's folded round progress (newest open round,
+// newest published round).
+func (s *Server) Status(service wire.Service) RoundStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status[service]
+}
+
+// EventsSince returns retained announcements after the given cursor, at
+// most max (0 means no bound), plus the cursor to resume from. When the
+// consumer's cursor has fallen off the retained window — or is zero, a
+// fresh consumer — the reply coalesces to the newest announcement per
+// (service, kind) and gap reports whether events were actually lost.
+func (s *Server) EventsSince(cursor uint64, max int) (events []Announcement, next uint64, gap bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eventsSinceLocked(cursor, max)
+}
+
+func (s *Server) eventsSinceLocked(cursor uint64, max int) ([]Announcement, uint64, bool) {
+	if len(s.events) == 0 {
+		return nil, cursor, false
+	}
+	newest := s.events[len(s.events)-1].Cursor
+	if cursor == newest {
+		return nil, cursor, false
+	}
+	if cursor > newest {
+		// A cursor from the future belongs to a previous log incarnation
+		// (the frontend restarted and its cursors started over). Treating
+		// it as up-to-date would park the consumer until the new log
+		// happened to outgrow the stale cursor; hand over the snapshot
+		// and the CURRENT head instead.
+		return s.coalescedLocked(max), newest, true
+	}
+	if cursor+1 < s.events[0].Cursor {
+		// The consumer is behind the window (or brand new, cursor 0):
+		// coalesce. Round progress is monotonic, so the newest
+		// announcement per (service, kind) carries everything still
+		// actionable. Only a non-zero cursor actually MISSED events.
+		return s.coalescedLocked(max), newest, cursor > 0
+	}
+	lo := 0
+	for lo < len(s.events) && s.events[lo].Cursor <= cursor {
+		lo++
+	}
+	hi := len(s.events)
+	if max > 0 && hi-lo > max {
+		hi = lo + max
+	}
+	out := make([]Announcement, hi-lo)
+	copy(out, s.events[lo:hi])
+	return out, out[len(out)-1].Cursor, false
+}
+
+// coalescedLocked returns the newest retained announcement per
+// (service, kind), oldest-first. Caller holds s.mu.
+func (s *Server) coalescedLocked(max int) []Announcement {
+	type sk struct {
+		service wire.Service
+		kind    EventKind
+	}
+	seen := make(map[sk]bool)
+	var out []Announcement
+	for i := len(s.events) - 1; i >= 0; i-- {
+		ann := s.events[i]
+		key := sk{ann.Service, ann.Kind}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append([]Announcement{ann}, out...)
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// WaitEvents blocks until announcements after the cursor exist, then
+// returns them (like EventsSince). It returns empty when the context ends
+// first; next then echoes the caller's cursor so the poll is resumable.
+// This is the primitive under the frontend's entry.events long-poll.
+func (s *Server) WaitEvents(ctx context.Context, cursor uint64, max int) (events []Announcement, next uint64, gap bool) {
+	for {
+		s.mu.Lock()
+		events, next, gap = s.eventsSinceLocked(cursor, max)
+		wake := s.wake
+		s.mu.Unlock()
+		if len(events) > 0 {
+			return events, next, gap
+		}
 		select {
-		case ch <- Announcement{Settings: settings}:
-		default: // drop for slow subscribers
+		case <-ctx.Done():
+			return nil, cursor, false
+		case <-wake:
 		}
 	}
-	return nil
 }
 
 // Settings returns the announced settings for a round, or an error if the

@@ -2,8 +2,10 @@ package entry
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"alpenhorn/internal/wire"
 )
@@ -109,13 +111,194 @@ func TestSubscribeAnnouncements(t *testing.T) {
 	if err := s.OpenRound(testSettings(5)); err != nil {
 		t.Fatal(err)
 	}
+	s.AnnouncePublished(wire.Dialing, 5)
+	var got []Announcement
+	for len(got) < 2 {
+		select {
+		case ann := <-ch:
+			got = append(got, ann)
+		default:
+			t.Fatalf("only %d announcements delivered", len(got))
+		}
+	}
+	if got[0].Kind != RoundOpen || got[0].Round != 5 || got[0].Settings.Round != 5 {
+		t.Fatalf("open announcement: %+v", got[0])
+	}
+	if got[1].Kind != RoundPublished || got[1].Round != 5 {
+		t.Fatalf("published announcement: %+v", got[1])
+	}
+	// Cursors are consecutive: no gap means nothing was missed.
+	if got[1].Cursor != got[0].Cursor+1 {
+		t.Fatalf("cursors not consecutive: %d then %d", got[0].Cursor, got[1].Cursor)
+	}
+}
+
+// TestSubscriberGapDetectAndRefill pins the fix for the old silent-drop
+// behaviour: a slow subscriber that misses announcements sees a cursor
+// jump on its next delivery and refills the gap with EventsSince.
+func TestSubscriberGapDetectAndRefill(t *testing.T) {
+	s := New()
+	ch := s.Subscribe()
+	// Overflow the 64-slot subscriber buffer without draining it.
+	for r := uint32(1); r <= 70; r++ {
+		if err := s.OpenRound(testSettings(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := uint64(0)
+	delivered := 0
+	for {
+		select {
+		case ann := <-ch:
+			if last != 0 && ann.Cursor != last+1 {
+				t.Fatalf("buffered announcements not consecutive: %d after %d", ann.Cursor, last)
+			}
+			last = ann.Cursor
+			delivered++
+			continue
+		default:
+		}
+		break
+	}
+	if delivered != 64 {
+		t.Fatalf("delivered %d announcements, want the 64 buffered", delivered)
+	}
+	// The subscriber drained its buffer; announcements 65..70 were
+	// dropped. The NEXT delivery exposes the gap as a cursor jump.
+	if err := s.OpenRound(testSettings(71)); err != nil {
+		t.Fatal(err)
+	}
+	var gapLo, gapHi uint64
 	select {
 	case ann := <-ch:
-		if ann.Settings.Round != 5 {
-			t.Fatalf("announced round %d", ann.Settings.Round)
+		if ann.Cursor == last+1 {
+			t.Fatal("expected a cursor jump after dropped announcements")
 		}
+		gapLo, gapHi = last, ann.Cursor
 	default:
-		t.Fatal("no announcement delivered")
+		t.Fatal("no announcement after refilling the buffer")
+	}
+	// Refill: every missed announcement is still in the retained log.
+	refill, next, gap := s.EventsSince(gapLo, 0)
+	if gap {
+		t.Fatal("refill within the retained window reported a gap")
+	}
+	if uint64(len(refill)) < gapHi-gapLo-1 {
+		t.Fatalf("refill returned %d events, gap spans %d", len(refill), gapHi-gapLo-1)
+	}
+	for i, ann := range refill {
+		if ann.Cursor != gapLo+uint64(i)+1 {
+			t.Fatalf("refill cursor %d at index %d, want %d", ann.Cursor, i, gapLo+uint64(i)+1)
+		}
+	}
+	if next != refill[len(refill)-1].Cursor {
+		t.Fatal("resume cursor does not match last refilled event")
+	}
+}
+
+func TestStatusFoldsEvents(t *testing.T) {
+	s := New()
+	if st := s.Status(wire.Dialing); st.CurrentOpen != 0 || st.LatestPublished != 0 {
+		t.Fatalf("fresh status: %+v", st)
+	}
+	for r := uint32(1); r <= 3; r++ {
+		if err := s.OpenRound(testSettings(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.AnnouncePublished(wire.Dialing, 2)
+	st := s.Status(wire.Dialing)
+	if st.CurrentOpen != 3 || st.LatestPublished != 2 {
+		t.Fatalf("status: %+v, want open 3 / published 2", st)
+	}
+}
+
+// TestEventsSinceCoalesces pins the late-joiner behaviour: a zero cursor
+// (or one that fell off the retained window) gets the newest event per
+// (service, kind) instead of a replay of the whole log.
+func TestEventsSinceCoalesces(t *testing.T) {
+	s := New()
+	for r := uint32(1); r <= eventLogSize+50; r++ {
+		if err := s.OpenRound(testSettings(r)); err != nil {
+			t.Fatal(err)
+		}
+		s.AnnouncePublished(wire.Dialing, r)
+	}
+	// Fresh consumer: snapshot, no gap flag.
+	events, next, gap := s.EventsSince(0, 0)
+	if gap {
+		t.Fatal("fresh consumer flagged as gapped")
+	}
+	if len(events) != 2 {
+		t.Fatalf("coalesced snapshot has %d events, want 2", len(events))
+	}
+	byKind := map[EventKind]uint32{}
+	for _, e := range events {
+		byKind[e.Kind] = e.Round
+	}
+	if byKind[RoundOpen] != eventLogSize+50 || byKind[RoundPublished] != eventLogSize+50 {
+		t.Fatalf("snapshot rounds: %v", byKind)
+	}
+	if next != s.events[len(s.events)-1].Cursor {
+		t.Fatal("snapshot resume cursor is not the newest")
+	}
+	// A cursor that fell off the window IS flagged as a gap.
+	if _, _, gap := s.EventsSince(1, 0); !gap {
+		t.Fatal("evicted cursor not flagged as gap")
+	}
+	// Resuming from next returns nothing new.
+	if events, _, _ := s.EventsSince(next, 0); len(events) != 0 {
+		t.Fatalf("resume from head returned %d events", len(events))
+	}
+}
+
+// TestEventsSinceStaleFutureCursor pins restart behaviour: a cursor from a
+// previous log incarnation (larger than anything in the fresh log) gets
+// the coalesced snapshot and the CURRENT head cursor, instead of parking
+// until the new log outgrows the stale number.
+func TestEventsSinceStaleFutureCursor(t *testing.T) {
+	s := New()
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	events, next, gap := s.EventsSince(9999, 0)
+	if !gap {
+		t.Fatal("stale future cursor not flagged as gap")
+	}
+	if len(events) != 1 || events[0].Round != 1 {
+		t.Fatalf("stale-cursor snapshot: %+v", events)
+	}
+	if next != events[0].Cursor {
+		t.Fatalf("resume cursor %d, want current head %d", next, events[0].Cursor)
+	}
+}
+
+func TestWaitEvents(t *testing.T) {
+	s := New()
+	done := make(chan []Announcement, 1)
+	go func() {
+		events, _, _ := s.WaitEvents(context.Background(), 0, 0)
+		done <- events
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case events := <-done:
+		if len(events) != 1 || events[0].Round != 1 || events[0].Kind != RoundOpen {
+			t.Fatalf("waited events: %+v", events)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitEvents did not wake on OpenRound")
+	}
+
+	// Context cancellation unparks with no events and an unchanged cursor.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	events, next, _ := s.WaitEvents(ctx, 1, 0)
+	if len(events) != 0 || next != 1 {
+		t.Fatalf("cancelled wait: %d events, next %d", len(events), next)
 	}
 }
 

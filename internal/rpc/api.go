@@ -1,15 +1,18 @@
 package rpc
 
 import (
+	"context"
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"alpenhorn/internal/bls"
 	"alpenhorn/internal/cdn"
+	"alpenhorn/internal/core"
 	"alpenhorn/internal/entry"
 	"alpenhorn/internal/ibe"
 	"alpenhorn/internal/pkgserver"
@@ -122,19 +125,19 @@ func (p *PKGClient) Info() (*PKGInfo, error) {
 }
 
 // Register implements core.PKG.
-func (p *PKGClient) Register(email string, signingKey ed25519.PublicKey) error {
-	return p.c.Call("pkg.register", registerArgs{Email: email, SigningKey: signingKey}, nil)
+func (p *PKGClient) Register(ctx context.Context, email string, signingKey ed25519.PublicKey) error {
+	return p.c.CallContext(ctx, "pkg.register", registerArgs{Email: email, SigningKey: signingKey}, nil)
 }
 
 // ConfirmRegistration implements core.PKG.
-func (p *PKGClient) ConfirmRegistration(email, token string) error {
-	return p.c.Call("pkg.confirm", confirmArgs{Email: email, Token: token}, nil)
+func (p *PKGClient) ConfirmRegistration(ctx context.Context, email, token string) error {
+	return p.c.CallContext(ctx, "pkg.confirm", confirmArgs{Email: email, Token: token}, nil)
 }
 
 // Extract implements core.PKG.
-func (p *PKGClient) Extract(email string, round uint32, sig []byte) (*pkgserver.ExtractReply, error) {
+func (p *PKGClient) Extract(ctx context.Context, email string, round uint32, sig []byte) (*pkgserver.ExtractReply, error) {
 	var raw extractReply
-	if err := p.c.Call("pkg.extract", extractArgs{Email: email, Round: round, Sig: sig}, &raw); err != nil {
+	if err := p.c.CallContext(ctx, "pkg.extract", extractArgs{Email: email, Round: round, Sig: sig}, &raw); err != nil {
 		return nil, err
 	}
 	idKey, err := ibe.UnmarshalIdentityPrivateKey(raw.IdentityKey)
@@ -149,8 +152,8 @@ func (p *PKGClient) Extract(email string, round uint32, sig []byte) (*pkgserver.
 }
 
 // Deregister implements core.PKG.
-func (p *PKGClient) Deregister(email string, sig []byte) error {
-	return p.c.Call("pkg.deregister", deregisterArgs{Email: email, Sig: sig}, nil)
+func (p *PKGClient) Deregister(ctx context.Context, email string, sig []byte) error {
+	return p.c.CallContext(ctx, "pkg.deregister", deregisterArgs{Email: email, Sig: sig}, nil)
 }
 
 // NewRound asks the PKG for its signed round key (coordinator side).
@@ -532,6 +535,23 @@ func (m *MixerClient) NoiseMu(service wire.Service) float64 {
 
 // ---- Entry/CDN daemon API (the client-facing frontend) ----
 
+// Frontend event-stream capability versions, advertised in
+// Directory.EventStreamVersion. Like the mixer fleet's stream_version,
+// this is how the poll→push migration stays a rolling upgrade: a client
+// that sees version 0 (or a directory predating the field) never calls
+// entry.events and polls frontend.status exactly as before; a frontend
+// that serves EventStreamV1 still serves the poll surface for old
+// clients. Clients also degrade TRANSPARENTLY on an "unknown method"
+// reply, so even a stale cached directory cannot wedge them.
+const (
+	// EventStreamNone: poll-only frontend (frontend.status).
+	EventStreamNone = 0
+	// EventStreamV1: entry.events long-poll with resumable cursors and
+	// coalescing for slow clients, plus ranged mailbox fetches
+	// (cdn.fetchrange).
+	EventStreamV1 = 1
+)
+
 // Directory describes a full deployment to connecting clients: addresses
 // and pinned keys for every server. Served by the entry daemon.
 type Directory struct {
@@ -540,6 +560,10 @@ type Directory struct {
 	PKGBLSKeys [][]byte `json:"pkg_bls_keys"`
 	MixerKeys  [][]byte `json:"mixer_keys"`
 	NumMixers  int      `json:"num_mixers"`
+	// EventStreamVersion advertises the frontend's round-event surface
+	// (see the EventStream constants). Omitted by older frontends, which
+	// JSON-decodes to 0 = poll only.
+	EventStreamVersion int `json:"event_stream_version,omitempty"`
 }
 
 type settingsArgs struct {
@@ -559,67 +583,73 @@ type fetchArgs struct {
 	Mailbox uint32       `json:"mailbox"`
 }
 
-// RoundStatus reports the frontend's view of round progress so polling
-// clients know when to submit and when to scan.
-type RoundStatus struct {
-	CurrentOpen     uint32 `json:"current_open"`     // 0 if none yet
-	LatestPublished uint32 `json:"latest_published"` // 0 if none yet
+// RoundStatus is the poll-based round-progress snapshot, now defined by
+// the entry server's event log.
+type RoundStatus = entry.RoundStatus
+
+// eventsArgs is the entry.events long-poll request: announcements after
+// Cursor, waiting up to WaitMs for news (bounded by maxEventsWait), at
+// most Max events per reply.
+type eventsArgs struct {
+	Cursor uint64 `json:"cursor"`
+	WaitMs int    `json:"wait_ms,omitempty"`
+	Max    int    `json:"max,omitempty"`
 }
 
-// FrontendState tracks open/published rounds for the status endpoint.
-// The entry daemon's round loops update it while connection handlers
-// read it concurrently, so access is serialized internally.
-type FrontendState struct {
-	mu        sync.Mutex
-	addFriend RoundStatus
-	dialing   RoundStatus
+// wireEvent is one round announcement on the wire. Settings are not
+// carried: clients fetch and signature-check settings separately, so the
+// event stream stays a few bytes per round.
+type wireEvent struct {
+	Cursor  uint64       `json:"cursor"`
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	Kind    int          `json:"kind"`
 }
 
-// SetOpen records a newly opened round.
-func (f *FrontendState) SetOpen(service wire.Service, round uint32) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if service == wire.Dialing {
-		f.dialing.CurrentOpen = round
-	} else {
-		f.addFriend.CurrentOpen = round
-	}
+type eventsReply struct {
+	Events []wireEvent `json:"events,omitempty"`
+	Next   uint64      `json:"next"`
+	// Gap reports that announcements between the caller's cursor and this
+	// reply were evicted; the reply is then coalesced to the newest event
+	// per (service, kind), which — round progress being monotonic — is
+	// everything still actionable.
+	Gap bool `json:"gap,omitempty"`
 }
 
-// SetPublished records a published round.
-func (f *FrontendState) SetPublished(service wire.Service, round uint32) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if service == wire.Dialing {
-		f.dialing.LatestPublished = round
-	} else {
-		f.addFriend.LatestPublished = round
-	}
+type fetchRangeArgs struct {
+	Service   wire.Service `json:"service"`
+	FromRound uint32       `json:"from_round"`
+	ToRound   uint32       `json:"to_round"`
+	Mailbox   uint32       `json:"mailbox"`
 }
 
-// Status returns a snapshot of one service's round progress.
-func (f *FrontendState) Status(service wire.Service) RoundStatus {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if service == wire.Dialing {
-		return f.dialing
-	}
-	return f.addFriend
+type rangedBox struct {
+	Round uint32 `json:"round"`
+	Data  []byte `json:"data"`
 }
 
-// RegisterFrontend exposes the entry server, CDN fetch surface, and
-// deployment directory over RPC. This is the CLIENT-facing surface:
-// cdn.publish is deliberately NOT served here — the transport carries no
-// authentication, so the write surface must live on a separate
-// server-plane listener (RegisterCDN) that deployments keep away from
-// clients; otherwise any client could publish a round's mailboxes first
-// and censor the real ones.
-func RegisterFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Directory, state *FrontendState) {
+const (
+	// maxEventsWait bounds how long one entry.events call may park
+	// server-side. Long parks are the point of the long-poll — an idle
+	// streaming client costs the frontend one request per maxEventsWait
+	// instead of 2 Hz×2 services of status polls — and Server.Closing
+	// unparks them all at shutdown.
+	maxEventsWait = 30 * time.Second
+	// eventsClientWait is the park clients request per entry.events call.
+	eventsClientWait = 25 * time.Second
+	// eventsBatchMax caps events per reply.
+	eventsBatchMax = 512
+)
+
+// registerFrontendCommon installs the surface served by every frontend
+// generation: directory, status polling, settings, submission, and
+// per-round mailbox fetch.
+func registerFrontendCommon(s *Server, e *entry.Server, store *cdn.Store, dir Directory) {
 	HandleFunc(s, "frontend.directory", func(struct{}) (any, error) {
 		return dir, nil
 	})
 	HandleFunc(s, "frontend.status", func(a settingsArgs) (any, error) {
-		return state.Status(a.Service), nil
+		return e.Status(a.Service), nil
 	})
 	HandleFunc(s, "entry.settings", func(a settingsArgs) (any, error) {
 		settings, err := e.Settings(a.Service, a.Round)
@@ -636,43 +666,226 @@ func RegisterFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Director
 	})
 }
 
+// RegisterFrontend exposes the entry server, CDN fetch surface, and
+// deployment directory over RPC, including the EventStreamV1 push
+// surface: entry.events (a resumable long-poll over the entry server's
+// cursor-stamped announcement log, the same framing family as
+// mix.round.wait) and cdn.fetchrange (one request for a span of rounds).
+//
+// This is the CLIENT-facing surface: cdn.publish is deliberately NOT
+// served here — the transport carries no authentication, so the write
+// surface must live on a separate server-plane listener (RegisterCDN)
+// that deployments keep away from clients; otherwise any client could
+// publish a round's mailboxes first and censor the real ones.
+func RegisterFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Directory) {
+	dir.EventStreamVersion = EventStreamV1
+	registerFrontendCommon(s, e, store, dir)
+	HandleFunc(s, "entry.events", func(a eventsArgs) (any, error) {
+		wait := time.Duration(a.WaitMs) * time.Millisecond
+		if wait <= 0 || wait > maxEventsWait {
+			wait = maxEventsWait
+		}
+		max := a.Max
+		if max <= 0 || max > eventsBatchMax {
+			max = eventsBatchMax
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), wait)
+		defer cancel()
+		// A shutting-down server unparks every waiter immediately.
+		go func() {
+			select {
+			case <-s.Closing():
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		anns, next, gap := e.WaitEvents(ctx, a.Cursor, max)
+		reply := eventsReply{Next: next, Gap: gap}
+		for _, ann := range anns {
+			reply.Events = append(reply.Events, wireEvent{
+				Cursor:  ann.Cursor,
+				Service: ann.Service,
+				Round:   ann.Round,
+				Kind:    int(ann.Kind),
+			})
+		}
+		return reply, nil
+	})
+	HandleFunc(s, "cdn.fetchrange", func(a fetchRangeArgs) (any, error) {
+		boxes, err := store.FetchRange(a.Service, a.FromRound, a.ToRound, a.Mailbox)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]rangedBox, 0, len(boxes))
+		for r, data := range boxes {
+			out = append(out, rangedBox{Round: r, Data: data})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+		return out, nil
+	})
+}
+
+// RegisterPollFrontend exposes only the pre-event-stream frontend surface
+// (frontend.status polling, per-round cdn.fetch, EventStreamNone). It
+// exists so tests and the bench harness can stand in for a frontend built
+// before entry.events and prove the transparent poll fallback.
+func RegisterPollFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Directory) {
+	dir.EventStreamVersion = EventStreamNone
+	registerFrontendCommon(s, e, store, dir)
+}
+
 // UnmarshalBLSKey decodes a BLS public key from a directory entry; it
 // exists so daemon binaries need not import internal/bls directly.
 func UnmarshalBLSKey(data []byte) (*bls.PublicKey, error) {
 	return bls.UnmarshalPublicKey(data)
 }
 
-// FrontendClient talks to the entry daemon; it satisfies core.EntryServer
-// and core.MailboxStore.
+// FrontendClient talks to the entry daemon; it satisfies core.EntryServer,
+// core.MailboxStore, core.StatusProvider, and core.RoundWatcher, so a
+// client built over it gets the push-based round loop when the frontend
+// serves EventStreamV1 and degrades transparently to status polling when
+// it does not (stale directory included: an "unknown method" reply is
+// treated the same as an advertised version 0).
 type FrontendClient struct {
-	c *Client
+	addr string
+	c    *Client
+
+	// eventsc is a dedicated connection for the entry.events long-poll —
+	// a parked poll must never queue a submit or fetch behind it (same
+	// split as MixerClient's mix.round.wait connection).
+	mu                sync.Mutex
+	eventsc           *Client
+	dir               *Directory
+	eventsUnsupported bool
+	rangeUnsupported  bool
 }
 
 // DialFrontend connects to the entry daemon.
-func DialFrontend(addr string) *FrontendClient { return &FrontendClient{c: Dial(addr)} }
+func DialFrontend(addr string) *FrontendClient {
+	return &FrontendClient{addr: addr, c: Dial(addr)}
+}
 
-// Directory fetches the deployment directory.
-func (f *FrontendClient) Directory() (*Directory, error) {
+// TransportStats sums the transport accounting of every connection this
+// client holds (the call connection and the events long-poll connection).
+func (f *FrontendClient) TransportStats() ClientStats {
+	st := f.c.Stats()
+	f.mu.Lock()
+	ec := f.eventsc
+	f.mu.Unlock()
+	if ec != nil {
+		es := ec.Stats()
+		st.BytesSent += es.BytesSent
+		st.BytesReceived += es.BytesReceived
+		st.Calls += es.Calls
+	}
+	return st
+}
+
+// CallCount reports how many times this client invoked a method, across
+// all of its connections.
+func (f *FrontendClient) CallCount(method string) uint64 {
+	n := f.c.CallCount(method)
+	f.mu.Lock()
+	ec := f.eventsc
+	f.mu.Unlock()
+	if ec != nil {
+		n += ec.CallCount(method)
+	}
+	return n
+}
+
+// Directory fetches (and caches) the deployment directory; the cached
+// copy also fixes the frontend's advertised event-stream capability.
+func (f *FrontendClient) Directory(ctx context.Context) (*Directory, error) {
+	f.mu.Lock()
+	if f.dir != nil {
+		dir := *f.dir
+		f.mu.Unlock()
+		return &dir, nil
+	}
+	f.mu.Unlock()
 	var dir Directory
-	if err := f.c.Call("frontend.directory", struct{}{}, &dir); err != nil {
+	if err := f.c.CallContext(ctx, "frontend.directory", struct{}{}, &dir); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	f.dir = &dir
+	if dir.EventStreamVersion < EventStreamV1 {
+		f.eventsUnsupported = true
+		f.rangeUnsupported = true
+	}
+	f.mu.Unlock()
 	return &dir, nil
 }
 
-// Status returns round progress for a service.
-func (f *FrontendClient) Status(service wire.Service) (*RoundStatus, error) {
-	var st RoundStatus
-	if err := f.c.Call("frontend.status", settingsArgs{Service: service}, &st); err != nil {
-		return nil, err
+// Status implements core.StatusProvider: round progress for a service.
+func (f *FrontendClient) Status(ctx context.Context, service wire.Service) (entry.RoundStatus, error) {
+	var st entry.RoundStatus
+	err := f.c.CallContext(ctx, "frontend.status", settingsArgs{Service: service}, &st)
+	return st, err
+}
+
+// isUnknownMethod reports a handler-missing reply — the capability probe
+// for frontends predating a method.
+func isUnknownMethod(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "rpc: unknown method")
+}
+
+// WatchRounds implements core.RoundWatcher over the entry.events
+// long-poll: it parks on the frontend (on a dedicated connection) until
+// announcements after cursor exist, and returns core.ErrEventsUnsupported
+// against a poll-only frontend so the client's round loop falls back to
+// Status polling.
+func (f *FrontendClient) WatchRounds(ctx context.Context, cursor uint64) ([]entry.Announcement, uint64, error) {
+	f.mu.Lock()
+	if f.eventsUnsupported {
+		f.mu.Unlock()
+		return nil, cursor, core.ErrEventsUnsupported
 	}
-	return &st, nil
+	if f.eventsc == nil {
+		f.eventsc = Dial(f.addr)
+	}
+	ec := f.eventsc
+	f.mu.Unlock()
+
+	for {
+		var reply eventsReply
+		err := ec.CallContext(ctx, "entry.events", eventsArgs{
+			Cursor: cursor, WaitMs: int(eventsClientWait / time.Millisecond),
+		}, &reply)
+		if err != nil {
+			if isUnknownMethod(err) {
+				f.mu.Lock()
+				f.eventsUnsupported = true
+				f.mu.Unlock()
+				return nil, cursor, core.ErrEventsUnsupported
+			}
+			return nil, cursor, err
+		}
+		if len(reply.Events) == 0 {
+			// The server's park expired with no news; park again.
+			if err := ctx.Err(); err != nil {
+				return nil, cursor, err
+			}
+			continue
+		}
+		anns := make([]entry.Announcement, len(reply.Events))
+		for i, ev := range reply.Events {
+			anns[i] = entry.Announcement{
+				Cursor:  ev.Cursor,
+				Service: ev.Service,
+				Round:   ev.Round,
+				Kind:    entry.EventKind(ev.Kind),
+			}
+		}
+		return anns, reply.Next, nil
+	}
 }
 
 // Settings implements core.EntryServer.
-func (f *FrontendClient) Settings(service wire.Service, round uint32) (*wire.RoundSettings, error) {
+func (f *FrontendClient) Settings(ctx context.Context, service wire.Service, round uint32) (*wire.RoundSettings, error) {
 	var raw []byte
-	if err := f.c.Call("entry.settings", settingsArgs{Service: service, Round: round}, &raw); err != nil {
+	if err := f.c.CallContext(ctx, "entry.settings", settingsArgs{Service: service, Round: round}, &raw); err != nil {
 		return nil, err
 	}
 	return wire.UnmarshalRoundSettings(raw)
@@ -681,8 +894,8 @@ func (f *FrontendClient) Settings(service wire.Service, round uint32) (*wire.Rou
 // Submit implements core.EntryServer. The entry server's admission
 // signals cross the wire as strings, so the typed sentinels are mapped
 // back here for the client's errors.Is checks.
-func (f *FrontendClient) Submit(service wire.Service, round uint32, onion []byte) error {
-	err := f.c.Call("entry.submit", submitArgs{Service: service, Round: round, Onion: onion}, nil)
+func (f *FrontendClient) Submit(ctx context.Context, service wire.Service, round uint32, onion []byte) error {
+	err := f.c.CallContext(ctx, "entry.submit", submitArgs{Service: service, Round: round, Onion: onion}, nil)
 	if err != nil && strings.Contains(err.Error(), entry.ErrRoundFull.Error()) {
 		return fmt.Errorf("rpc: %w", entry.ErrRoundFull)
 	}
@@ -690,10 +903,62 @@ func (f *FrontendClient) Submit(service wire.Service, round uint32, onion []byte
 }
 
 // Fetch implements core.MailboxStore.
-func (f *FrontendClient) Fetch(service wire.Service, round uint32, mailbox uint32) ([]byte, error) {
+func (f *FrontendClient) Fetch(ctx context.Context, service wire.Service, round uint32, mailbox uint32) ([]byte, error) {
 	var out []byte
-	if err := f.c.Call("cdn.fetch", fetchArgs{Service: service, Round: round, Mailbox: mailbox}, &out); err != nil {
+	if err := f.c.CallContext(ctx, "cdn.fetch", fetchArgs{Service: service, Round: round, Mailbox: mailbox}, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// FetchRange implements core.MailboxStore: one request for a span of
+// rounds via cdn.fetchrange, with a transparent per-round fallback
+// against frontends that predate it (rounds the store no longer holds are
+// simply absent, matching the ranged semantics).
+func (f *FrontendClient) FetchRange(ctx context.Context, service wire.Service, fromRound, toRound uint32, mailbox uint32) (map[uint32][]byte, error) {
+	f.mu.Lock()
+	supported := !f.rangeUnsupported
+	f.mu.Unlock()
+	if supported {
+		var reply []rangedBox
+		err := f.c.CallContext(ctx, "cdn.fetchrange", fetchRangeArgs{
+			Service: service, FromRound: fromRound, ToRound: toRound, Mailbox: mailbox,
+		}, &reply)
+		if err == nil {
+			out := make(map[uint32][]byte, len(reply))
+			for _, box := range reply {
+				out[box.Round] = box.Data
+			}
+			return out, nil
+		}
+		if !isUnknownMethod(err) {
+			return nil, err
+		}
+		f.mu.Lock()
+		f.rangeUnsupported = true
+		f.mu.Unlock()
+	}
+	out := make(map[uint32][]byte)
+	for r := fromRound; r <= toRound; r++ {
+		box, err := f.Fetch(ctx, service, r, mailbox)
+		if err != nil {
+			if strings.Contains(err.Error(), "not published") {
+				continue // unavailable round: absent, like the ranged reply
+			}
+			return nil, err
+		}
+		out[r] = box
+	}
+	return out, nil
+}
+
+// Close closes the client's connections.
+func (f *FrontendClient) Close() {
+	f.c.Close()
+	f.mu.Lock()
+	ec := f.eventsc
+	f.mu.Unlock()
+	if ec != nil {
+		ec.Close()
+	}
 }

@@ -2,6 +2,7 @@ package rpc_test
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"errors"
 	mathrand "math/rand"
@@ -523,7 +524,7 @@ func TestFrontendSubmitMapsRoundFull(t *testing.T) {
 	coord := coordinator.New(e, []*mixnet.Server{m}, nil, store)
 
 	srv := rpc.NewServer()
-	rpc.RegisterFrontend(srv, e, store, rpc.Directory{NumMixers: 1}, &rpc.FrontendState{})
+	rpc.RegisterFrontend(srv, e, store, rpc.Directory{NumMixers: 1})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -549,10 +550,10 @@ func TestFrontendSubmitMapsRoundFull(t *testing.T) {
 		}
 		return onion
 	}
-	if err := frontend.Submit(wire.Dialing, 1, makeOnion(1)); err != nil {
+	if err := frontend.Submit(context.Background(), wire.Dialing, 1, makeOnion(1)); err != nil {
 		t.Fatal(err)
 	}
-	err = frontend.Submit(wire.Dialing, 1, makeOnion(2))
+	err = frontend.Submit(context.Background(), wire.Dialing, 1, makeOnion(2))
 	if !errors.Is(err, entry.ErrRoundFull) {
 		t.Fatalf("full round over RPC: got %v, want entry.ErrRoundFull", err)
 	}

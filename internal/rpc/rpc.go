@@ -11,6 +11,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -79,6 +80,7 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	closing  chan struct{}
 }
 
 // NewServer creates an empty RPC server.
@@ -86,8 +88,14 @@ func NewServer() *Server {
 	return &Server{
 		handlers: make(map[string]Handler),
 		conns:    make(map[net.Conn]struct{}),
+		closing:  make(chan struct{}),
 	}
 }
+
+// Closing is closed when Close begins. Long-poll handlers (entry.events,
+// mix.round.wait) select on it so a shutting-down server never waits on a
+// parked handler's full poll interval.
+func (s *Server) Closing() <-chan struct{} { return s.closing }
 
 // Handle registers a handler for a method name.
 func (s *Server) Handle(method string, h Handler) {
@@ -164,6 +172,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	close(s.closing)
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -273,7 +282,16 @@ func (c *Client) CallCount(method string) uint64 {
 // the reply was lost, the retry executes it again. Data-plane mutations
 // that append state (stream chunks, publish fragments) must use CallOnce.
 func (c *Client) Call(method string, params any, result any) error {
-	return c.call(method, params, result, c.timeout, 2)
+	return c.call(context.Background(), method, params, result, c.timeout, 2)
+}
+
+// CallContext is Call honoring a context: the dial respects ctx, the I/O
+// deadline is the earlier of ctx's deadline and the client timeout, and
+// cancelling ctx mid-call closes the connection so a parked call (e.g. an
+// entry.events long-poll against a dead frontend) returns promptly
+// instead of wedging the caller.
+func (c *Client) CallContext(ctx context.Context, method string, params any, result any) error {
+	return c.call(ctx, method, params, result, c.timeout, 2)
 }
 
 // CallOnce invokes a remote method with NO transparent retry: the request
@@ -281,7 +299,7 @@ func (c *Client) Call(method string, params any, result any) error {
 // Use it for non-idempotent calls; the caller recovers at a higher level
 // (a failed mix round aborts and the next round carries the traffic).
 func (c *Client) CallOnce(method string, params any, result any) error {
-	return c.call(method, params, result, c.timeout, 1)
+	return c.call(context.Background(), method, params, result, c.timeout, 1)
 }
 
 // ErrTransport marks failures that happened in the transport — dialing,
@@ -291,7 +309,7 @@ func (c *Client) CallOnce(method string, params any, result any) error {
 // ErrTransport) to retry only failures where re-sending can help.
 var ErrTransport = errors.New("rpc: transport failure")
 
-func (c *Client) call(method string, params any, result any, timeout time.Duration, maxAttempts int) error {
+func (c *Client) call(ctx context.Context, method string, params any, result any, timeout time.Duration, maxAttempts int) error {
 	raw, err := json.Marshal(params)
 	if err != nil {
 		return err
@@ -306,27 +324,51 @@ func (c *Client) call(method string, params any, result any, timeout time.Durati
 	c.calls[method]++
 	// Reconnect attempts on a stale connection, bounded by maxAttempts.
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("rpc: call %s: %w", method, err)
+		}
 		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.addr, timeout)
+			dialer := net.Dialer{Timeout: timeout}
+			conn, err := dialer.DialContext(ctx, "tcp", c.addr)
 			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return fmt.Errorf("rpc: dialing %s: %w", c.addr, ctxErr)
+				}
 				return fmt.Errorf("%w: dialing %s: %v", ErrTransport, c.addr, err)
 			}
 			c.conn = conn
 		}
-		c.conn.SetDeadline(time.Now().Add(timeout))
+		deadline := time.Now().Add(timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		c.conn.SetDeadline(deadline)
+		// Cancellation mid-call must interrupt a blocked read (a parked
+		// long-poll, a dead peer): closing the conn is the only portable
+		// interrupt. The next call reconnects.
+		conn := c.conn
+		stop := context.AfterFunc(ctx, func() { conn.Close() })
 		c.bytesSent += uint64(len(req)) + 4
 		if err := writeFrame(c.conn, req); err != nil {
+			stop()
 			c.conn.Close()
 			c.conn = nil
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("rpc: writing to %s: %w", c.addr, ctxErr)
+			}
 			if attempt < maxAttempts-1 {
 				continue
 			}
 			return fmt.Errorf("%w: writing to %s: %v", ErrTransport, c.addr, err)
 		}
 		payload, err := readFrame(c.conn)
+		stop()
 		if err != nil {
 			c.conn.Close()
 			c.conn = nil
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("rpc: reading from %s: %w", c.addr, ctxErr)
+			}
 			if attempt < maxAttempts-1 {
 				continue
 			}

@@ -1,6 +1,7 @@
 package rpc_test
 
 import (
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"errors"
@@ -130,7 +131,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 		coord.PKGs = append(coord.PKGs, pc)
 	}
 	feSrv := rpc.NewServer()
-	rpc.RegisterFrontend(feSrv, e, store, rpc.Directory{NumMixers: numMixers}, &rpc.FrontendState{})
+	rpc.RegisterFrontend(feSrv, e, store, rpc.Directory{NumMixers: numMixers})
 	feAddr, err := feSrv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +158,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Register(); err != nil {
+		if err := c.Register(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		// Confirm with the emailed tokens (token i is from PKG i).
@@ -167,7 +168,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 		}
 		start := len(inbox) - numPKGs
 		for i := 0; i < numPKGs; i++ {
-			if err := c.ConfirmRegistration(i, inbox[start+i].Body); err != nil {
+			if err := c.ConfirmRegistration(context.Background(), i, inbox[start+i].Body); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -185,7 +186,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, c := range clients {
-			if err := c.SubmitAddFriendRound(round); err != nil {
+			if err := c.SubmitAddFriendRound(context.Background(), round); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -193,7 +194,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, c := range clients {
-			if err := c.ScanAddFriendRound(round); err != nil {
+			if err := c.ScanAddFriendRound(context.Background(), round); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -204,7 +205,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, c := range clients {
-			if err := c.SubmitDialRound(round); err != nil {
+			if err := c.SubmitDialRound(context.Background(), round); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -212,7 +213,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, c := range clients {
-			if err := c.ScanDialRound(round); err != nil {
+			if err := c.ScanDialRound(context.Background(), round); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -1,0 +1,302 @@
+package rpc_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"alpenhorn/internal/core"
+	"alpenhorn/internal/rpc"
+	"alpenhorn/internal/sim"
+	"alpenhorn/internal/wire"
+)
+
+// waitUntil polls cond until it holds or the timeout expires.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// newRunNetwork builds an in-process deployment whose client-facing
+// frontend is served over real TCP, and a Run-driven client talking to it.
+func newRunNetwork(t *testing.T) (*sim.Network, *rpc.Server, string) {
+	t.Helper()
+	network, err := sim.NewNetwork(sim.Config{NumPKGs: 1, NumMixers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer()
+	rpc.RegisterFrontend(srv, network.Entry, network.CDN, rpc.Directory{NumMixers: 1})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return network, srv, addr
+}
+
+// newTCPRunClient registers a client whose frontend transport is the TCP
+// FrontendClient (PKG traffic stays in-process: it is not under test).
+func newTCPRunClient(t *testing.T, network *sim.Network, frontend *rpc.FrontendClient, email string) (*core.Client, *sim.Handler) {
+	t.Helper()
+	h := &sim.Handler{AcceptAll: true}
+	cfg := network.ClientConfig(email, h)
+	cfg.Entry = frontend
+	cfg.Mailboxes = frontend
+	cfg.PollInterval = 50 * time.Millisecond
+	client, err := core.NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := network.ConfirmAll(client); err != nil {
+		t.Fatal(err)
+	}
+	return client, h
+}
+
+// driveDialRounds opens and closes dialing rounds [from, to], waiting up
+// to window for want submissions per round, and asserts no round ever
+// carries more submissions than want (the no-double-submit pin: the
+// entry server sees every accepted onion, so a client re-submitting a
+// round would exceed the budget).
+func driveDialRounds(t *testing.T, network *sim.Network, from, to uint32, want int, window time.Duration) {
+	t.Helper()
+	for r := from; r <= to; r++ {
+		if _, err := network.Coord.OpenDialingRound(r); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(window)
+		for time.Now().Before(deadline) && network.Entry.BatchSize(wire.Dialing, r) < want {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if got := network.Entry.BatchSize(wire.Dialing, r); got > want {
+			t.Fatalf("dialing round %d carries %d submissions, want at most %d — a client double-submitted", r, got, want)
+		}
+		if _, err := network.Coord.CloseRound(wire.Dialing, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunSurvivesFrontendRestart kills the frontend's TCP listener
+// mid-round under Client.Run and restarts it on the same address: the
+// client reconnects with backoff, no round is ever double-submitted, the
+// rounds missed during the outage drain from the backlog in order, and
+// cancelling the context returns promptly with no leaked goroutines.
+func TestRunSurvivesFrontendRestart(t *testing.T) {
+	network, srv, addr := newRunNetwork(t)
+	baseline := runtime.NumGoroutine()
+
+	frontend := rpc.DialFrontend(addr)
+	client, _ := newTCPRunClient(t, network, frontend, "restart@tcp.example")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	handle, err := client.ConnectDialing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: rounds flow normally over TCP.
+	driveDialRounds(t, network, 1, 3, 1, 5*time.Second)
+	waitUntil(t, 10*time.Second, "pre-restart rounds to be scanned", func() bool {
+		return client.DialRound() >= 4
+	})
+
+	// Phase 2: the frontend dies mid-round. Rounds keep happening — the
+	// deployment does not stop for one frontend — but this client cannot
+	// see or reach them (its submissions fail; that is what cover-traffic
+	// continuity costs when the network is down).
+	srv.Close()
+	driveDialRounds(t, network, 4, 5, 0, 30*time.Millisecond)
+
+	// Phase 3: a new frontend process binds the same address and serves
+	// the same deployment. The client's feed reconnects by itself.
+	var srv2 *rpc.Server
+	waitUntil(t, 5*time.Second, "frontend address to rebind", func() bool {
+		s := rpc.NewServer()
+		rpc.RegisterFrontend(s, network.Entry, network.CDN, rpc.Directory{NumMixers: 1})
+		if _, err := s.Listen(addr); err != nil {
+			s.Close()
+			return false
+		}
+		srv2 = s
+		return true
+	})
+	defer srv2.Close()
+
+	driveDialRounds(t, network, 6, 8, 1, 10*time.Second)
+
+	// The outage rounds (4, 5) and the post-restart rounds all get
+	// scanned, oldest-first, through the backlog.
+	waitUntil(t, 15*time.Second, "post-restart rounds to be scanned", func() bool {
+		return client.DialRound() >= 9 && client.DialBacklog() == 0
+	})
+
+	// Cancelling mid-round returns well within one network timeout.
+	start := time.Now()
+	cancel()
+	handle.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %v, want well under one network timeout", elapsed)
+	}
+	if err := handle.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("handle.Err() = %v, want context.Canceled", err)
+	}
+
+	// Every loop goroutine is gone once the handle closes and the
+	// client's connections drop. The frontend server is closed too:
+	// Server.Close unparks its entry.events waiters via Closing, so a
+	// handler parked on behalf of the now-gone client does not count as
+	// a (time-bounded) straggler here.
+	frontend.Close()
+	srv2.Close()
+	waitUntil(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= baseline
+	})
+}
+
+// TestStreamingVsPollingStatusLoad is the status-load acceptance pin: for
+// the same rounds, a client on the entry.events stream issues at least 5x
+// fewer round-tracking requests than a 100ms poller — and a
+// streaming-capable client pointed at a POLL-ONLY frontend degrades
+// transparently, completing the same rounds via status polling.
+func TestStreamingVsPollingStatusLoad(t *testing.T) {
+	network, pushSrv, pushAddr := newRunNetwork(t)
+	defer pushSrv.Close()
+
+	// A second, poll-only frontend serves the SAME deployment (a frontend
+	// built before entry.events existed).
+	pollSrv := rpc.NewServer()
+	rpc.RegisterPollFrontend(pollSrv, network.Entry, network.CDN, rpc.Directory{NumMixers: 1})
+	pollAddr, err := pollSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pollSrv.Close()
+
+	streamFE := rpc.DialFrontend(pushAddr)
+	pollFE := rpc.DialFrontend(pollAddr)
+	defer streamFE.Close()
+	defer pollFE.Close()
+	streamer, _ := newTCPRunClient(t, network, streamFE, "streamer@tcp.example")
+	poller, _ := newTCPRunClient(t, network, pollFE, "poller@tcp.example")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hs, err := streamer.ConnectDialing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	hp, err := poller.ConnectDialing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hp.Close()
+
+	// The same rounds for both clients, paced like a real deployment:
+	// the round interval dwarfs the submit time, which is exactly when
+	// polling burns requests on nothing.
+	const rounds = 5
+	for r := uint32(1); r <= rounds; r++ {
+		roundStart := time.Now()
+		if _, err := network.Coord.OpenDialingRound(r); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, 10*time.Second, "both clients to submit", func() bool {
+			return network.Entry.BatchSize(wire.Dialing, r) >= 2
+		})
+		if sofar := time.Since(roundStart); sofar < 800*time.Millisecond {
+			time.Sleep(800*time.Millisecond - sofar)
+		}
+		if _, err := network.Coord.CloseRound(wire.Dialing, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, 15*time.Second, "both clients to scan all rounds", func() bool {
+		return streamer.DialRound() >= rounds+1 && poller.DialRound() >= rounds+1
+	})
+	cancel()
+	hs.Close()
+	hp.Close()
+
+	// Round tracking: status polls for the poller, events long-polls (plus
+	// any stray status calls) for the streamer.
+	pollTracking := pollFE.CallCount("frontend.status")
+	streamTracking := streamFE.CallCount("entry.events") + streamFE.CallCount("frontend.status")
+	t.Logf("round-tracking requests over %d rounds: poller=%d streamer=%d (%.1fx)",
+		rounds, pollTracking, streamTracking, float64(pollTracking)/float64(streamTracking))
+	if pollTracking < 5*streamTracking {
+		t.Fatalf("streaming saved less than 5x: poller %d vs streamer %d tracking requests", pollTracking, streamTracking)
+	}
+
+	// Transparent degrade, pinned: the poll-side client runs the SAME
+	// streaming-capable code — it probed entry.events, got "unknown
+	// method", and fell back to polling without missing a round.
+	if n := pollFE.CallCount("entry.events"); n < 1 {
+		t.Fatal("poll-side client never probed the event stream (fallback path untested)")
+	} else if n > 2 {
+		t.Fatalf("poll-side client kept calling entry.events (%d calls) after the frontend rejected it", n)
+	}
+	if poller.DialRound() < rounds+1 {
+		t.Fatal("poll-fallback client missed rounds")
+	}
+}
+
+// TestFetchRangeFallbackOverTCP pins the MailboxStore degrade: against a
+// frontend without cdn.fetchrange, FetchRange silently becomes per-round
+// fetches with the same absent-round semantics.
+func TestFetchRangeFallbackOverTCP(t *testing.T) {
+	network, srv, addr := newRunNetwork(t)
+	defer srv.Close()
+
+	// Publish three dialing rounds (noise-only batches are fine).
+	for r := uint32(1); r <= 3; r++ {
+		if _, err := network.Coord.OpenDialingRound(r); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := network.Coord.CloseRound(wire.Dialing, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pollSrv := rpc.NewServer()
+	rpc.RegisterPollFrontend(pollSrv, network.Entry, network.CDN, rpc.Directory{NumMixers: 1})
+	pollAddr, err := pollSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pollSrv.Close()
+
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		addr string
+	}{{"ranged frontend", addr}, {"poll-only frontend (per-round fallback)", pollAddr}} {
+		fe := rpc.DialFrontend(tc.addr)
+		got, err := fe.FetchRange(ctx, wire.Dialing, 1, 5, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("%s: ranged fetch returned %d rounds, want 3 (rounds 4-5 unpublished)", tc.name, len(got))
+		}
+		for r := uint32(1); r <= 3; r++ {
+			if len(got[r]) == 0 {
+				t.Fatalf("%s: round %d mailbox empty", tc.name, r)
+			}
+		}
+		fe.Close()
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"crypto/ed25519"
 	"sync"
+	"time"
 
 	"alpenhorn/internal/core"
 )
@@ -83,6 +84,51 @@ func (h *Handler) OutgoingCalls() []core.Call {
 	out := make([]core.Call, len(h.Outgoing))
 	copy(out, h.Outgoing)
 	return out
+}
+
+// waitFor polls a recorded-event predicate until it holds or the timeout
+// expires. The handlers record events from Run's loop goroutines, so the
+// examples and tests wait instead of assuming round timing.
+func (h *Handler) waitFor(timeout time.Duration, ok func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		done := ok()
+		h.mu.Unlock()
+		if done {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// WaitConfirmed waits until a friendship with email is confirmed.
+func (h *Handler) WaitConfirmed(email string, timeout time.Duration) bool {
+	return h.waitFor(timeout, func() bool {
+		for _, e := range h.Confirmed {
+			if e == email {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// WaitIncoming waits until at least n incoming calls were recorded and
+// returns them.
+func (h *Handler) WaitIncoming(n int, timeout time.Duration) ([]core.Call, bool) {
+	ok := h.waitFor(timeout, func() bool { return len(h.Incoming) >= n })
+	return h.IncomingCalls(), ok
+}
+
+// WaitOutgoing waits until at least n outgoing calls were recorded and
+// returns them.
+func (h *Handler) WaitOutgoing(n int, timeout time.Duration) ([]core.Call, bool) {
+	ok := h.waitFor(timeout, func() bool { return len(h.Outgoing) >= n })
+	return h.OutgoingCalls(), ok
 }
 
 // ErrorCount returns the number of recorded errors.

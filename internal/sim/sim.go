@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"crypto/ed25519"
 	"fmt"
 	"strings"
@@ -121,17 +122,20 @@ func NewNetwork(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// ClientConfig returns a core.Config wired to this network's servers.
+// ClientConfig returns a core.Config wired to this network's servers
+// through the in-process adapters, so a simulated client exercises the
+// same context-aware interfaces (including the push-based round-event
+// surface) as one talking to daemons over TCP.
 func (n *Network) ClientConfig(addr string, handler core.Handler) core.Config {
 	pkgs := make([]core.PKG, len(n.PKGs))
 	for i, p := range n.PKGs {
-		pkgs[i] = p
+		pkgs[i] = PKGAdapter{P: p}
 	}
 	return core.Config{
 		Email:      addr,
 		PKGs:       pkgs,
-		Entry:      n.Entry,
-		Mailboxes:  n.CDN,
+		Entry:      EntryAdapter{E: n.Entry},
+		Mailboxes:  CDNAdapter{S: n.CDN},
 		MixerKeys:  n.MixerKeys,
 		PKGKeys:    n.PKGKeys,
 		PKGBLSKeys: n.PKGBLSKeys,
@@ -148,7 +152,7 @@ func (n *Network) NewClient(addr string, handler core.Handler) (*core.Client, er
 	if err != nil {
 		return nil, err
 	}
-	if err := client.Register(); err != nil {
+	if err := client.Register(context.Background()); err != nil {
 		return nil, err
 	}
 	if err := n.ConfirmAll(client); err != nil {
@@ -167,7 +171,7 @@ func (n *Network) ConfirmAll(client *core.Client) error {
 		prefix := fmt.Sprintf("pkg-%s@", pkg.Name)
 		for j := len(inbox) - 1; j >= 0; j-- {
 			if strings.HasPrefix(inbox[j].From, prefix) {
-				if err := client.ConfirmRegistration(i, inbox[j].Body); err != nil {
+				if err := client.ConfirmRegistration(context.Background(), i, inbox[j].Body); err != nil {
 					return fmt.Errorf("sim: confirming at PKG %d: %w", i, err)
 				}
 				confirmed++
@@ -185,11 +189,12 @@ func (n *Network) ConfirmAll(client *core.Client) error {
 // clients: announce, submit (every client, cover or real), mix, publish,
 // scan (every client), and finally destroy the round's master keys.
 func (n *Network) RunAddFriendRound(round uint32, clients []*core.Client) error {
+	ctx := context.Background()
 	if _, err := n.Coord.OpenAddFriendRound(round); err != nil {
 		return err
 	}
 	for _, c := range clients {
-		if err := c.SubmitAddFriendRound(round); err != nil {
+		if err := c.SubmitAddFriendRound(ctx, round); err != nil {
 			return fmt.Errorf("sim: %s submit: %w", c.Email(), err)
 		}
 	}
@@ -197,7 +202,7 @@ func (n *Network) RunAddFriendRound(round uint32, clients []*core.Client) error 
 		return err
 	}
 	for _, c := range clients {
-		if err := c.ScanAddFriendRound(round); err != nil {
+		if err := c.ScanAddFriendRound(ctx, round); err != nil {
 			return fmt.Errorf("sim: %s scan: %w", c.Email(), err)
 		}
 	}
@@ -207,11 +212,12 @@ func (n *Network) RunAddFriendRound(round uint32, clients []*core.Client) error 
 
 // RunDialRound drives one complete dialing round for the given clients.
 func (n *Network) RunDialRound(round uint32, clients []*core.Client) error {
+	ctx := context.Background()
 	if _, err := n.Coord.OpenDialingRound(round); err != nil {
 		return err
 	}
 	for _, c := range clients {
-		if err := c.SubmitDialRound(round); err != nil {
+		if err := c.SubmitDialRound(ctx, round); err != nil {
 			return fmt.Errorf("sim: %s submit: %w", c.Email(), err)
 		}
 	}
@@ -219,7 +225,7 @@ func (n *Network) RunDialRound(round uint32, clients []*core.Client) error {
 		return err
 	}
 	for _, c := range clients {
-		if err := c.ScanDialRound(round); err != nil {
+		if err := c.ScanDialRound(ctx, round); err != nil {
 			return fmt.Errorf("sim: %s scan: %w", c.Email(), err)
 		}
 	}
