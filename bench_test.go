@@ -1,7 +1,7 @@
 // Benchmarks reproducing every figure and measured claim in the Alpenhorn
 // paper's evaluation (§8). Each benchmark corresponds to an entry in the
-// experiment index of DESIGN.md; cmd/alpenhorn-bench prints the full series
-// the paper's figures plot. Run with:
+// experiment index of EXPERIMENTS.md; cmd/alpenhorn-bench prints the full
+// series the paper's figures plot. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -139,8 +139,10 @@ func BenchmarkFig8AddFriendLatency(b *testing.B) {
 	}
 	cal := model.PaperCalibration()
 	cal.MixSecondsPerMessage = perMsg
-	// Our big.Int pairing decrypts ~25x slower than the paper's
-	// assembly; report both calibrations.
+	// The Montgomery-limb pairing decrypts within ~4x of the paper's
+	// BN-256 assembly (it was ~100x off on big.Int before the limb
+	// backend); report both calibrations to separate model shape from
+	// substrate speed.
 	cal.IBEDecryptSeconds = measureIBEDecrypt(b)
 	ours := model.PaperParams(1e7, 3).AddFriendLatency(cal)
 	paper := model.PaperParams(1e7, 3).AddFriendLatency(model.PaperCalibration())
@@ -200,7 +202,10 @@ func measureIBEDecrypt(b *testing.B) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	key := ibe.Extract(priv, "bob@example.org")
+	// Scan configuration (see model.CostCalibration.IBEDecryptSeconds):
+	// the key's Miller ladder is precomputed once per mailbox, so the
+	// calibration wants the marginal per-ciphertext cost.
+	key := ibe.Extract(priv, "bob@example.org").Precompute()
 	start := testingNow()
 	const reps = 3
 	for i := 0; i < reps; i++ {
@@ -212,8 +217,11 @@ func measureIBEDecrypt(b *testing.B) float64 {
 }
 
 // BenchmarkIBEDecrypt is T1: the paper's prototype does 800 decryptions
-// per second per core on BN-256 assembly; this measures our big.Int BN254
-// substitute (expect ~2 orders of magnitude slower; see EXPERIMENTS.md).
+// per second per core on BN-256 assembly; this measures our BN254
+// substitute on the Montgomery-limb backend (~200+/sec — within ~4x of
+// the assembly, vs ~7/sec on the original big.Int arithmetic; see
+// EXPERIMENTS.md). The regression pin in internal/bn254 keeps the limb
+// backend ≥5x the retained big.Int reference.
 func BenchmarkIBEDecrypt(b *testing.B) {
 	pub, priv, err := ibe.Setup(rand.Reader)
 	if err != nil {
@@ -255,6 +263,9 @@ func BenchmarkMailboxScan(b *testing.B) {
 	}
 	mailbox = append(mailbox, mine...)
 
+	// The real scan path (core.Client.ScanAddFriendRound) precomputes the
+	// key's Miller-loop ladder once per mailbox; mirror it here.
+	key.Precompute()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		found := 0

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"time"
+
+	"alpenhorn/internal/ibe"
+	"alpenhorn/internal/wire"
+)
+
+// ibeBench is the -exp ibe-bench experiment: the paper's T1/T4 crypto
+// throughput claims on this substrate's Montgomery-limb pairing. It
+// reports single-core decrypts/sec (paper: 800/sec/core on BN-256
+// assembly), PKG extractions/sec (paper: 4310/sec on 36 cores), and the
+// time to trial-decrypt a 24,000-request add-friend mailbox (paper: 8 s
+// on 4 cores), both projected from the single-core rate and measured on
+// a real GOMAXPROCS worker-pool scan. With -json the record is uploaded
+// by CI as the BENCH_ibe artifact, so the pairing hot path's trajectory
+// is archived per change.
+func ibeBench() {
+	header("IBE crypto throughput (T1/T4): Montgomery-limb pairing")
+
+	pub, priv, err := ibe.Setup(rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg := make([]byte, wire.FriendRequestSize)
+	ctxt, err := ibe.Encrypt(rand.Reader, pub, "bob@example.org", msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Single-core trial decryption, scan configuration (precomputed
+	// Miller ladder, as core.Client.ScanAddFriendRound uses).
+	key := ibe.Extract(priv, "bob@example.org").Precompute()
+	decRate := rate(func() {
+		if _, ok := ibe.Decrypt(key, ctxt); !ok {
+			log.Fatal("decrypt failed")
+		}
+	})
+
+	// Server-side extraction throughput (hash-to-G1 + G1 scalar mult).
+	i := 0
+	extRate := rate(func() {
+		ibe.Extract(priv, fmt.Sprintf("user%d@example.org", i))
+		i++
+	})
+
+	// Real parallel mailbox scan on a worker pool: a small mailbox
+	// measured end to end, scaled to the paper's 24,000 requests.
+	const mailboxSize = 64
+	mailbox := make([]byte, 0, mailboxSize*wire.EncryptedFriendRequestSize)
+	for j := 0; j < mailboxSize-1; j++ {
+		c, err := ibe.RandomCiphertext(rand.Reader, wire.FriendRequestSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mailbox = append(mailbox, c...)
+	}
+	mailbox = append(mailbox, ctxt...)
+
+	workers := runtime.GOMAXPROCS(0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int, mailboxSize)
+	for j := 0; j < mailboxSize; j++ {
+		next <- j
+	}
+	close(next)
+	found := make([]bool, mailboxSize)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				off := j * wire.EncryptedFriendRequestSize
+				if _, ok := ibe.Decrypt(key, mailbox[off:off+wire.EncryptedFriendRequestSize]); ok {
+					found[j] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	parallelScan := time.Since(start).Seconds()
+	hits := 0
+	for _, f := range found {
+		if f {
+			hits++
+		}
+	}
+	if hits != 1 {
+		log.Fatalf("ibe-bench: scan found %d of 1 planted requests", hits)
+	}
+
+	scan24kProjected := 24000 / decRate / 4 // single-core rate on the paper's 4 cores
+	scan24kMeasured := parallelScan / mailboxSize * 24000
+
+	fmt.Printf("decrypts/sec (1 core):     %8.1f   (paper: 800/sec/core)\n", decRate)
+	fmt.Printf("extractions/sec (1 core):  %8.1f   (paper: 4310/sec on 36 cores)\n", extRate)
+	fmt.Printf("24k-mailbox scan, 4-core projection: %6.1f s  (paper: 8 s)\n", scan24kProjected)
+	fmt.Printf("24k-mailbox scan, measured on %d workers: %6.1f s\n", workers, scan24kMeasured)
+
+	writeJSONRecord("ibe-bench", struct {
+		Experiment        string  `json:"experiment"`
+		DecryptsPerSec    float64 `json:"decrypts_per_sec"`
+		ExtractionsPerSec float64 `json:"extractions_per_sec"`
+		Scan24kProjSec    float64 `json:"sec_per_24k_mailbox_scan_4core_proj"`
+		Scan24kMeasSec    float64 `json:"sec_per_24k_mailbox_scan_measured"`
+		ScanWorkers       int     `json:"scan_workers"`
+	}{"ibe-bench", decRate, extRate, scan24kProjected, scan24kMeasured, workers})
+}
+
+// rate runs f repeatedly for ~1/4 second and returns iterations/sec.
+func rate(f func()) float64 {
+	// Warm up once (first call may pay one-time setup).
+	f()
+	n := 0
+	start := time.Now()
+	for time.Since(start) < 250*time.Millisecond {
+		f()
+		n++
+	}
+	return float64(n) / time.Since(start).Seconds()
+}

@@ -9,6 +9,7 @@
 //	alpenhorn-bench -exp sizes      # message sizes vs paper
 //	alpenhorn-bench -exp extraction # key-extraction latency vs #PKGs
 //	alpenhorn-bench -exp ibe-sweep  # IBE cost scaling (§8.6)
+//	alpenhorn-bench -exp ibe-bench  # T1/T4 pairing throughput (decrypts, extractions, mailbox scan)
 //	alpenhorn-bench -exp mix-cal    # measure per-message mix cost (used by figs 8/9)
 //	alpenhorn-bench -exp mix-compare # sequential vs parallel vs pipelined round cost
 //	alpenhorn-bench -exp chain-forward # relayed vs server-forwarded data plane over TCP
@@ -16,8 +17,8 @@
 //	alpenhorn-bench -exp status-load # 500 ms status pollers vs entry.events streamers
 //	alpenhorn-bench -all            # everything
 //
-// -json FILE writes the shard-compare / status-load results as a JSON
-// record (CI uploads them per PR to track the perf trajectory).
+// -json FILE writes the shard-compare / status-load / ibe-bench results
+// as a JSON record (CI uploads them per PR to track the perf trajectory).
 //
 // The -parallelism flag sets the mixers' decryption/noise worker count for
 // every experiment that runs real rounds (0 = GOMAXPROCS, 1 = the
@@ -59,11 +60,11 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "paper figure to regenerate (6-10)")
-	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, mix-cal, mix-compare, chain-forward, shard-compare, status-load")
+	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, ibe-bench, mix-cal, mix-compare, chain-forward, shard-compare, status-load")
 	all := flag.Bool("all", false, "run everything")
 	users := flag.Int("calibration-batch", 4000, "batch size for real-round mix calibration")
 	par := flag.Int("parallelism", 0, "mixer decryption/noise workers (0 = GOMAXPROCS, 1 = sequential)")
-	jsonOut := flag.String("json", "", "write machine-readable results (shard-compare, status-load) to this file")
+	jsonOut := flag.String("json", "", "write machine-readable results (shard-compare, status-load, ibe-bench) to this file")
 	flag.Parse()
 	parallelism = *par
 	jsonPath = *jsonOut
@@ -83,6 +84,7 @@ func main() {
 	run(-1, "sizes", func(int) { sizes() })
 	run(-1, "extraction", func(int) { extraction() })
 	run(-1, "ibe-sweep", func(int) { ibeSweep() })
+	run(-1, "ibe-bench", func(int) { ibeBench() })
 	run(-1, "mix-cal", func(batch int) { fmt.Printf("mix cost: %.2f µs/message/server\n", measureMixCost(batch)*1e6) })
 	run(-1, "mix-compare", mixCompare)
 	run(-1, "chain-forward", chainForwardCompare)
@@ -662,7 +664,9 @@ func statusLoad() {
 	}{"status-load", results})
 }
 
-// measureIBEDecrypt returns seconds per trial decryption with our pairing.
+// measureIBEDecrypt returns seconds per trial decryption with our pairing,
+// on the scan configuration (precomputed key ladder), the shape the
+// IBEDecryptSeconds calibration extrapolates.
 func measureIBEDecrypt() float64 {
 	pub, priv, err := ibe.Setup(rand.Reader)
 	if err != nil {
@@ -672,9 +676,9 @@ func measureIBEDecrypt() float64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	key := ibe.Extract(priv, "bob@example.org")
+	key := ibe.Extract(priv, "bob@example.org").Precompute()
 	start := time.Now()
-	const reps = 3
+	const reps = 10
 	for i := 0; i < reps; i++ {
 		ibe.Decrypt(key, ctxt)
 	}
@@ -697,7 +701,7 @@ func latencyTable(title string, latency func(p model.Params, c model.CostCalibra
 	for _, cal := range []struct {
 		name string
 		c    model.CostCalibration
-	}{{"ours (big.Int pairing)", ours}, {"paper-calibrated (assembly costs)", paper}} {
+	}{{"ours (Montgomery-limb pairing)", ours}, {"paper-calibrated (assembly costs)", paper}} {
 		fmt.Printf("%s:\n%-10s %12s %12s %12s\n", cal.name, "users", "3 srv (s)", "5 srv (s)", "10 srv (s)")
 		for _, u := range usersList {
 			fmt.Printf("%-10.0g", u)
@@ -858,7 +862,7 @@ func ibeSweep() {
 	}
 	decT := time.Since(start) / reps
 
-	fmt.Printf("encrypt: %8.1f ms   (pairing + 2 G2 scalar mults)\n", float64(encT.Microseconds())/1000)
+	fmt.Printf("encrypt: %8.1f ms   (pairing + G2 scalar mult + G1 scalar mult)\n", float64(encT.Microseconds())/1000)
 	fmt.Printf("extract: %8.1f ms   (hash-to-G1 + G1 scalar mult)\n", float64(extT.Microseconds())/1000)
 	fmt.Printf("decrypt: %8.1f ms   (one pairing; paper: 1.25 ms = 800/sec/core)\n", float64(decT.Microseconds())/1000)
 	fmt.Printf("\nPKG extraction throughput: %.0f/sec/core (paper: 4310/sec on 36 cores)\n",

@@ -1,0 +1,127 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+)
+
+// TestLimbBackendSpeedupPin is the regression guard for the Montgomery
+// limb backend: a full limb pairing must run at least 5x faster than the
+// retained big.Int reference ON THE SAME MACHINE, measured back-to-back in
+// one test. The measured ratio is ~30-50x, so the 5x floor has a wide
+// non-flakiness margin while still catching a silent fallback to big.Int
+// (or an accidentally quadratic limb path). Skipped in -short mode (the
+// race-detector CI lane) where instrumentation skews both sides.
+func TestLimbBackendSpeedupPin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("relative perf pin skipped in -short mode")
+	}
+	k, err := RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := new(G1).ScalarBaseMult(k)
+	q := new(G2).ScalarBaseMult(k)
+	refP := new(refG1).ScalarBaseMult(k)
+	refQ := new(refG2).ScalarBaseMult(k)
+
+	// Best-of-N wall times to shed scheduler noise.
+	best := func(n int, f func()) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	limb := best(5, func() { Pair(p, q) })
+	ref := best(2, func() { refPair(refP, refQ) })
+
+	const floor = 5
+	if limb*floor > ref {
+		t.Fatalf("limb pairing %v is under %dx the big.Int reference %v (ratio %.1fx)",
+			limb, floor, ref, float64(ref)/float64(limb))
+	}
+	t.Logf("limb pairing %v vs big.Int reference %v: %.1fx", limb, ref, float64(ref)/float64(limb))
+}
+
+func BenchmarkFeMul(b *testing.B) {
+	k, _ := randFieldElement(rand.Reader)
+	var x, z fe
+	feFromBig(&x, k)
+	z = x
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feMul(&z, &z, &x)
+	}
+}
+
+func BenchmarkFpMulRef(b *testing.B) {
+	k, _ := randFieldElement(rand.Reader)
+	z := fpMul(k, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z = fpMul(z, k)
+	}
+	_ = z
+}
+
+func BenchmarkPair(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	p := new(G1).ScalarBaseMult(k)
+	q := new(G2).ScalarBaseMult(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(p, q)
+	}
+}
+
+func BenchmarkPairPrecomputedG1(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	pre := PrecomputeG1(new(G1).ScalarBaseMult(k))
+	q := new(G2).ScalarBaseMult(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pre.Pair(q)
+	}
+}
+
+func BenchmarkPairRef(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	p := new(refG1).ScalarBaseMult(k)
+	q := new(refG2).ScalarBaseMult(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refPair(p, q)
+	}
+}
+
+func BenchmarkG2Unmarshal(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	data := new(G2).ScalarBaseMult(k).Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := new(G2).Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkG2ScalarBaseMult(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	p := new(G2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkHashToG1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HashToG1("bench", []byte{byte(i), byte(i >> 8)})
+	}
+}

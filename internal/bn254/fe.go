@@ -1,0 +1,327 @@
+package bn254
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// fe is a base-field element in Montgomery form: the value represented is
+// fe·R⁻¹ mod P with R = 2²⁵⁶, stored as four 64-bit limbs, least
+// significant first. Elements are always kept fully reduced (< P), so limb
+// equality is value equality.
+//
+// This is the limb backend that replaced the original big.Int field
+// arithmetic (retained as the fp* reference implementation for
+// differential tests). All operations are allocation-free; values live on
+// the stack. The boundary-conversion rule: values enter the Montgomery
+// domain in feFromBig/feSetBytes and leave it in feToBig/feBytes —
+// everything in between (towers, curve arithmetic, the Miller loop)
+// stays in-domain, so there are no Mod calls and no heap traffic on the
+// pairing hot path.
+type fe [4]uint64
+
+// feAdd sets z = x + y mod P.
+func feAdd(z, x, y *fe) {
+	t0, c := bits.Add64(x[0], y[0], 0)
+	t1, c := bits.Add64(x[1], y[1], c)
+	t2, c := bits.Add64(x[2], y[2], c)
+	t3, _ := bits.Add64(x[3], y[3], c)
+	// x, y < P < 2²⁵⁴ so the sum fits without a carry out; one trial
+	// subtraction both detects and performs the reduction.
+	s0, b := bits.Sub64(t0, feP[0], 0)
+	s1, b := bits.Sub64(t1, feP[1], b)
+	s2, b := bits.Sub64(t2, feP[2], b)
+	s3, b := bits.Sub64(t3, feP[3], b)
+	if b == 0 {
+		z[0], z[1], z[2], z[3] = s0, s1, s2, s3
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
+	}
+}
+
+// feDouble sets z = 2x mod P.
+func feDouble(z, x *fe) { feAdd(z, x, x) }
+
+// feReduce conditionally subtracts P once, for values in [0, 2P).
+func feReduce(z *fe) {
+	s0, b := bits.Sub64(z[0], feP[0], 0)
+	s1, b := bits.Sub64(z[1], feP[1], b)
+	s2, b := bits.Sub64(z[2], feP[2], b)
+	s3, b := bits.Sub64(z[3], feP[3], b)
+	if b == 0 {
+		z[0], z[1], z[2], z[3] = s0, s1, s2, s3
+	}
+}
+
+// feLessThanP reports whether z < P.
+func feLessThanP(z *fe) bool {
+	var b uint64
+	_, b = bits.Sub64(z[0], feP[0], 0)
+	_, b = bits.Sub64(z[1], feP[1], b)
+	_, b = bits.Sub64(z[2], feP[2], b)
+	_, b = bits.Sub64(z[3], feP[3], b)
+	return b == 1
+}
+
+// feSub sets z = x − y mod P.
+func feSub(z, x, y *fe) {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	if b != 0 {
+		var c uint64
+		z[0], c = bits.Add64(z[0], feP[0], 0)
+		z[1], c = bits.Add64(z[1], feP[1], c)
+		z[2], c = bits.Add64(z[2], feP[2], c)
+		z[3], _ = bits.Add64(z[3], feP[3], c)
+	}
+}
+
+// feNeg sets z = −x mod P.
+func feNeg(z, x *fe) {
+	if x.IsZero() {
+		*z = fe{}
+		return
+	}
+	var b uint64
+	z[0], b = bits.Sub64(feP[0], x[0], 0)
+	z[1], b = bits.Sub64(feP[1], x[1], b)
+	z[2], b = bits.Sub64(feP[2], x[2], b)
+	z[3], _ = bits.Sub64(feP[3], x[3], b)
+}
+
+// feMul sets z = x·y·R⁻¹ mod P: the Montgomery product. It computes the
+// full 512-bit product (operand scanning, fully unrolled) and then applies
+// word-by-word Montgomery reduction; inputs and output are fully reduced.
+// Per row the invariant is textbook: x_i·y_j + t_{i+j} + carry < 2¹²⁸, so
+// the high word never overflows when the two add-carries fold in.
+func feMul(z, x, y *fe) {
+	var t [8]uint64
+	var carry, c, hi, lo uint64
+
+	// Row 0: t = x0·y.
+	hi, t[0] = bits.Mul64(x[0], y[0])
+	carry = hi
+	hi, lo = bits.Mul64(x[0], y[1])
+	t[1], c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	hi, lo = bits.Mul64(x[0], y[2])
+	t[2], c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	hi, lo = bits.Mul64(x[0], y[3])
+	t[3], c = bits.Add64(lo, carry, 0)
+	t[4] = hi + c
+
+	// Rows 1-3: t += x_i·y << 64i.
+	for i := 1; i < 4; i++ {
+		xi := x[i]
+		hi, lo = bits.Mul64(xi, y[0])
+		lo, c = bits.Add64(lo, t[i], 0)
+		hi += c
+		t[i] = lo
+		carry = hi
+		hi, lo = bits.Mul64(xi, y[1])
+		lo, c = bits.Add64(lo, t[i+1], 0)
+		hi += c
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[i+1] = lo
+		carry = hi
+		hi, lo = bits.Mul64(xi, y[2])
+		lo, c = bits.Add64(lo, t[i+2], 0)
+		hi += c
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[i+2] = lo
+		carry = hi
+		hi, lo = bits.Mul64(xi, y[3])
+		lo, c = bits.Add64(lo, t[i+3], 0)
+		hi += c
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[i+3] = lo
+		t[i+4] = hi
+	}
+	feMontReduce(z, &t)
+}
+
+// feSquare sets z = x²·R⁻¹ mod P.
+func feSquare(z, x *fe) { feMul(z, x, x) }
+
+// feMontReduce folds a 512-bit value t into z = t·R⁻¹ mod P. For inputs
+// t < P·2²⁵⁶ (every product of reduced elements qualifies) the result
+// fits in four limbs before the final conditional subtraction. Each round
+// zeroes limb i by adding m·P with m = t_i·(−P⁻¹) mod 2⁶⁴; the round's
+// carry lands on limb i+4 and the single carry bit e chains upward.
+func feMontReduce(z *fe, t *[8]uint64) {
+	var e, carry, c, hi, lo uint64
+	for i := 0; i < 4; i++ {
+		m := t[i] * feNP
+		hi, lo = bits.Mul64(m, feP[0])
+		_, c = bits.Add64(lo, t[i], 0) // low limb cancels by construction
+		carry = hi + c
+		hi, lo = bits.Mul64(m, feP[1])
+		lo, c = bits.Add64(lo, t[i+1], 0)
+		hi += c
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[i+1] = lo
+		carry = hi
+		hi, lo = bits.Mul64(m, feP[2])
+		lo, c = bits.Add64(lo, t[i+2], 0)
+		hi += c
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[i+2] = lo
+		carry = hi
+		hi, lo = bits.Mul64(m, feP[3])
+		lo, c = bits.Add64(lo, t[i+3], 0)
+		hi += c
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[i+3] = lo
+		t[i+4], e = bits.Add64(t[i+4], hi, e)
+	}
+	z[0], z[1], z[2], z[3] = t[4], t[5], t[6], t[7]
+	feReduce(z)
+}
+
+// feFromMont leaves the Montgomery domain: z = x·R⁻¹ mod P.
+func feFromMont(z, x *fe) {
+	t := [8]uint64{x[0], x[1], x[2], x[3]}
+	feMontReduce(z, &t)
+}
+
+// IsZero reports whether the element is zero (in either domain).
+func (x *fe) IsZero() bool { return x[0]|x[1]|x[2]|x[3] == 0 }
+
+// Equal reports limb equality, which is value equality because elements
+// are kept fully reduced.
+func (x *fe) Equal(y *fe) bool {
+	return x[0] == y[0] && x[1] == y[1] && x[2] == y[2] && x[3] == y[3]
+}
+
+// feExp sets z = x^e mod P (e ≥ 0, not secret) by square-and-multiply.
+func feExp(z, x *fe, e *big.Int) {
+	acc := feOne
+	base := *x
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		feSquare(&acc, &acc)
+		if e.Bit(i) == 1 {
+			feMul(&acc, &acc, &base)
+		}
+	}
+	*z = acc
+}
+
+// feInv sets z = x⁻¹ mod P via Fermat (x^(P−2)). It panics on zero, which
+// would indicate a bug in a caller (all callers guard against zero
+// denominators), matching the fpInv reference.
+func feInv(z, x *fe) {
+	if x.IsZero() {
+		panic("bn254: inversion of zero")
+	}
+	feExp(z, x, pMinus2)
+}
+
+// feSqrt sets z to the principal square root x^((P+1)/4) and reports
+// whether x is a quadratic residue. The root agrees exactly with the
+// fpSqrt reference, which callers rely on for deterministic hash-to-curve.
+func feSqrt(z, x *fe) bool {
+	var r, r2 fe
+	feExp(&r, x, pSqrtExp)
+	feSquare(&r2, &r)
+	if !r2.Equal(x) {
+		return false
+	}
+	*z = r
+	return true
+}
+
+// feFromBig converts a (reduced or unreduced) big.Int into Montgomery form.
+func feFromBig(z *fe, x *big.Int) {
+	v := x
+	if v.Sign() < 0 || v.Cmp(P) >= 0 {
+		v = new(big.Int).Mod(x, P)
+	}
+	var raw fe
+	feRawFromBig(&raw, v)
+	feMul(z, &raw, &feR2)
+}
+
+// feRawFromBig converts a reduced big.Int into four little-endian limbs
+// via the canonical byte encoding, independent of the platform's
+// big.Word size (Bits() words are 32-bit on GOARCH=386/arm).
+func feRawFromBig(raw *fe, v *big.Int) {
+	var buf [32]byte
+	v.FillBytes(buf[:])
+	feRawSetBytes(raw, buf[:])
+}
+
+// feRawSetBytes decodes 32 big-endian bytes into little-endian limbs.
+func feRawSetBytes(raw *fe, buf []byte) {
+	for i := 0; i < 4; i++ {
+		var limb uint64
+		for j := 0; j < 8; j++ {
+			limb = limb<<8 | uint64(buf[i*8+j])
+		}
+		raw[3-i] = limb
+	}
+}
+
+// feToBig converts out of Montgomery form into a fresh big.Int.
+func feToBig(x *fe) *big.Int {
+	var raw fe
+	feFromMont(&raw, x)
+	var buf [32]byte
+	feRawBytes(&raw, &buf)
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// feBytes writes the canonical 32-byte big-endian encoding of x into buf,
+// matching big.Int.FillBytes on the represented value.
+func feBytes(x *fe, buf *[32]byte) {
+	var raw fe
+	feFromMont(&raw, x)
+	feRawBytes(&raw, buf)
+}
+
+// feRawBytes encodes four little-endian limbs as 32 big-endian bytes.
+func feRawBytes(raw *fe, buf *[32]byte) {
+	for i := 0; i < 4; i++ {
+		limb := raw[3-i]
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(limb >> (56 - 8*j))
+		}
+	}
+}
+
+// feSetBytes parses a 32-byte big-endian encoding, reporting whether the
+// value is canonical (< P).
+func feSetBytes(z *fe, buf []byte) bool {
+	var raw fe
+	feRawSetBytes(&raw, buf)
+	if !feLessThanP(&raw) {
+		return false
+	}
+	feMul(z, &raw, &feR2)
+	return true
+}
+
+// feMulBy3 sets z = 3x via additions (cheaper than a Montgomery product).
+func feMulBy3(z, x *fe) {
+	var t fe
+	feDouble(&t, x)
+	feAdd(z, &t, x)
+}
+
+// feMulBy9 sets z = 9x = 8x + x.
+func feMulBy9(z, x *fe) {
+	var t fe
+	feDouble(&t, x)
+	feDouble(&t, &t)
+	feDouble(&t, &t)
+	feAdd(z, &t, x)
+}

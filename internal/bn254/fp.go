@@ -1,14 +1,18 @@
 package bn254
 
 import (
-	"crypto/rand"
 	"io"
 	"math/big"
 )
 
-// Base-field helpers. All functions return values fully reduced mod P.
-// Receiver-free helpers keep aliasing rules trivial: results are always
-// freshly allocated.
+// Base-field helpers of the big.Int REFERENCE backend. All functions
+// return values fully reduced mod P; receiver-free helpers keep aliasing
+// rules trivial (results are always freshly allocated).
+//
+// The production arithmetic lives in fe.go (Montgomery limbs). These
+// helpers and the gfP2/gfP6/gfP12 towers and refG1/refG2/refGT groups
+// built on them are retained as the differential-testing oracle: slow,
+// simple, and independent of the limb code's carry chains.
 
 func fpNew() *big.Int { return new(big.Int) }
 
@@ -61,26 +65,43 @@ func fpExp(a, e *big.Int) *big.Int {
 }
 
 // fpSqrt returns a square root of a mod P and true, or nil and false if a is
-// a quadratic non-residue. P ≡ 3 (mod 4), so the root is a^((P+1)/4).
+// a quadratic non-residue. P ≡ 3 (mod 4), so the root is a^((P+1)/4); the
+// exponent is the hoisted pSqrtExp constant.
 func fpSqrt(a *big.Int) (*big.Int, bool) {
-	exp := new(big.Int).Add(P, big.NewInt(1))
-	exp.Rsh(exp, 2)
-	r := fpExp(a, exp)
+	r := fpExp(a, pSqrtExp)
 	if fpSquare(r).Cmp(new(big.Int).Mod(a, P)) != 0 {
 		return nil, false
 	}
 	return r, true
 }
 
+// randMod returns a uniform element of [0, mod) read from r by rejection
+// sampling with the hoisted 254-bit mask (both moduli of interest are 254
+// bits). The byte-consumption pattern matches crypto/rand.Int exactly, so
+// deterministic test streams are unaffected by the hoisting.
+func randMod(r io.Reader, mod *big.Int) (*big.Int, error) {
+	buf := make([]byte, randByteLen)
+	k := new(big.Int)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		buf[0] &= randTopMask
+		if k.SetBytes(buf); k.Cmp(mod) < 0 {
+			return k, nil
+		}
+	}
+}
+
 // randFieldElement returns a uniform element of Fp read from r.
 func randFieldElement(r io.Reader) (*big.Int, error) {
-	return rand.Int(r, P)
+	return randMod(r, P)
 }
 
 // RandomScalar returns a uniform non-zero scalar in [1, Order-1] read from r.
 func RandomScalar(r io.Reader) (*big.Int, error) {
 	for {
-		k, err := rand.Int(r, Order)
+		k, err := randMod(r, Order)
 		if err != nil {
 			return nil, err
 		}

@@ -8,30 +8,42 @@ import (
 	"math/big"
 )
 
-// G1 is a point on E(Fp): y² = x³ + 3, in affine coordinates. The zero value
-// is NOT valid; use new(G1).SetInfinity(), G1Generator(), or an operation
-// that sets the receiver. E(Fp) has prime order Order, so every curve point
-// other than infinity generates the full group.
+// G1 is a point on E(Fp): y² = x³ + 3, stored affine on the Montgomery
+// limb backend. The zero value is NOT valid; use new(G1).SetInfinity(),
+// G1Generator(), or an operation that sets the receiver. E(Fp) has prime
+// order Order, so every curve point other than infinity generates the
+// full group.
 type G1 struct {
-	x, y *big.Int
+	x, y fe
 	inf  bool
+}
+
+// g1Gen holds the conventional generator (1, 2) in Montgomery form.
+var g1Gen = deriveG1Gen()
+
+func deriveG1Gen() G1 {
+	var p G1
+	feFromBig(&p.x, big.NewInt(1))
+	feFromBig(&p.y, big.NewInt(2))
+	return p
 }
 
 // G1Generator returns the conventional generator (1, 2).
 func G1Generator() *G1 {
-	return &G1{x: big.NewInt(1), y: big.NewInt(2)}
+	p := g1Gen
+	return &p
 }
 
 func (p *G1) String() string {
 	if p.inf {
 		return "G1(∞)"
 	}
-	return fmt.Sprintf("G1(%v, %v)", p.x, p.y)
+	return fmt.Sprintf("G1(%v, %v)", feToBig(&p.x), feToBig(&p.y))
 }
 
 // SetInfinity sets p to the identity element.
 func (p *G1) SetInfinity() *G1 {
-	p.x, p.y, p.inf = new(big.Int), new(big.Int), true
+	*p = G1{inf: true}
 	return p
 }
 
@@ -39,9 +51,7 @@ func (p *G1) SetInfinity() *G1 {
 func (p *G1) IsInfinity() bool { return p.inf }
 
 func (p *G1) Set(a *G1) *G1 {
-	p.x = new(big.Int).Set(a.x)
-	p.y = new(big.Int).Set(a.y)
-	p.inf = a.inf
+	*p = *a
 	return p
 }
 
@@ -49,7 +59,7 @@ func (p *G1) Equal(a *G1) bool {
 	if p.inf || a.inf {
 		return p.inf == a.inf
 	}
-	return p.x.Cmp(a.x) == 0 && p.y.Cmp(a.y) == 0
+	return p.x.Equal(&a.x) && p.y.Equal(&a.y)
 }
 
 // IsOnCurve reports whether p satisfies y² = x³ + 3 (infinity counts as on
@@ -58,9 +68,12 @@ func (p *G1) IsOnCurve() bool {
 	if p.inf {
 		return true
 	}
-	y2 := fpSquare(p.y)
-	x3 := fpMul(fpSquare(p.x), p.x)
-	return y2.Cmp(fpAdd(x3, curveB)) == 0
+	var y2, x3 fe
+	feSquare(&y2, &p.y)
+	feSquare(&x3, &p.x)
+	feMul(&x3, &x3, &p.x)
+	feAdd(&x3, &x3, &feCurveB)
+	return y2.Equal(&x3)
 }
 
 // Neg sets p = −a.
@@ -68,13 +81,15 @@ func (p *G1) Neg(a *G1) *G1 {
 	if a.inf {
 		return p.SetInfinity()
 	}
-	p.x = new(big.Int).Set(a.x)
-	p.y = fpNeg(a.y)
+	p.x = a.x
+	feNeg(&p.y, &a.y)
 	p.inf = false
 	return p
 }
 
-// Add sets p = a + b using affine chord-and-tangent formulas.
+// Add sets p = a + b using affine chord-and-tangent formulas (one field
+// inversion; fine for the aggregation call sites — the scalar-mult and
+// pairing hot paths use the inversion-free Jacobian ladder instead).
 func (p *G1) Add(a, b *G1) *G1 {
 	if a.inf {
 		return p.Set(b)
@@ -82,58 +97,178 @@ func (p *G1) Add(a, b *G1) *G1 {
 	if b.inf {
 		return p.Set(a)
 	}
-	if a.x.Cmp(b.x) == 0 {
-		if a.y.Cmp(b.y) != 0 || a.y.Sign() == 0 {
-			// a = −b (or a = b with y = 0, impossible here since
-			// x³+3=0 has no roots paired with y=0 on this curve,
-			// but handle it anyway).
+	if a.x.Equal(&b.x) {
+		if !a.y.Equal(&b.y) || a.y.IsZero() {
 			return p.SetInfinity()
 		}
 		return p.Double(a)
 	}
 	// λ = (by − ay) / (bx − ax)
-	lambda := fpMul(fpSub(b.y, a.y), fpInv(fpSub(b.x, a.x)))
-	x3 := fpSub(fpSub(fpSquare(lambda), a.x), b.x)
-	y3 := fpSub(fpMul(lambda, fpSub(a.x, x3)), a.y)
+	var num, den, lambda fe
+	feSub(&num, &b.y, &a.y)
+	feSub(&den, &b.x, &a.x)
+	feInv(&den, &den)
+	feMul(&lambda, &num, &den)
+	var x3, y3, t fe
+	feSquare(&x3, &lambda)
+	feSub(&x3, &x3, &a.x)
+	feSub(&x3, &x3, &b.x)
+	feSub(&t, &a.x, &x3)
+	feMul(&y3, &lambda, &t)
+	feSub(&y3, &y3, &a.y)
 	p.x, p.y, p.inf = x3, y3, false
 	return p
 }
 
 // Double sets p = 2a.
 func (p *G1) Double(a *G1) *G1 {
-	if a.inf || a.y.Sign() == 0 {
+	if a.inf || a.y.IsZero() {
 		return p.SetInfinity()
 	}
 	// λ = 3ax² / 2ay
-	three := big.NewInt(3)
-	lambda := fpMul(fpMul(three, fpSquare(a.x)), fpInv(fpDouble(a.y)))
-	x3 := fpSub(fpSquare(lambda), fpDouble(a.x))
-	y3 := fpSub(fpMul(lambda, fpSub(a.x, x3)), a.y)
+	var num, den, lambda fe
+	feSquare(&num, &a.x)
+	feMulBy3(&num, &num)
+	feDouble(&den, &a.y)
+	feInv(&den, &den)
+	feMul(&lambda, &num, &den)
+	var x3, y3, t fe
+	feSquare(&x3, &lambda)
+	feDouble(&t, &a.x)
+	feSub(&x3, &x3, &t)
+	feSub(&t, &a.x, &x3)
+	feMul(&y3, &lambda, &t)
+	feSub(&y3, &y3, &a.y)
 	p.x, p.y, p.inf = x3, y3, false
 	return p
+}
+
+// g1Jac is a point in Jacobian coordinates (x/z², y/z³); z = 0 encodes
+// infinity. Used internally for inversion-free scalar multiplication and
+// the Miller loop.
+type g1Jac struct {
+	x, y, z fe
+}
+
+func (j *g1Jac) setInfinity() { *j = g1Jac{} }
+
+func (j *g1Jac) isInfinity() bool { return j.z.IsZero() }
+
+func (j *g1Jac) fromAffine(p *G1) {
+	if p.inf {
+		j.setInfinity()
+		return
+	}
+	j.x, j.y, j.z = p.x, p.y, feOne
+}
+
+func (j *g1Jac) toAffine(p *G1) {
+	if j.isInfinity() {
+		p.SetInfinity()
+		return
+	}
+	var zInv, zInv2, zInv3 fe
+	feInv(&zInv, &j.z)
+	feSquare(&zInv2, &zInv)
+	feMul(&zInv3, &zInv2, &zInv)
+	feMul(&p.x, &j.x, &zInv2)
+	feMul(&p.y, &j.y, &zInv3)
+	p.inf = false
+}
+
+// double sets j = 2a (a = 0 curve; standard Jacobian doubling).
+func (j *g1Jac) double(a *g1Jac) {
+	if a.isInfinity() {
+		j.setInfinity()
+		return
+	}
+	var A, B, C, D, E, F fe
+	feSquare(&A, &a.x) // A = X²
+	feSquare(&B, &a.y) // B = Y²
+	feSquare(&C, &B)   // C = B²
+	// D = 2((X+B)² − A − C)
+	feAdd(&D, &a.x, &B)
+	feSquare(&D, &D)
+	feSub(&D, &D, &A)
+	feSub(&D, &D, &C)
+	feDouble(&D, &D)
+	feMulBy3(&E, &A) // E = 3A
+	feSquare(&F, &E) // F = E²
+	var x3, y3, z3, t fe
+	feDouble(&t, &D)
+	feSub(&x3, &F, &t) // X3 = F − 2D
+	feSub(&t, &D, &x3)
+	feMul(&y3, &E, &t)
+	feDouble(&C, &C)
+	feDouble(&C, &C)
+	feDouble(&C, &C)
+	feSub(&y3, &y3, &C) // Y3 = E(D−X3) − 8C
+	feMul(&z3, &a.y, &a.z)
+	feDouble(&z3, &z3) // Z3 = 2YZ
+	j.x, j.y, j.z = x3, y3, z3
+}
+
+// addMixed sets j = a + q for affine q (classic mixed addition).
+func (j *g1Jac) addMixed(a *g1Jac, q *G1) {
+	if q.inf {
+		*j = *a
+		return
+	}
+	if a.isInfinity() {
+		j.fromAffine(q)
+		return
+	}
+	var zz, u2, s2, h, r fe
+	feSquare(&zz, &a.z)
+	feMul(&u2, &q.x, &zz)
+	feMul(&s2, &q.y, &a.z)
+	feMul(&s2, &s2, &zz)
+	feSub(&h, &u2, &a.x)
+	feSub(&r, &s2, &a.y)
+	if h.IsZero() {
+		if r.IsZero() {
+			j.double(a)
+			return
+		}
+		j.setInfinity()
+		return
+	}
+	var h2, h3, v fe
+	feSquare(&h2, &h)
+	feMul(&h3, &h, &h2)
+	feMul(&v, &a.x, &h2)
+	var x3, y3, z3, t fe
+	feSquare(&x3, &r)
+	feSub(&x3, &x3, &h3)
+	feDouble(&t, &v)
+	feSub(&x3, &x3, &t) // X3 = R² − H³ − 2V
+	feSub(&t, &v, &x3)
+	feMul(&y3, &r, &t)
+	feMul(&t, &a.y, &h3)
+	feSub(&y3, &y3, &t)  // Y3 = R(V−X3) − Y·H³
+	feMul(&z3, &a.z, &h) // Z3 = Z·H
+	j.x, j.y, j.z = x3, y3, z3
 }
 
 // ScalarMult sets p = k·a. The scalar is reduced mod Order.
 func (p *G1) ScalarMult(a *G1, k *big.Int) *G1 {
 	kr := new(big.Int).Mod(k, Order)
-	acc := new(G1).SetInfinity()
-	base := new(G1).Set(a)
+	var acc g1Jac
+	acc.setInfinity()
 	for i := kr.BitLen() - 1; i >= 0; i-- {
-		acc.Double(acc)
+		acc.double(&acc)
 		if kr.Bit(i) == 1 {
-			acc.Add(acc, base)
+			acc.addMixed(&acc, a)
 		}
 	}
-	return p.Set(acc)
+	acc.toAffine(p)
+	return p
 }
 
 // ScalarBaseMult sets p = k·G where G is the conventional generator.
 func (p *G1) ScalarBaseMult(k *big.Int) *G1 {
 	return p.ScalarMult(G1Generator(), k)
 }
-
-// g1MarshalledSize is the size of a marshalled G1 point: x ‖ y, 32 bytes each.
-const g1MarshalledSize = 64
 
 // Marshal encodes p as x ‖ y (32-byte big-endian each). Infinity encodes as
 // all zeros, which is unambiguous because (0, 0) is not on the curve.
@@ -142,8 +277,11 @@ func (p *G1) Marshal() []byte {
 	if p.inf {
 		return out
 	}
-	p.x.FillBytes(out[:32])
-	p.y.FillBytes(out[32:])
+	var buf [32]byte
+	feBytes(&p.x, &buf)
+	copy(out[:32], buf[:])
+	feBytes(&p.y, &buf)
+	copy(out[32:], buf[:])
 	return out
 }
 
@@ -153,13 +291,19 @@ func (p *G1) Unmarshal(data []byte) error {
 	if len(data) != g1MarshalledSize {
 		return errors.New("bn254: wrong G1 encoding length")
 	}
-	x := new(big.Int).SetBytes(data[:32])
-	y := new(big.Int).SetBytes(data[32:])
-	if x.Sign() == 0 && y.Sign() == 0 {
+	allZero := true
+	for _, b := range data {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
 		p.SetInfinity()
 		return nil
 	}
-	if x.Cmp(P) >= 0 || y.Cmp(P) >= 0 {
+	var x, y fe
+	if !feSetBytes(&x, data[:32]) || !feSetBytes(&y, data[32:]) {
 		return errors.New("bn254: G1 coordinate out of range")
 	}
 	p.x, p.y, p.inf = x, y, false
@@ -172,7 +316,9 @@ func (p *G1) Unmarshal(data []byte) error {
 // HashToG1 hashes an arbitrary message to a curve point using domain-
 // separated try-and-increment. Because E(Fp) has prime order, the result is
 // always a generator of G1 (unless the negligible-probability identity is
-// hit, which is rejected).
+// hit, which is rejected). The output is bit-identical to the big.Int
+// reference implementation: same hash stream, same principal square root,
+// same sign choice.
 func HashToG1(domain string, msg []byte) *G1 {
 	h := sha256.New()
 	var ctr [4]byte
@@ -185,19 +331,22 @@ func HashToG1(domain string, msg []byte) *G1 {
 		h.Write(msg)
 		h.Write(ctr[:])
 		digest := h.Sum(nil)
-		x := new(big.Int).SetBytes(digest)
-		x.Mod(x, P)
-		y2 := fpAdd(fpMul(fpSquare(x), x), curveB)
-		y, ok := fpSqrt(y2)
-		if !ok {
+		xBig := new(big.Int).SetBytes(digest)
+		xBig.Mod(xBig, P)
+		var x, y2, y fe
+		feFromBig(&x, xBig)
+		feSquare(&y2, &x)
+		feMul(&y2, &y2, &x)
+		feAdd(&y2, &y2, &feCurveB)
+		if !feSqrt(&y, &y2) {
 			continue
 		}
 		// Choose the root deterministically from the hash so that the
 		// map is a function of (domain, msg) alone.
 		if digest[0]&1 == 1 {
-			y = fpNeg(y)
+			feNeg(&y, &y)
 		}
-		if y.Sign() == 0 && x.Sign() == 0 {
+		if y.IsZero() && x.IsZero() {
 			continue
 		}
 		return &G1{x: x, y: y}

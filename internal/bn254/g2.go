@@ -6,60 +6,58 @@ import (
 	"math/big"
 )
 
-// twistB is the constant 3/ξ of the sextic twist E'(Fp2): y² = x³ + 3/ξ.
-var twistB *gfP2
+// feTwistB is the constant 3/ξ of the sextic twist E'(Fp2): y² = x³ + 3/ξ,
+// in the Montgomery domain; feG2GenX/Y are the generator coordinates.
+// All derived at startup from the shared decimal constants.
+var feTwistB, feG2GenX, feG2GenY = deriveG2Constants()
 
-// g2GenX, g2GenY are the affine coordinates of the conventional G2
-// generator on the twist (the alt_bn128 generator used by EIP-197).
-var g2GenX, g2GenY *gfP2
+func deriveG2Constants() (b, gx, gy fe2) {
+	xi := fe2FromBig(big.NewInt(9), big.NewInt(1))
+	b.Invert(&xi)
+	b.MulFe(&b, &feCurveB)
+	gx = fe2FromBig(g2GenXA, g2GenXB)
+	gy = fe2FromBig(g2GenYA, g2GenYB)
+	return
+}
 
+// init validates the derived limb-backend generator the same way the
+// reference backend's init validates its copy: a mistyped constant or a
+// broken twistB derivation must crash at startup, not ship invalid keys.
 func init() {
-	xi := newGFp2().SetInts(big.NewInt(9), big.NewInt(1))
-	twistB = newGFp2().Invert(xi)
-	twistB.MulScalar(twistB, curveB)
-
-	g2GenX = newGFp2().SetInts(
-		bigFromBase10("10857046999023057135944570762232829481370756359578518086990519993285655852781"),
-		bigFromBase10("11559732032986387107991004021392285783925812861821192530917403151452391805634"),
-	)
-	g2GenY = newGFp2().SetInts(
-		bigFromBase10("8495653923123431417604973247489272438418190587263600148770280649306958101930"),
-		bigFromBase10("4082367875863433681332203403145435568316851327593401208105741076214120093531"),
-	)
 	gen := G2Generator()
 	if !gen.IsOnCurve() {
 		panic("bn254: G2 generator is not on the twist curve")
 	}
-	if !new(G2).ScalarMult(gen, Order).IsInfinity() {
+	if !gen.isInSubgroup() {
 		panic("bn254: G2 generator does not have order Order")
 	}
 }
 
-// G2 is a point on the sextic twist E'(Fp2): y² = x³ + 3/ξ, in affine
-// coordinates, restricted to the order-Order subgroup. The zero value is NOT
-// valid; use new(G2).SetInfinity(), G2Generator(), or an operation that sets
-// the receiver.
+// G2 is a point on the sextic twist E'(Fp2): y² = x³ + 3/ξ, stored affine
+// on the Montgomery limb backend, restricted to the order-Order subgroup.
+// The zero value is NOT valid; use new(G2).SetInfinity(), G2Generator(),
+// or an operation that sets the receiver.
 type G2 struct {
-	x, y *gfP2
+	x, y fe2
 	inf  bool
 }
 
 // G2Generator returns the conventional generator of the order-Order subgroup
 // of the twist.
 func G2Generator() *G2 {
-	return &G2{x: newGFp2().Set(g2GenX), y: newGFp2().Set(g2GenY)}
+	return &G2{x: feG2GenX, y: feG2GenY}
 }
 
 func (p *G2) String() string {
 	if p.inf {
 		return "G2(∞)"
 	}
-	return fmt.Sprintf("G2(%v, %v)", p.x, p.y)
+	return fmt.Sprintf("G2(%v, %v)", &p.x, &p.y)
 }
 
 // SetInfinity sets p to the identity element.
 func (p *G2) SetInfinity() *G2 {
-	p.x, p.y, p.inf = newGFp2(), newGFp2(), true
+	*p = G2{inf: true}
 	return p
 }
 
@@ -67,9 +65,7 @@ func (p *G2) SetInfinity() *G2 {
 func (p *G2) IsInfinity() bool { return p.inf }
 
 func (p *G2) Set(a *G2) *G2 {
-	p.x = newGFp2().Set(a.x)
-	p.y = newGFp2().Set(a.y)
-	p.inf = a.inf
+	*p = *a
 	return p
 }
 
@@ -77,7 +73,7 @@ func (p *G2) Equal(a *G2) bool {
 	if p.inf || a.inf {
 		return p.inf == a.inf
 	}
-	return p.x.Equal(a.x) && p.y.Equal(a.y)
+	return p.x.Equal(&a.x) && p.y.Equal(&a.y)
 }
 
 // IsOnCurve reports whether p satisfies the twist equation. It does NOT
@@ -86,11 +82,12 @@ func (p *G2) IsOnCurve() bool {
 	if p.inf {
 		return true
 	}
-	y2 := newGFp2().Square(p.y)
-	x3 := newGFp2().Square(p.x)
-	x3.Mul(x3, p.x)
-	x3.Add(x3, twistB)
-	return y2.Equal(x3)
+	var y2, x3 fe2
+	y2.Square(&p.y)
+	x3.Square(&p.x)
+	x3.Mul(&x3, &p.x)
+	x3.Add(&x3, &feTwistB)
+	return y2.Equal(&x3)
 }
 
 // Neg sets p = −a.
@@ -98,13 +95,14 @@ func (p *G2) Neg(a *G2) *G2 {
 	if a.inf {
 		return p.SetInfinity()
 	}
-	p.x = newGFp2().Set(a.x)
-	p.y = newGFp2().Neg(a.y)
+	p.x = a.x
+	p.y.Neg(&a.y)
 	p.inf = false
 	return p
 }
 
-// Add sets p = a + b.
+// Add sets p = a + b (affine formulas; the scalar-mult path below is the
+// inversion-free Jacobian ladder).
 func (p *G2) Add(a, b *G2) *G2 {
 	if a.inf {
 		return p.Set(b)
@@ -112,20 +110,24 @@ func (p *G2) Add(a, b *G2) *G2 {
 	if b.inf {
 		return p.Set(a)
 	}
-	if a.x.Equal(b.x) {
-		if !a.y.Equal(b.y) || a.y.IsZero() {
+	if a.x.Equal(&b.x) {
+		if !a.y.Equal(&b.y) || a.y.IsZero() {
 			return p.SetInfinity()
 		}
 		return p.Double(a)
 	}
-	lambda := newGFp2().Sub(b.y, a.y)
-	lambda.Mul(lambda, newGFp2().Invert(newGFp2().Sub(b.x, a.x)))
-	x3 := newGFp2().Square(lambda)
-	x3.Sub(x3, a.x)
-	x3.Sub(x3, b.x)
-	y3 := newGFp2().Sub(a.x, x3)
-	y3.Mul(y3, lambda)
-	y3.Sub(y3, a.y)
+	var lambda, den fe2
+	lambda.Sub(&b.y, &a.y)
+	den.Sub(&b.x, &a.x)
+	den.Invert(&den)
+	lambda.Mul(&lambda, &den)
+	var x3, y3 fe2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &a.x)
+	x3.Sub(&x3, &b.x)
+	y3.Sub(&a.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &a.y)
 	p.x, p.y, p.inf = x3, y3, false
 	return p
 }
@@ -135,32 +137,142 @@ func (p *G2) Double(a *G2) *G2 {
 	if a.inf || a.y.IsZero() {
 		return p.SetInfinity()
 	}
-	lambda := newGFp2().Square(a.x)
-	lambda.MulScalar(lambda, big.NewInt(3))
-	den := newGFp2().Add(a.y, a.y)
-	lambda.Mul(lambda, newGFp2().Invert(den))
-	x3 := newGFp2().Square(lambda)
-	x3.Sub(x3, a.x)
-	x3.Sub(x3, a.x)
-	y3 := newGFp2().Sub(a.x, x3)
-	y3.Mul(y3, lambda)
-	y3.Sub(y3, a.y)
+	var lambda, den fe2
+	lambda.Square(&a.x)
+	var three fe2
+	three.Double(&lambda)
+	lambda.Add(&three, &lambda)
+	den.Double(&a.y)
+	den.Invert(&den)
+	lambda.Mul(&lambda, &den)
+	var x3, y3 fe2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &a.x)
+	x3.Sub(&x3, &a.x)
+	y3.Sub(&a.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &a.y)
 	p.x, p.y, p.inf = x3, y3, false
 	return p
+}
+
+// g2Jac is a twist point in Jacobian coordinates; z = 0 encodes infinity.
+type g2Jac struct {
+	x, y, z fe2
+}
+
+func (j *g2Jac) setInfinity() { *j = g2Jac{} }
+
+func (j *g2Jac) isInfinity() bool { return j.z.IsZero() }
+
+func (j *g2Jac) fromAffine(p *G2) {
+	if p.inf {
+		j.setInfinity()
+		return
+	}
+	j.x, j.y = p.x, p.y
+	j.z.SetOne()
+}
+
+func (j *g2Jac) toAffine(p *G2) {
+	if j.isInfinity() {
+		p.SetInfinity()
+		return
+	}
+	var zInv, zInv2, zInv3 fe2
+	zInv.Invert(&j.z)
+	zInv2.Square(&zInv)
+	zInv3.Mul(&zInv2, &zInv)
+	p.x.Mul(&j.x, &zInv2)
+	p.y.Mul(&j.y, &zInv3)
+	p.inf = false
+}
+
+func (j *g2Jac) double(a *g2Jac) {
+	if a.isInfinity() {
+		j.setInfinity()
+		return
+	}
+	var A, B, C, D, E, F fe2
+	A.Square(&a.x)
+	B.Square(&a.y)
+	C.Square(&B)
+	D.Add(&a.x, &B)
+	D.Square(&D)
+	D.Sub(&D, &A)
+	D.Sub(&D, &C)
+	D.Double(&D)
+	E.Double(&A)
+	E.Add(&E, &A)
+	F.Square(&E)
+	var x3, y3, z3, t fe2
+	t.Double(&D)
+	x3.Sub(&F, &t)
+	t.Sub(&D, &x3)
+	y3.Mul(&E, &t)
+	C.Double(&C)
+	C.Double(&C)
+	C.Double(&C)
+	y3.Sub(&y3, &C)
+	z3.Mul(&a.y, &a.z)
+	z3.Double(&z3)
+	j.x, j.y, j.z = x3, y3, z3
+}
+
+func (j *g2Jac) addMixed(a *g2Jac, q *G2) {
+	if q.inf {
+		*j = *a
+		return
+	}
+	if a.isInfinity() {
+		j.fromAffine(q)
+		return
+	}
+	var zz, u2, s2, h, r fe2
+	zz.Square(&a.z)
+	u2.Mul(&q.x, &zz)
+	s2.Mul(&q.y, &a.z)
+	s2.Mul(&s2, &zz)
+	h.Sub(&u2, &a.x)
+	r.Sub(&s2, &a.y)
+	if h.IsZero() {
+		if r.IsZero() {
+			j.double(a)
+			return
+		}
+		j.setInfinity()
+		return
+	}
+	var h2, h3, v fe2
+	h2.Square(&h)
+	h3.Mul(&h, &h2)
+	v.Mul(&a.x, &h2)
+	var x3, y3, z3, t fe2
+	x3.Square(&r)
+	x3.Sub(&x3, &h3)
+	t.Double(&v)
+	x3.Sub(&x3, &t)
+	t.Sub(&v, &x3)
+	y3.Mul(&r, &t)
+	t.Mul(&a.y, &h3)
+	y3.Sub(&y3, &t)
+	z3.Mul(&a.z, &h)
+	j.x, j.y, j.z = x3, y3, z3
 }
 
 // ScalarMult sets p = k·a. The scalar is reduced mod Order.
 func (p *G2) ScalarMult(a *G2, k *big.Int) *G2 {
 	kr := new(big.Int).Mod(k, Order)
-	acc := new(G2).SetInfinity()
-	base := new(G2).Set(a)
+	var acc g2Jac
+	acc.setInfinity()
 	for i := kr.BitLen() - 1; i >= 0; i-- {
-		acc.Double(acc)
+		acc.double(&acc)
 		if kr.Bit(i) == 1 {
-			acc.Add(acc, base)
+			acc.addMixed(&acc, a)
 		}
 	}
-	return p.Set(acc)
+	acc.toAffine(p)
+	return p
 }
 
 // ScalarBaseMult sets p = k·G2gen.
@@ -168,9 +280,19 @@ func (p *G2) ScalarBaseMult(k *big.Int) *G2 {
 	return p.ScalarMult(G2Generator(), k)
 }
 
-// g2MarshalledSize is the size of a marshalled G2 point:
-// x.c0 ‖ x.c1 ‖ y.c0 ‖ y.c1, 32 bytes each.
-const g2MarshalledSize = 128
+// isInSubgroup reports whether Order·p = ∞ (inversion-free check on the
+// Jacobian ladder).
+func (p *G2) isInSubgroup() bool {
+	var acc g2Jac
+	acc.setInfinity()
+	for i := Order.BitLen() - 1; i >= 0; i-- {
+		acc.double(&acc)
+		if Order.Bit(i) == 1 {
+			acc.addMixed(&acc, p)
+		}
+	}
+	return acc.isInfinity()
+}
 
 // Marshal encodes p. Infinity encodes as all zeros.
 func (p *G2) Marshal() []byte {
@@ -178,10 +300,15 @@ func (p *G2) Marshal() []byte {
 	if p.inf {
 		return out
 	}
-	p.x.c0.FillBytes(out[0:32])
-	p.x.c1.FillBytes(out[32:64])
-	p.y.c0.FillBytes(out[64:96])
-	p.y.c1.FillBytes(out[96:128])
+	var buf [32]byte
+	feBytes(&p.x.c0, &buf)
+	copy(out[0:32], buf[:])
+	feBytes(&p.x.c1, &buf)
+	copy(out[32:64], buf[:])
+	feBytes(&p.y.c0, &buf)
+	copy(out[64:96], buf[:])
+	feBytes(&p.y.c1, &buf)
+	copy(out[96:128], buf[:])
 	return out
 }
 
@@ -193,28 +320,30 @@ func (p *G2) Unmarshal(data []byte) error {
 	if len(data) != g2MarshalledSize {
 		return errors.New("bn254: wrong G2 encoding length")
 	}
-	coords := make([]*big.Int, 4)
 	allZero := true
-	for i := range coords {
-		coords[i] = new(big.Int).SetBytes(data[i*32 : (i+1)*32])
-		if coords[i].Sign() != 0 {
+	for _, b := range data {
+		if b != 0 {
 			allZero = false
-		}
-		if coords[i].Cmp(P) >= 0 {
-			return errors.New("bn254: G2 coordinate out of range")
+			break
 		}
 	}
 	if allZero {
 		p.SetInfinity()
 		return nil
 	}
-	p.x = &gfP2{c0: coords[0], c1: coords[1]}
-	p.y = &gfP2{c0: coords[2], c1: coords[3]}
+	var coords [4]fe
+	for i := range coords {
+		if !feSetBytes(&coords[i], data[i*32:(i+1)*32]) {
+			return errors.New("bn254: G2 coordinate out of range")
+		}
+	}
+	p.x = fe2{c0: coords[0], c1: coords[1]}
+	p.y = fe2{c0: coords[2], c1: coords[3]}
 	p.inf = false
 	if !p.IsOnCurve() {
 		return errors.New("bn254: G2 point not on twist curve")
 	}
-	if !new(G2).ScalarMult(p, Order).IsInfinity() {
+	if !p.isInSubgroup() {
 		return errors.New("bn254: G2 point not in prime-order subgroup")
 	}
 	return nil

@@ -9,66 +9,67 @@ import (
 // the pairing. The zero value is NOT valid; use GTOne(), Pair, or an
 // operation that sets the receiver.
 type GT struct {
-	e *gfP12
+	e fe12
 }
 
 // GTOne returns the identity element of GT.
 func GTOne() *GT {
-	return &GT{e: newGFp12().SetOne()}
+	g := new(GT)
+	g.e.SetOne()
+	return g
 }
 
 func (g *GT) String() string { return g.e.String() }
 
 func (g *GT) Set(a *GT) *GT {
-	g.e = newGFp12().Set(a.e)
+	g.e = a.e
 	return g
 }
 
 // IsOne reports whether g is the identity.
 func (g *GT) IsOne() bool { return g.e.IsOne() }
 
-func (g *GT) Equal(a *GT) bool { return g.e.Equal(a.e) }
+func (g *GT) Equal(a *GT) bool { return g.e.Equal(&a.e) }
 
 // Mul sets g = a·b (the GT group operation).
 func (g *GT) Mul(a, b *GT) *GT {
-	g.e = newGFp12().Mul(a.e, b.e)
+	g.e.Mul(&a.e, &b.e)
 	return g
 }
 
 // Invert sets g = a⁻¹.
 func (g *GT) Invert(a *GT) *GT {
-	g.e = newGFp12().Invert(a.e)
+	g.e.Invert(&a.e)
 	return g
 }
 
 // Exp sets g = a^k. The exponent is reduced mod Order.
 func (g *GT) Exp(a *GT, k *big.Int) *GT {
 	kr := new(big.Int).Mod(k, Order)
-	g.e = newGFp12().Exp(a.e, kr)
+	g.e.Exp(&a.e, kr)
 	return g
 }
 
-// gtMarshalledSize is the size of a marshalled GT element: twelve 32-byte
-// Fp coefficients.
-const gtMarshalledSize = 384
-
-// coeffs returns the twelve Fp coefficients of g in a fixed order.
-func (g *GT) coeffs() []*big.Int {
-	return []*big.Int{
-		g.e.c0.c0.c0, g.e.c0.c0.c1,
-		g.e.c0.c1.c0, g.e.c0.c1.c1,
-		g.e.c0.c2.c0, g.e.c0.c2.c1,
-		g.e.c1.c0.c0, g.e.c1.c0.c1,
-		g.e.c1.c1.c0, g.e.c1.c1.c1,
-		g.e.c1.c2.c0, g.e.c1.c2.c1,
+// coeffs returns pointers to the twelve Fp coefficients of g in the fixed
+// marshaling order shared with the reference backend.
+func (g *GT) coeffs() [12]*fe {
+	return [12]*fe{
+		&g.e.c0.c0.c0, &g.e.c0.c0.c1,
+		&g.e.c0.c1.c0, &g.e.c0.c1.c1,
+		&g.e.c0.c2.c0, &g.e.c0.c2.c1,
+		&g.e.c1.c0.c0, &g.e.c1.c0.c1,
+		&g.e.c1.c1.c0, &g.e.c1.c1.c1,
+		&g.e.c1.c2.c0, &g.e.c1.c2.c1,
 	}
 }
 
 // Marshal encodes g as twelve 32-byte big-endian coefficients.
 func (g *GT) Marshal() []byte {
 	out := make([]byte, gtMarshalledSize)
+	var buf [32]byte
 	for i, c := range g.coeffs() {
-		c.FillBytes(out[i*32 : (i+1)*32])
+		feBytes(c, &buf)
+		copy(out[i*32:(i+1)*32], buf[:])
 	}
 	return out
 }
@@ -81,10 +82,8 @@ func (g *GT) Unmarshal(data []byte) error {
 	if len(data) != gtMarshalledSize {
 		return errors.New("bn254: wrong GT encoding length")
 	}
-	g.e = newGFp12()
 	for i, c := range g.coeffs() {
-		c.SetBytes(data[i*32 : (i+1)*32])
-		if c.Cmp(P) >= 0 {
+		if !feSetBytes(c, data[i*32:(i+1)*32]) {
 			return errors.New("bn254: GT coefficient out of range")
 		}
 	}

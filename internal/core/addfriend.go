@@ -169,7 +169,7 @@ func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSetting
 		}
 		masterKeys = append(masterKeys, mk)
 	}
-	agg := ibe.AggregateMasterKeys(masterKeys...)
+	agg := ibe.AggregateMasterKeys(masterKeys...).Precompute()
 	ctxt, err := ibe.Encrypt(c.cfg.Rand, agg, target.email, plaintext)
 	if err != nil {
 		return nil, nil, err
@@ -274,6 +274,11 @@ func (c *Client) ScanAddFriendRound(ctx context.Context, round uint32) error {
 	// are independent pairing computations, so they fan out across
 	// cores (the paper's client scans on 4 cores, §8.2); the successful
 	// plaintexts are then processed in mailbox order for determinism.
+	// Every trial decryption pairs against the same identity key, so the
+	// key's Miller-loop ladder is precomputed once (before the workers
+	// start — the precomputation is not concurrency-safe) and shared
+	// read-only by the pool.
+	secrets.identityKey.Precompute()
 	n := len(box) / wire.EncryptedFriendRequestSize
 	plaintexts := make([][]byte, n)
 	workers := runtime.GOMAXPROCS(0)

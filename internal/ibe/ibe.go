@@ -39,6 +39,23 @@ const Overhead = 128 + 16
 // of several PKGs' keys).
 type MasterPublicKey struct {
 	p *bn254.G2
+
+	// pre caches the pairing precomputation for p. Set by Precompute;
+	// nil keys work identically, just without the cached setup.
+	pre *bn254.PrecomputedG2
+}
+
+// Precompute caches the key's pairing evaluation point for repeated
+// encryption against the same round key. The savings are small — in the
+// Tate pairing the Miller ladder runs on the G1 side, which varies per
+// identity in Encrypt, so only the fixed-argument setup is cacheable
+// (the per-mailbox decrypt ladder on IdentityPrivateKey.Precompute is
+// where fixed-argument precomputation pays). Encrypt produces identical
+// ciphertexts either way. Not safe to call concurrently with Encrypt on
+// the same key.
+func (k *MasterPublicKey) Precompute() *MasterPublicKey {
+	k.pre = bn254.PrecomputeG2(k.p)
+	return k
 }
 
 // MasterPrivateKey is a PKG's per-round master secret.
@@ -50,6 +67,22 @@ type MasterPrivateKey struct {
 // key (or an aggregation of such keys under several masters).
 type IdentityPrivateKey struct {
 	d *bn254.G1
+
+	// pre caches the fixed-argument Miller-loop line coefficients of d.
+	// In the Tate pairing the G1 argument carries the Miller ladder, so a
+	// mailbox scan that trial-decrypts thousands of ciphertexts with one
+	// key replays the precomputed ladder instead of re-running it.
+	pre *bn254.PrecomputedG1
+}
+
+// Precompute runs the Miller-loop ladder for the key once, speeding up
+// every subsequent Decrypt. Mailbox scans should call this before
+// fanning trial decryptions out across cores. Decryption results are
+// identical either way. Not safe to call concurrently with Decrypt on
+// the same key.
+func (k *IdentityPrivateKey) Precompute() *IdentityPrivateKey {
+	k.pre = bn254.PrecomputeG1(k.d)
+	return k
 }
 
 // Setup generates a fresh master key pair for one PKG.
@@ -139,8 +172,15 @@ func Encrypt(rand io.Reader, mpk *MasterPublicKey, identity string, msg []byte) 
 	}
 	u := new(bn254.G2).ScalarBaseMult(r)
 	q := bn254.HashToG1(hashToG1Domain, []byte(identity))
-	g := bn254.Pair(q, mpk.p)
-	g.Exp(g, r)
+	// e(Q, mpk)^r = e(r·Q, mpk) by bilinearity: folding r into the cheap
+	// G1 scalar multiplication replaces a full GT exponentiation.
+	rq := new(bn254.G1).ScalarMult(q, r)
+	var g *bn254.GT
+	if mpk.pre != nil {
+		g = mpk.pre.Pair(rq)
+	} else {
+		g = bn254.Pair(rq, mpk.p)
+	}
 
 	out := make([]byte, 0, len(msg)+Overhead)
 	out = append(out, u.Marshal()...)
@@ -160,7 +200,12 @@ func Decrypt(ipk *IdentityPrivateKey, ctxt []byte) ([]byte, bool) {
 	if err := u.Unmarshal(ctxt[:128]); err != nil {
 		return nil, false
 	}
-	g := bn254.Pair(ipk.d, u)
+	var g *bn254.GT
+	if ipk.pre != nil {
+		g = ipk.pre.Pair(u)
+	} else {
+		g = bn254.Pair(ipk.d, u)
+	}
 	return aeadOpen(sealKey(g), ctxt[128:])
 }
 
@@ -221,10 +266,16 @@ func (k *MasterPrivateKey) Erase() {
 	k.s.SetInt64(0)
 }
 
-// Erase zeroes the identity private key in place. Clients erase round keys
-// after scanning their mailbox (§4.4).
+// Erase zeroes the identity private key in place, including any pairing
+// precomputation (the Miller-loop coefficients determine the key's
+// pairing, so they are scrubbed, not just dropped). Clients erase round
+// keys after scanning their mailbox (§4.4).
 func (k *IdentityPrivateKey) Erase() {
 	k.d.SetInfinity()
+	if k.pre != nil {
+		k.pre.Erase()
+		k.pre = nil
+	}
 }
 
 // Erased reports whether the key has been erased.

@@ -140,15 +140,21 @@ func (p Params) DialingBandwidth(roundDuration float64) float64 {
 
 // CostCalibration holds measured per-item costs from the real
 // implementation, used to extrapolate round latencies (Figures 8-10).
-// Fill it from bench measurements; zero values fall back to the defaults
-// measured on the development machine (see EXPERIMENTS.md).
+// Fill it from bench measurements (cmd/alpenhorn-bench measures
+// MixSecondsPerMessage and IBEDecryptSeconds live; see EXPERIMENTS.md
+// for the dev-machine series).
 type CostCalibration struct {
 	// MixSecondsPerMessage is the per-message cost of one mix server's
 	// Mix pass (X25519 open + shuffle share).
 	MixSecondsPerMessage float64
 	// NoiseSecondsPerMessage is the per-noise-message generation cost.
 	NoiseSecondsPerMessage float64
-	// IBEDecryptSeconds is one trial decryption during a mailbox scan.
+	// IBEDecryptSeconds is one trial decryption during a mailbox scan,
+	// in the scan configuration: the identity key's Miller-loop ladder
+	// is precomputed once per mailbox, so this is the marginal
+	// per-ciphertext cost. On the Montgomery-limb backend it is ~5 ms
+	// on the dev machine (was ~135 ms on big.Int, which made this term
+	// dominate the whole Figure 8 "ours" curve).
 	IBEDecryptSeconds float64
 	// TokenScanSeconds is one keywheel token derivation + Bloom probe.
 	TokenScanSeconds float64
