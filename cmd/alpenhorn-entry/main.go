@@ -15,9 +15,34 @@
 //
 // Clients connect here, fetch the deployment directory (server addresses
 // and pinned keys), and then poll round status to participate.
+//
+// # Multi-frontend topology
+//
+// The entry tier scales out horizontally: extra copies of this binary run
+// as PURE frontends (-frontend-only) against the coordinator instance, and
+// the coordinator replays every round announcement to each of them in the
+// same order, so all frontends serve one shared event-cursor namespace and
+// clients can fail over between them mid-round. Each frontend admits its
+// own sub-batch of onions and deals it into the first mix position
+// directly (counted NumUpstream fan-in). A 2-frontend deployment:
+//
+//	# frontend B: pure frontend, no coordinator
+//	alpenhorn-entry -frontend-only -addr feB:7000 \
+//	    -replica-addr feB:7020 -coordinator-addr feA:7000
+//
+//	# frontend A: coordinator + first frontend
+//	alpenhorn-entry -addr feA:7000 -pkgs ... -mixers ... \
+//	    -frontends feB:7000=feB:7020
+//
+// Clients learn the full frontend list from the directory served by ANY
+// frontend (frontend_addrs) and spread their connections across it.
+// -replica-addr is a server-plane surface like -cdn-addr: it accepts the
+// coordinator's announcements and batch collection, so it must not be
+// exposed to clients.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -43,7 +68,19 @@ func main() {
 	chainForward := flag.Bool("chain-forward", true, "mixers forward batches to each other; the coordinator moves control messages only (falls back to relaying when a daemon lacks support)")
 	cdnAddr := flag.String("cdn-addr", ":7010", "server-plane listen address for cdn.publish (kept OFF the client-facing -addr: the transport is unauthenticated)")
 	cdnPublicAddr := flag.String("cdn-public-addr", "", "address mixers dial to reach cdn.publish (default: -cdn-addr; set host:port for multi-machine deployments)")
+	frontendOnly := flag.Bool("frontend-only", false, "run as a pure entry frontend joined to an existing deployment (-coordinator-addr); no PKGs, mixers, CDN, or round timers here")
+	coordinatorAddr := flag.String("coordinator-addr", "", "client-facing address of the coordinator frontend to join (with -frontend-only)")
+	replicaAddr := flag.String("replica-addr", ":7020", "server-plane listen address for entry.replicate (with -frontend-only; kept OFF the client-facing -addr: the transport is unauthenticated)")
+	frontendSpecs := flag.String("frontends", "", "comma-separated extra frontends joining this coordinator, each clientAddr=replicaAddr; announcements replay to all of them and each feeds its own sub-batch")
 	flag.Parse()
+
+	if *frontendOnly {
+		if *coordinatorAddr == "" {
+			log.Fatal("-frontend-only needs -coordinator-addr")
+		}
+		runFrontendOnly(*addr, *replicaAddr, *coordinatorAddr)
+		return
+	}
 
 	if *pkgAddrs == "" || *mixerAddrs == "" {
 		log.Fatal("need -pkgs and -mixers")
@@ -154,6 +191,25 @@ func main() {
 		log.Printf("chain-forward data plane enabled (cdn.publish listening on %s, advertised as %s)", cdnBound, coord.CDNAddr)
 	}
 
+	if *frontendSpecs != "" {
+		// Extra frontends: replay announcements to each one's replica
+		// surface, and publish the full client-facing list in the
+		// directory so clients can pool the tier and fail over.
+		if strings.HasPrefix(*addr, ":") {
+			log.Printf("warning: -addr %q has no host — the directory's frontend list will not resolve from other machines", *addr)
+		}
+		dir.FrontendAddrs = []string{*addr}
+		for _, spec := range strings.Split(*frontendSpecs, ",") {
+			clientAddr, replica, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("-frontends entry %q: want clientAddr=replicaAddr", spec)
+			}
+			coord.Frontends = append(coord.Frontends, rpc.DialEntryReplica(replica))
+			dir.FrontendAddrs = append(dir.FrontendAddrs, clientAddr)
+			log.Printf("frontend %s joined (replica surface %s)", clientAddr, replica)
+		}
+	}
+
 	server := rpc.NewServer()
 	rpc.RegisterFrontend(server, e, store, dir)
 	bound, err := server.Listen(*addr)
@@ -174,6 +230,65 @@ func main() {
 	server.Close()
 }
 
+// runFrontendOnly joins an existing deployment as an additional entry
+// frontend: it serves the full client surface (directory, submits, the
+// entry.events push stream, mailbox fetches) backed by a local entry
+// server whose announcement log the coordinator replays over the
+// entry.replicate surface. Mailbox fetches proxy to the coordinator
+// frontend — a pure frontend holds no CDN store of its own.
+func runFrontendOnly(addr, replicaAddr, coordinatorAddr string) {
+	primary := rpc.DialFrontend(coordinatorAddr)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	dir, err := primary.Directory(ctx)
+	cancel()
+	if err != nil {
+		log.Fatalf("fetching directory from coordinator %s: %v", coordinatorAddr, err)
+	}
+	log.Printf("joined deployment at %s (%d PKGs, %d mixers)", coordinatorAddr, len(dir.PKGAddrs), dir.NumMixers)
+
+	e := entry.New()
+
+	// The replica surface is a WRITE surface with no authentication
+	// (announcement replay + batch collection), so like cdn.publish it
+	// gets its own listener off the client-facing port.
+	replicaSrv := rpc.NewServer()
+	rpc.RegisterEntryReplica(replicaSrv, e)
+	replicaBound, err := replicaSrv.Listen(replicaAddr)
+	if err != nil {
+		log.Fatalf("entry.replicate listener: %v", err)
+	}
+	defer replicaSrv.Close()
+
+	server := rpc.NewServer()
+	rpc.RegisterFrontend(server, e, remoteMailboxes{c: primary}, *dir)
+	bound, err := server.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("alpenhorn-entry frontend listening on %s (replica surface %s)", bound, replicaBound)
+	log.Printf("note: this frontend must be listed in the coordinator's -frontends BEFORE rounds open — the replicated log has no history replay")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	server.Close()
+}
+
+// remoteMailboxes satisfies rpc.MailboxSource by proxying fetches to the
+// coordinator frontend, which owns the deployment's CDN store.
+type remoteMailboxes struct {
+	c *rpc.FrontendClient
+}
+
+func (m remoteMailboxes) Fetch(service wire.Service, round uint32, mailbox uint32) ([]byte, error) {
+	return m.c.Fetch(context.Background(), service, round, mailbox)
+}
+
+func (m remoteMailboxes) FetchRange(service wire.Service, fromRound, toRound uint32, mailbox uint32) (map[uint32][]byte, error) {
+	return m.c.FetchRange(context.Background(), service, fromRound, toRound, mailbox)
+}
+
 // runRounds drives one protocol's rounds on a timer: open, wait for the
 // submit window, then close — which runs the data plane, publishes the
 // mailboxes, and (for add-friend) erases the PKG master keys, since
@@ -192,8 +307,18 @@ func runRounds(c *coordinator.Coordinator, service wire.Service, interval, windo
 			_, err = c.OpenDialingRound(round)
 		}
 		if err != nil {
-			log.Printf("%s round %d open: %v", service, round, err)
-			return
+			// Not fatal: an open can fail transiently (a frontend replica
+			// briefly unreachable, a PKG restarting). The round number is
+			// burned — the local entry server may already have announced
+			// it — so move on to a fresh one at the next tick.
+			log.Printf("%s round %d open: %v (retrying with round %d next interval)", service, round, err, round+1)
+			round++
+			select {
+			case <-ticker.C:
+			case <-stop:
+				return
+			}
+			continue
 		}
 		log.Printf("%s round %d open (submit window %v)", service, round, window)
 

@@ -197,6 +197,37 @@ type PKG interface {
 	CloseRound(round uint32)
 }
 
+// Frontend is the coordinator's view of one ADDITIONAL entry frontend
+// beyond Entry (which is always frontend 0). It is satisfied by
+// *entry.Server (in-process replica) and *rpc.EntryReplicaClient (a
+// remote frontend's entry.replicate surface).
+//
+// The coordinator replays every announcement to every frontend in one
+// serialized order, so the frontends' event logs assign identical cursors
+// — one cursor namespace for the whole tier, which is what lets a client
+// fail over between frontends mid-round without a snapshot reset. Each
+// frontend admits its own sub-batch; CloseRound hands it back for the
+// relayed data plane.
+type Frontend interface {
+	OpenRound(settings *wire.RoundSettings) error
+	AnnouncePublished(service wire.Service, round uint32)
+	CloseRound(service wire.Service, round uint32) ([][]byte, error)
+}
+
+// FrontendFeeder is the optional chain-forward data plane of a Frontend:
+// the frontend keeps its closed sub-batch and deals it into position 0's
+// shard set itself, tagged with its upstream index, so at N frontends the
+// batches never cross the coordinator. rpc.EntryReplicaClient implements
+// it; in-process frontends don't need to (their batch is already local).
+type FrontendFeeder interface {
+	// CloseIntake closes the frontend's round and reports the sub-batch
+	// size, leaving the batch stashed frontend-side for FeedBatch.
+	CloseIntake(service wire.Service, round uint32) (int, error)
+	// FeedBatch deals the stashed sub-batch across position 0's shard
+	// set (chunk i to shard i mod N) as upstream feeder `upstream`.
+	FeedBatch(service wire.Service, round uint32, numMailboxes uint32, chunkSize int, shards []string, upstream int) error
+}
+
 // Coordinator orchestrates rounds across the servers. It is safe for
 // concurrent use, though rounds are typically driven sequentially.
 type Coordinator struct {
@@ -204,6 +235,15 @@ type Coordinator struct {
 	Mixers []Mixer
 	PKGs   []PKG
 	CDN    *cdn.Store
+
+	// Frontends lists ADDITIONAL entry frontends; Entry is frontend 0.
+	// Every announcement fans out to all of them under one lock (annMu)
+	// so their event logs stay cursor-identical, and at round close each
+	// frontend's sub-batch joins the chain as its own counted upstream
+	// (chain-forward) or is concatenated in frontend order (relayed).
+	// Frontends must start with the coordinator: the replay carries no
+	// history, so a late joiner's cursors would diverge.
+	Frontends []Frontend
 
 	// Shards lists ADDITIONAL shard daemons per chain position:
 	// position i is served by Mixers[i] (shard 0 — the group's lead,
@@ -250,6 +290,12 @@ type Coordinator struct {
 	mu             sync.Mutex
 	expectedVolume map[wire.Service]int
 	health         []RoundHealth
+
+	// annMu serializes announcement fan-out across the frontend tier.
+	// Concurrent round opens (the add-friend and dialing timers tick
+	// independently) must reach every frontend's log in the SAME order,
+	// or the replicas' cursors diverge and failover breaks.
+	annMu sync.Mutex
 }
 
 // healthRing bounds how many recent rounds Status retains.
@@ -409,6 +455,36 @@ func fanOut(n int, fn func(i int) error) error {
 	return nil
 }
 
+// announceOpen opens the round on every frontend, holding annMu so that
+// concurrently opening rounds cannot interleave differently in different
+// replicas' logs. A replica that cannot take the open fails the round:
+// proceeding would fork the cursor namespace, which breaks failover far
+// more subtly than a skipped round does.
+func (c *Coordinator) announceOpen(settings *wire.RoundSettings) error {
+	c.annMu.Lock()
+	defer c.annMu.Unlock()
+	if err := c.Entry.OpenRound(settings); err != nil {
+		return err
+	}
+	for i, f := range c.Frontends {
+		if err := f.OpenRound(settings); err != nil {
+			return fmt.Errorf("coordinator: frontend %d open: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// announcePublished replays the publish announcement to every frontend,
+// under the same ordering lock as opens.
+func (c *Coordinator) announcePublished(service wire.Service, round uint32) {
+	c.annMu.Lock()
+	defer c.annMu.Unlock()
+	c.Entry.AnnouncePublished(service, round)
+	for _, f := range c.Frontends {
+		f.AnnouncePublished(service, round)
+	}
+}
+
 // OpenAddFriendRound performs steps 1-3: key announcements and settings.
 func (c *Coordinator) OpenAddFriendRound(round uint32) (*wire.RoundSettings, error) {
 	settings := &wire.RoundSettings{
@@ -431,7 +507,7 @@ func (c *Coordinator) OpenAddFriendRound(round uint32) (*wire.RoundSettings, err
 	if err := c.openMixRound(settings); err != nil {
 		return nil, err
 	}
-	if err := c.Entry.OpenRound(settings); err != nil {
+	if err := c.announceOpen(settings); err != nil {
 		return nil, err
 	}
 	return settings, nil
@@ -447,7 +523,7 @@ func (c *Coordinator) OpenDialingRound(round uint32) (*wire.RoundSettings, error
 	if err := c.openMixRound(settings); err != nil {
 		return nil, err
 	}
-	if err := c.Entry.OpenRound(settings); err != nil {
+	if err := c.announceOpen(settings); err != nil {
 		return nil, err
 	}
 	return settings, nil
@@ -604,7 +680,6 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	if err != nil {
 		return nil, err
 	}
-	c.SetExpectedVolume(service, len(batch))
 
 	// Intake is closed: no further extractions can happen, so the PKG
 	// master keys die now, overlapping the chain.
@@ -629,10 +704,36 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	if err != nil {
 		return nil, err
 	}
+
+	// Close the other frontends' intakes, in frontend order. On the
+	// chain-forward plane a feeder keeps its sub-batch local and will deal
+	// it into position 0 itself; otherwise the sub-batch comes back here
+	// to be fed (forwarded) or concatenated (relayed) by this process.
+	extras := make([]closedFrontend, len(c.Frontends))
+	total := len(batch)
+	for i, f := range c.Frontends {
+		if feeder, ok := f.(FrontendFeeder); ok && groups != nil {
+			n, err := feeder.CloseIntake(service, round)
+			if err != nil {
+				return nil, fmt.Errorf("coordinator: frontend %d close: %w", i+1, err)
+			}
+			extras[i] = closedFrontend{feeder: feeder}
+			total += n
+		} else {
+			b, err := f.CloseRound(service, round)
+			if err != nil {
+				return nil, fmt.Errorf("coordinator: frontend %d close: %w", i+1, err)
+			}
+			extras[i] = closedFrontend{batch: b}
+			total += len(b)
+		}
+	}
+	c.SetExpectedVolume(service, total)
+
 	if groups != nil {
-		daemons, err := c.runChainForwarded(service, round, settings.NumMailboxes, batch, chunkSize, groups)
+		daemons, err := c.runChainForwarded(service, round, settings.NumMailboxes, batch, chunkSize, groups, extras)
 		h := RoundHealth{
-			Service: service, Round: round, Batch: len(batch),
+			Service: service, Round: round, Batch: total,
 			Duration: time.Since(start), Forwarded: true, Daemons: daemons,
 		}
 		if err != nil {
@@ -643,12 +744,17 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 			return nil, err
 		}
 		// The last daemon published straight to the CDN; tell the entry
-		// server so subscribers and entry.events watchers learn the
+		// servers so subscribers and entry.events watchers learn the
 		// round's mailboxes are available.
-		c.Entry.AnnouncePublished(service, round)
+		c.announcePublished(service, round)
 		return nil, nil
 	}
 
+	// Relayed: the sub-batches merge by concatenation in frontend order —
+	// the same deterministic order the forwarded plane feeds them in.
+	for _, cf := range extras {
+		batch = append(batch, cf.batch...)
+	}
 	final, err := c.runChain(service, round, settings.NumMailboxes, mixnet.ChunkSource(batch, chunkSize), chunkSize)
 	if err != nil {
 		c.recordHealth(RoundHealth{Service: service, Round: round, Batch: len(batch), Duration: time.Since(start), Err: err.Error()})
@@ -668,7 +774,7 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 		return nil, err
 	}
 	c.recordHealth(RoundHealth{Service: service, Round: round, Batch: len(batch), Duration: time.Since(start)})
-	c.Entry.AnnouncePublished(service, round)
+	c.announcePublished(service, round)
 	return mailboxes, nil
 }
 
@@ -725,6 +831,14 @@ func (c *Coordinator) forwardGroups() ([][]ForwardMixer, error) {
 	return groups, nil
 }
 
+// closedFrontend is one additional frontend's closed intake: either a
+// feeder that kept its sub-batch local (chain-forward) or the pulled
+// sub-batch itself.
+type closedFrontend struct {
+	feeder FrontendFeeder
+	batch  [][]byte
+}
+
 // routedDaemon is one daemon's place in a forwarded round's route graph.
 type routedDaemon struct {
 	pos, shard int
@@ -755,7 +869,8 @@ func flattenGroups(groups [][]ForwardMixer) []routedDaemon {
 //
 // The returned per-daemon stats (from mix.round.wait) feed the round
 // health record even when the round fails.
-func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int, groups [][]ForwardMixer) ([]DaemonRoundStats, error) {
+func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int, groups [][]ForwardMixer, extras []closedFrontend) ([]DaemonRoundStats, error) {
+	numUpstream := 1 + len(extras)
 	all := flattenGroups(groups)
 	abortAll := func(reason error) {
 		_ = fanOut(len(all), func(i int) error {
@@ -784,6 +899,12 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 				ShardIndex:   s,
 				ShardCount:   len(group),
 			}
+			if i == 0 && numUpstream > 1 {
+				// Position 0 is fed by every frontend: its intake stays
+				// open until all numUpstream feeders have sent their
+				// upstream-tagged end (PR 3's counted fan-in).
+				spec.NumUpstream = numUpstream
+			}
 			if s == 0 {
 				// The lead is the group's merge server: the position's
 				// post-shuffle output leaves the group from here.
@@ -803,13 +924,36 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 		}
 	}
 
-	// The entry batch is the one payload the coordinator still moves: it
-	// owns the entry server, so this hop is unavoidable and costs one
-	// batch-width, not one per chain hop.
-	if err := c.feedFirstGroup(service, round, numMailboxes, batch, chunkSize); err != nil {
+	// Frontend 0's batch is the one payload this process still moves: the
+	// coordinator owns its entry server, so this hop is unavoidable and
+	// costs one sub-batch-width, not one per chain hop.
+	if err := c.feedFirstGroup(service, round, numMailboxes, batch, chunkSize, 0, numUpstream); err != nil {
 		err = fmt.Errorf("coordinator: feeding position 0: %w", err)
 		abortAll(err)
 		return nil, err
+	}
+	// The other frontends feed after frontend 0, sequentially and in
+	// frontend order, so the merged intake order at every shard is
+	// deterministic: a fixed-seed N-frontend round reproduces the
+	// single-frontend byte stream exactly.
+	if len(extras) > 0 {
+		var shardAddrs []string
+		for _, fm := range groups[0] {
+			shardAddrs = append(shardAddrs, fm.Addr())
+		}
+		for k, cf := range extras {
+			var err error
+			if cf.feeder != nil {
+				err = cf.feeder.FeedBatch(service, round, numMailboxes, chunkSize, shardAddrs, k+1)
+			} else {
+				err = c.feedFirstGroup(service, round, numMailboxes, cf.batch, chunkSize, k+1, numUpstream)
+			}
+			if err != nil {
+				err = fmt.Errorf("coordinator: feeding position 0 as upstream %d: %w", k+1, err)
+				abortAll(err)
+				return nil, err
+			}
+		}
 	}
 
 	daemons := make([]DaemonRoundStats, len(all))
@@ -852,11 +996,22 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 	return daemons, firstErr
 }
 
-// feedFirstGroup deals the closed entry batch across the first position's
-// shard set, chunk i to shard i mod N — the same deterministic deal the
-// daemons use between positions. Every shard gets its own stream; an
-// unsharded first position degenerates to the single-stream feed.
-func (c *Coordinator) feedFirstGroup(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int) error {
+// upstreamEnder is the fan-in end surface of a StreamMixer: a stream end
+// tagged with WHICH of a route's NumUpstream feeders finished, so the
+// daemon's counted intake closes exactly once per feeder.
+// rpc.MixerClient implements it (mix.stream.end with an upstream index).
+type upstreamEnder interface {
+	StreamEndAs(service wire.Service, round uint32, upstream int) ([][]byte, error)
+}
+
+// feedFirstGroup deals one frontend's closed sub-batch across the first
+// position's shard set, chunk i to shard i mod N — the same deterministic
+// deal the daemons use between positions. Every shard gets its own
+// stream; an unsharded first position degenerates to the single-stream
+// feed. With more than one upstream feeder the begins JOIN the streams
+// the first feeder opened and the ends carry this feeder's upstream
+// index for the shards' counted fan-in.
+func (c *Coordinator) feedFirstGroup(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize, upstream, numUpstream int) error {
 	group := c.shardGroup(0)
 	first := make([]StreamMixer, len(group))
 	for s, m := range group {
@@ -881,6 +1036,16 @@ func (c *Coordinator) feedFirstGroup(service wire.Service, round uint32, numMail
 		}
 	}
 	for s, sm := range first {
+		if numUpstream > 1 {
+			ue, ok := sm.(upstreamEnder)
+			if !ok {
+				return fmt.Errorf("coordinator: position 0 shard %d cannot take an upstream-tagged end", s)
+			}
+			if _, err := ue.StreamEndAs(service, round, upstream); err != nil {
+				return fmt.Errorf("coordinator: closing stream to shard %d as upstream %d: %w", s, upstream, err)
+			}
+			continue
+		}
 		if _, err := sm.StreamEnd(service, round); err != nil {
 			return fmt.Errorf("coordinator: closing stream to shard %d: %w", s, err)
 		}

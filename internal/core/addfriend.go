@@ -31,12 +31,9 @@ import (
 // adding anyone — the fixed-size cover request is what hides add-friend
 // activity.
 func (c *Client) SubmitAddFriendRound(ctx context.Context, round uint32) error {
-	settings, err := c.cfg.Entry.Settings(ctx, wire.AddFriend, round)
+	settings, err := c.roundSettings(ctx, wire.AddFriend, round, true)
 	if err != nil {
-		return fmt.Errorf("core: fetching settings: %w", err)
-	}
-	if err := c.verifySettings(settings, true); err != nil {
-		return fmt.Errorf("core: round %d settings: %w", round, err)
+		return err
 	}
 
 	// Step 1: acquire identity key shares and attestations from every
@@ -238,11 +235,8 @@ func (c *Client) wrapOnion(settings *wire.RoundSettings, payload []byte) ([]byte
 // process the ones addressed to us, then erase the round's identity key
 // (forward secrecy, §4.4).
 func (c *Client) ScanAddFriendRound(ctx context.Context, round uint32) error {
-	settings, err := c.cfg.Entry.Settings(ctx, wire.AddFriend, round)
+	settings, err := c.roundSettings(ctx, wire.AddFriend, round, true)
 	if err != nil {
-		return fmt.Errorf("core: fetching settings: %w", err)
-	}
-	if err := c.verifySettings(settings, true); err != nil {
 		return err
 	}
 

@@ -249,7 +249,27 @@ type Client struct {
 	// Connect handles (run.go), reference-counted across handles.
 	feedMu sync.Mutex
 	feed   *roundFeed
+
+	// settingsCache holds VERIFIED round settings, keyed by (service,
+	// round), bounded FIFO. It is filled from round-open announcements
+	// that carry settings (an EventStreamV2 frontend, or the in-process
+	// adapter) and from fetches, so a streaming client issues no
+	// entry.settings call at all in steady state — submit and scan both
+	// hit the cache.
+	settingsMu    sync.Mutex
+	settingsCache map[settingsKey]*wire.RoundSettings
+	settingsOrder []settingsKey
 }
+
+// settingsKey identifies one round's settings in the client cache.
+type settingsKey struct {
+	service wire.Service
+	round   uint32
+}
+
+// settingsCacheSize bounds the cache: submit-to-scan spans plus the
+// bounded dialing backlog fit comfortably; anything older re-fetches.
+const settingsCacheSize = 64
 
 type roundSecrets struct {
 	identityKey *ibe.IdentityPrivateKey
@@ -426,6 +446,66 @@ func (c *Client) verifySettings(rs *wire.RoundSettings, needPKGs bool) error {
 		pkgKeys = nil
 	}
 	return rs.Verify(c.cfg.MixerKeys, pkgKeys)
+}
+
+// cacheSettings stores already-verified settings, evicting FIFO past the
+// bound. Callers MUST have verified rs first (with PKG keys when the
+// service is add-friend): the cache serves submit and scan directly.
+func (c *Client) cacheSettings(rs *wire.RoundSettings) {
+	key := settingsKey{rs.Service, rs.Round}
+	c.settingsMu.Lock()
+	defer c.settingsMu.Unlock()
+	if c.settingsCache == nil {
+		c.settingsCache = make(map[settingsKey]*wire.RoundSettings)
+	}
+	if _, ok := c.settingsCache[key]; ok {
+		return
+	}
+	c.settingsCache[key] = rs
+	c.settingsOrder = append(c.settingsOrder, key)
+	if len(c.settingsOrder) > settingsCacheSize {
+		evict := c.settingsOrder[0]
+		c.settingsOrder = c.settingsOrder[1:]
+		delete(c.settingsCache, evict)
+	}
+}
+
+// noteAnnouncedSettings verifies and caches settings that rode a
+// round-open announcement. The push channel is untrusted either way, so a
+// copy that is inconsistent or fails signature verification is simply
+// dropped — the submit path then fetches and verifies its own copy, so a
+// bad push costs one extra RPC, never correctness.
+func (c *Client) noteAnnouncedSettings(ann entry.Announcement) {
+	rs := ann.Settings
+	if rs == nil || rs.Service != ann.Service || rs.Round != ann.Round {
+		return
+	}
+	if c.verifySettings(rs, ann.Service == wire.AddFriend) != nil {
+		return
+	}
+	c.cacheSettings(rs)
+}
+
+// roundSettings returns the round's verified settings: from the cache
+// when an announcement already delivered them, otherwise fetched from the
+// entry server, verified against the pinned keys, and cached (a scan
+// never re-fetches what its submit already pulled).
+func (c *Client) roundSettings(ctx context.Context, service wire.Service, round uint32, needPKGs bool) (*wire.RoundSettings, error) {
+	c.settingsMu.Lock()
+	rs, ok := c.settingsCache[settingsKey{service, round}]
+	c.settingsMu.Unlock()
+	if ok {
+		return rs, nil
+	}
+	rs, err := c.cfg.Entry.Settings(ctx, service, round)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetching settings: %w", err)
+	}
+	if err := c.verifySettings(rs, needPKGs); err != nil {
+		return nil, fmt.Errorf("core: round %d settings: %w", round, err)
+	}
+	c.cacheSettings(rs)
+	return rs, nil
 }
 
 // reportErr forwards a non-fatal error to the handler.

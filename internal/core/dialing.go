@@ -18,12 +18,9 @@ import (
 // if a call is queued, otherwise cover traffic. Like the add-friend
 // protocol, every client submits exactly one fixed-size request per round.
 func (c *Client) SubmitDialRound(ctx context.Context, round uint32) error {
-	settings, err := c.cfg.Entry.Settings(ctx, wire.Dialing, round)
+	settings, err := c.roundSettings(ctx, wire.Dialing, round, false)
 	if err != nil {
-		return fmt.Errorf("core: fetching settings: %w", err)
-	}
-	if err := c.verifySettings(settings, false); err != nil {
-		return fmt.Errorf("core: round %d settings: %w", round, err)
+		return err
 	}
 
 	payload, outgoing, err := c.buildDialPayload(round, settings)
@@ -131,11 +128,8 @@ func (c *Client) buildDialPayload(round uint32, settings *wire.RoundSettings) ([
 // because hashing is fast and the number of intents is typically small"),
 // then advances every keywheel past the round for forward secrecy (§5.1).
 func (c *Client) ScanDialRound(ctx context.Context, round uint32) error {
-	settings, err := c.cfg.Entry.Settings(ctx, wire.Dialing, round)
+	settings, err := c.roundSettings(ctx, wire.Dialing, round, false)
 	if err != nil {
-		return fmt.Errorf("core: fetching settings: %w", err)
-	}
-	if err := c.verifySettings(settings, false); err != nil {
 		return err
 	}
 

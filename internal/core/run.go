@@ -196,6 +196,11 @@ func (f *roundFeed) run(ctx context.Context) {
 					switch ann.Kind {
 					case entry.RoundOpen:
 						st.CurrentOpen = ann.Round
+						// Settings riding the open event (EventStreamV2,
+						// or the in-process adapter) pre-fill the cache
+						// BEFORE the fold wakes the service loops, so
+						// their submits start from a hit.
+						f.c.noteAnnouncedSettings(ann)
 					case entry.RoundPublished:
 						st.LatestPublished = ann.Round
 					}
@@ -498,14 +503,12 @@ func (h *ServiceHandle) drainDialBacklog(ctx context.Context, st *serviceState) 
 		}
 
 		// Per-round settings: NumMailboxes (and so this client's mailbox
-		// ID) can differ between rounds.
+		// ID) can differ between rounds. Usually a cache hit — the round's
+		// open announcement or submit already delivered them.
 		var failed error
 		mailboxes := make([]uint32, 0, len(span))
 		for _, round := range span {
-			settings, err := c.cfg.Entry.Settings(ctx, wire.Dialing, round)
-			if err == nil {
-				err = c.verifySettings(settings, false)
-			}
+			settings, err := c.roundSettings(ctx, wire.Dialing, round, false)
 			if err != nil {
 				failed = fmt.Errorf("core: dialing round %d settings: %w", round, err)
 				break

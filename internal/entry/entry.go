@@ -7,22 +7,54 @@
 // nothing beyond liveness, and a censoring one can only mount denial of
 // service (which Alpenhorn explicitly does not defend against, §3.2).
 //
+// # Event log
+//
 // Round progress is published as an EVENT LOG: every round-opened and
 // round-published announcement gets a monotonic cursor. Consumers follow
 // it three ways, all built on the same log:
 //
 //   - Subscribe returns a buffered channel of announcements. A slow
-//     subscriber may miss deliveries, but every announcement carries its
-//     cursor, so a gap is DETECTABLE (cursor jump) and refillable with
-//     EventsSince — the pre-cursor API dropped announcements silently.
+//     subscriber misses deliveries rather than blocking the system; every
+//     announcement carries its cursor, so a gap is DETECTABLE (cursor
+//     jump) and refillable with EventsSince, and the server counts the
+//     drops per service (RoundStatus.EventDrops).
 //   - EventsSince(cursor, max) replays retained events after a cursor.
 //     When the cursor has fallen off the retained window (or is zero — a
 //     fresh consumer), the reply COALESCES to the newest event per
 //     (service, kind): round progress is monotonic, so the latest open
 //     and latest published round are all a late joiner needs.
-//   - WaitEvents parks until an event after the cursor exists (or the
-//     context ends), which is what the frontend's entry.events long-poll
-//     and the in-process sim transport ride on.
+//   - Register returns a Waiter — the push primitive described below.
+//     WaitEvents is its one-shot convenience form (register, await,
+//     deregister), which the in-process sim transport rides on.
+//
+// # Single-writer fan-out
+//
+// The push path is built for very large client counts: delivering an
+// announcement to N tracked clients must not cost N parked goroutines.
+// A consumer registers a Waiter — a small struct holding its log cursor
+// and a 1-slot wake channel — and ONE fan-out goroutine per server (so
+// one per frontend process, started when the first waiter registers and
+// exited when the last deregisters) walks the waiter list after each
+// announcement, tapping the wake channel of every waiter whose cursor is
+// behind the new head. Waking any number of waiters therefore costs one
+// list walk on one goroutine — a non-blocking channel send per waiter —
+// instead of a scheduler wakeup storm, and a waiter consumes events at
+// its own pace with Poll (or parks its own goroutine in Await, if it has
+// one to spare). The wake channel never carries data, so a slow waiter
+// costs one bit of state, never memory growth.
+//
+// # Replication
+//
+// A deployment runs N entry frontends against one coordinator, and the
+// coordinator is the log's SINGLE WRITER: it announces every round open
+// and publish to every frontend in the same order, so all replicas stamp
+// identical cursors and the frontends share one cursor namespace. A
+// client that loses its frontend mid-round can resume on any other
+// frontend from the cursor it already holds — no snapshot reset, no
+// re-delivered or missed announcements. Intake is N-way: each frontend
+// admits its own sub-batch, and the batches are merged at round close
+// (concatenated in frontend order, or dealt into the first mix position's
+// counted fan-in when the data plane is chain-forwarded).
 package entry
 
 import (
@@ -30,6 +62,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"alpenhorn/internal/wire"
 )
@@ -73,9 +106,13 @@ type Announcement struct {
 // newest announced round and the newest round whose mailboxes are
 // published. Zero means "none yet". It is the poll-based view of the
 // event log, kept for clients talking to frontends without entry.events.
+// EventDrops counts announcements for this service that overflowed a
+// subscriber's buffer — the server-side view of the gaps subscribers
+// detect via cursor jumps.
 type RoundStatus struct {
 	CurrentOpen     uint32 `json:"current_open"`
 	LatestPublished uint32 `json:"latest_published"`
+	EventDrops      uint64 `json:"event_drops,omitempty"`
 }
 
 // eventLogSize bounds the retained event window. Consumers further behind
@@ -90,12 +127,20 @@ type Server struct {
 	subs   []chan Announcement
 
 	// Event log: a bounded window of announcements, each cursor-stamped,
-	// plus the folded per-service status and a wake channel replaced on
-	// every append so WaitEvents can park without polling.
+	// plus the folded per-service status.
 	events     []Announcement
 	nextCursor uint64
 	status     map[wire.Service]RoundStatus
-	wake       chan struct{}
+
+	// Fan-out core: the registered waiters and the single walker
+	// goroutine's doorbell. head mirrors the newest stamped cursor so the
+	// walker never takes s.mu. Lock order is s.mu then waiterMu.
+	waiterMu     sync.Mutex
+	waiters      map[uint64]*Waiter
+	nextWaiterID uint64
+	notify       chan struct{} // 1-slot; nil while no waiters are registered
+	head         atomic.Uint64
+	fanoutPasses atomic.Uint64 // completed walks, for tests and benchmarks
 
 	// MaxBatch bounds the number of requests per round (0 = unlimited).
 	// A deployment sets this to its provisioned capacity.
@@ -108,7 +153,6 @@ func New() *Server {
 		rounds:     make(map[roundKey]*roundState),
 		nextCursor: 1,
 		status:     make(map[wire.Service]RoundStatus),
-		wake:       make(chan struct{}),
 	}
 }
 
@@ -116,7 +160,8 @@ func New() *Server {
 // The channel is buffered; a slow subscriber misses announcements rather
 // than blocking the system, but every announcement carries its cursor, so
 // the subscriber DETECTS the gap (non-consecutive cursors) and refills it
-// with EventsSince.
+// with EventsSince. The server counts each drop in the announcement's
+// service status (RoundStatus.EventDrops).
 func (s *Server) Subscribe() <-chan Announcement {
 	ch := make(chan Announcement, 64)
 	s.mu.Lock()
@@ -145,13 +190,140 @@ func (s *Server) appendEventLocked(ann Announcement) {
 			st.LatestPublished = ann.Round
 		}
 	}
-	s.status[ann.Service] = st
-	close(s.wake)
-	s.wake = make(chan struct{})
 	for _, ch := range s.subs {
 		select {
 		case ch <- ann:
-		default: // slow subscriber: detectable via the cursor gap
+		default:
+			// Slow subscriber: counted here, detectable client-side via
+			// the cursor gap.
+			st.EventDrops++
+		}
+	}
+	s.status[ann.Service] = st
+
+	// Ring the fan-out walker's doorbell (1-slot, so back-to-back
+	// announcements coalesce into one walk).
+	s.head.Store(ann.Cursor)
+	s.waiterMu.Lock()
+	if s.notify != nil {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+	s.waiterMu.Unlock()
+}
+
+// Waiter is one registered consumer of the event log: a cursor plus a
+// 1-slot wake channel tapped by the server's fan-out walk whenever
+// events past the cursor exist. A waiter costs no goroutine; callers
+// either park their own in Await or multiplex Wake into their own select
+// loop and drain with Poll. Close deregisters it.
+type Waiter struct {
+	s      *Server
+	id     uint64
+	cursor atomic.Uint64
+	wake   chan struct{}
+}
+
+// Register adds a waiter at the given cursor (0 = fresh consumer). The
+// first registration starts the server's single fan-out goroutine.
+// Callers must Poll (or Await) after registering: events already past the
+// cursor do not ring the wake channel retroactively.
+func (s *Server) Register(cursor uint64) *Waiter {
+	w := &Waiter{s: s, wake: make(chan struct{}, 1)}
+	w.cursor.Store(cursor)
+	s.waiterMu.Lock()
+	s.nextWaiterID++
+	w.id = s.nextWaiterID
+	if s.waiters == nil {
+		s.waiters = make(map[uint64]*Waiter)
+	}
+	s.waiters[w.id] = w
+	if len(s.waiters) == 1 {
+		s.notify = make(chan struct{}, 1)
+		go s.fanout(s.notify)
+	}
+	s.waiterMu.Unlock()
+	return w
+}
+
+// Waiters reports the number of registered waiters.
+func (s *Server) Waiters() int {
+	s.waiterMu.Lock()
+	defer s.waiterMu.Unlock()
+	return len(s.waiters)
+}
+
+// fanout is the single-writer fan-out loop: one goroutine per server
+// walks the waiter list after each announcement and taps the wake channel
+// of every waiter behind the new head. It exits when the last waiter
+// deregisters (notify is closed).
+func (s *Server) fanout(notify <-chan struct{}) {
+	for range notify {
+		head := s.head.Load()
+		s.waiterMu.Lock()
+		for _, w := range s.waiters {
+			if w.cursor.Load() >= head {
+				continue
+			}
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		}
+		s.waiterMu.Unlock()
+		s.fanoutPasses.Add(1)
+	}
+}
+
+// Close deregisters the waiter. The last Close stops the server's
+// fan-out goroutine.
+func (w *Waiter) Close() {
+	s := w.s
+	s.waiterMu.Lock()
+	if _, ok := s.waiters[w.id]; ok {
+		delete(s.waiters, w.id)
+		if len(s.waiters) == 0 {
+			close(s.notify)
+			s.notify = nil
+		}
+	}
+	s.waiterMu.Unlock()
+}
+
+// Wake returns the waiter's wake channel for use in a caller's select
+// loop. A receive means events past the waiter's cursor may exist; drain
+// them with Poll. The channel is 1-slot and never closed.
+func (w *Waiter) Wake() <-chan struct{} { return w.wake }
+
+// Cursor returns the waiter's current resume cursor.
+func (w *Waiter) Cursor() uint64 { return w.cursor.Load() }
+
+// Poll returns events past the waiter's cursor without blocking (like
+// EventsSince) and advances the cursor past everything returned.
+func (w *Waiter) Poll(max int) (events []Announcement, next uint64, gap bool) {
+	events, next, gap = w.s.EventsSince(w.cursor.Load(), max)
+	if len(events) > 0 {
+		w.cursor.Store(next)
+	}
+	return events, next, gap
+}
+
+// Await parks the calling goroutine until events past the waiter's cursor
+// exist, then returns them (like EventsSince). It returns empty when the
+// context ends first; next then echoes the waiter's cursor so the poll is
+// resumable.
+func (w *Waiter) Await(ctx context.Context, max int) (events []Announcement, next uint64, gap bool) {
+	for {
+		events, next, gap = w.Poll(max)
+		if len(events) > 0 {
+			return events, next, gap
+		}
+		select {
+		case <-ctx.Done():
+			return nil, w.cursor.Load(), false
+		case <-w.wake:
 		}
 	}
 }
@@ -189,7 +361,7 @@ func (s *Server) AnnouncePublished(service wire.Service, round uint32) {
 }
 
 // Status returns a service's folded round progress (newest open round,
-// newest published round).
+// newest published round, subscriber drop count).
 func (s *Server) Status(service wire.Service) RoundStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -270,22 +442,12 @@ func (s *Server) coalescedLocked(max int) []Announcement {
 // WaitEvents blocks until announcements after the cursor exist, then
 // returns them (like EventsSince). It returns empty when the context ends
 // first; next then echoes the caller's cursor so the poll is resumable.
-// This is the primitive under the frontend's entry.events long-poll.
+// It is the one-shot form of Register/Await/Close; consumers that wait
+// repeatedly should hold a Waiter instead of re-registering per call.
 func (s *Server) WaitEvents(ctx context.Context, cursor uint64, max int) (events []Announcement, next uint64, gap bool) {
-	for {
-		s.mu.Lock()
-		events, next, gap = s.eventsSinceLocked(cursor, max)
-		wake := s.wake
-		s.mu.Unlock()
-		if len(events) > 0 {
-			return events, next, gap
-		}
-		select {
-		case <-ctx.Done():
-			return nil, cursor, false
-		case <-wake:
-		}
-	}
+	w := s.Register(cursor)
+	defer w.Close()
+	return w.Await(ctx, max)
 }
 
 // Settings returns the announced settings for a round, or an error if the

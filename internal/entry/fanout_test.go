@@ -1,0 +1,206 @@
+package entry
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"alpenhorn/internal/wire"
+)
+
+// awaitCondition polls until cond holds or the deadline passes.
+func awaitCondition(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWaiterFlatGoroutines is the fan-out core's scaling pin: 10k
+// registered waiters cost the server O(1) goroutines (the single fan-out
+// walker), every waiter still observes each announcement, and the walker
+// exits when the last waiter deregisters.
+func TestWaiterFlatGoroutines(t *testing.T) {
+	const numWaiters = 10_000
+	s := New()
+	baseline := runtime.NumGoroutine()
+
+	waiters := make([]*Waiter, numWaiters)
+	for i := range waiters {
+		waiters[i] = s.Register(0)
+	}
+	if n := s.Waiters(); n != numWaiters {
+		t.Fatalf("registered %d waiters, server counts %d", numWaiters, n)
+	}
+	// O(1): registration added the one walker goroutine, nothing per
+	// waiter (allow a little slack for unrelated runtime goroutines).
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		t.Fatalf("%d goroutines serving %d waiters, baseline %d — want O(1) growth", n, numWaiters, baseline)
+	}
+
+	passes := s.fanoutPasses.Load()
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	awaitCondition(t, "fan-out walk", func() bool { return s.fanoutPasses.Load() > passes })
+
+	// One walk woke all 10k waiters; each drains the event at its own
+	// pace with Poll, with no goroutine of its own.
+	for i, w := range waiters {
+		select {
+		case <-w.Wake():
+		default:
+			t.Fatalf("waiter %d not woken by the fan-out walk", i)
+		}
+		events, next, gap := w.Poll(0)
+		if len(events) != 1 || events[0].Round != 1 || gap {
+			t.Fatalf("waiter %d polled %d events (gap=%v), want the open announcement", i, len(events), gap)
+		}
+		if w.Cursor() != next {
+			t.Fatalf("waiter %d cursor %d not advanced to %d", i, w.Cursor(), next)
+		}
+	}
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		t.Fatalf("%d goroutines after announcing to %d waiters, baseline %d", n, numWaiters, baseline)
+	}
+
+	for _, w := range waiters {
+		w.Close()
+	}
+	if n := s.Waiters(); n != 0 {
+		t.Fatalf("%d waiters left after closing all", n)
+	}
+	awaitCondition(t, "fan-out goroutine exit", func() bool {
+		return runtime.NumGoroutine() <= baseline
+	})
+}
+
+// TestWaiterSelectLoop exercises the goroutine-free consumer shape: Wake
+// in a caller-owned select, Poll to drain, cursor advancing across
+// multiple announcements with no missed wakeups.
+func TestWaiterSelectLoop(t *testing.T) {
+	s := New()
+	w := s.Register(0)
+	defer w.Close()
+
+	var got []Announcement
+	for r := uint32(1); r <= 5; r++ {
+		if err := s.OpenRound(testSettings(r)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-w.Wake():
+		case <-time.After(2 * time.Second):
+			t.Fatalf("no wake for round %d", r)
+		}
+		events, _, gap := w.Poll(0)
+		if gap {
+			t.Fatalf("gap at round %d", r)
+		}
+		got = append(got, events...)
+	}
+	if len(got) != 5 {
+		t.Fatalf("drained %d events, want 5", len(got))
+	}
+	for i, ann := range got {
+		if ann.Round != uint32(i+1) || ann.Kind != RoundOpen {
+			t.Fatalf("event %d: %+v", i, ann)
+		}
+	}
+}
+
+// TestWaiterAwaitParksAndResumes: Await parks the caller until an
+// announcement arrives, and a cancelled context unparks it with the
+// cursor unchanged — WaitEvents semantics on a held waiter.
+func TestWaiterAwaitParksAndResumes(t *testing.T) {
+	s := New()
+	w := s.Register(0)
+	defer w.Close()
+
+	done := make(chan []Announcement, 1)
+	go func() {
+		events, _, _ := w.Await(context.Background(), 0)
+		done <- events
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.OpenRound(testSettings(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case events := <-done:
+		if len(events) != 1 || events[0].Round != 1 {
+			t.Fatalf("awaited events: %+v", events)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Await did not wake on OpenRound")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	events, next, _ := w.Await(ctx, 0)
+	if len(events) != 0 || next != w.Cursor() {
+		t.Fatalf("cancelled await: %d events, next %d, cursor %d", len(events), next, w.Cursor())
+	}
+}
+
+// TestSubscribeDropsCounted: announcements that overflow a subscriber's
+// buffer are counted server-side in the service's status, not just
+// detectable client-side via the cursor gap.
+func TestSubscribeDropsCounted(t *testing.T) {
+	s := New()
+	s.Subscribe() // never drained: overflows at 64
+	const opens = 70
+	for r := uint32(1); r <= opens; r++ {
+		if err := s.OpenRound(testSettings(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Status(wire.Dialing)
+	if want := uint64(opens - 64); st.EventDrops != want {
+		t.Fatalf("status counts %d dropped events, want %d", st.EventDrops, want)
+	}
+	if st.CurrentOpen != opens {
+		t.Fatalf("drop counting disturbed status fold: %+v", st)
+	}
+	// A service with no dropped announcements reports zero.
+	if st := s.Status(wire.AddFriend); st.EventDrops != 0 {
+		t.Fatalf("add-friend drops %d, want 0", st.EventDrops)
+	}
+}
+
+// BenchmarkEventFanout measures the per-announcement cost of the
+// single-writer fan-out walk at 10k–100k registered waiters, and reports
+// the goroutine growth from serving them (which must stay flat at 1 —
+// the walker).
+func BenchmarkEventFanout(b *testing.B) {
+	for _, numWaiters := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("waiters=%d", numWaiters), func(b *testing.B) {
+			s := New()
+			baseline := runtime.NumGoroutine()
+			waiters := make([]*Waiter, numWaiters)
+			for i := range waiters {
+				waiters[i] = s.Register(0)
+			}
+			b.ReportMetric(float64(runtime.NumGoroutine()-baseline), "goroutines")
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				passes := s.fanoutPasses.Load()
+				s.AnnouncePublished(wire.Dialing, uint32(i+1))
+				for s.fanoutPasses.Load() == passes {
+					runtime.Gosched()
+				}
+			}
+			b.StopTimer()
+			for _, w := range waiters {
+				w.Close()
+			}
+		})
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"alpenhorn/internal/bls"
-	"alpenhorn/internal/cdn"
 	"alpenhorn/internal/core"
 	"alpenhorn/internal/entry"
 	"alpenhorn/internal/ibe"
@@ -550,6 +549,19 @@ const (
 	// coalescing for slow clients, plus ranged mailbox fetches
 	// (cdn.fetchrange).
 	EventStreamV1 = 1
+	// EventStreamV2: round-open events CARRY the round's settings
+	// (wireEvent.Settings, the canonical wire.RoundSettings encoding), so
+	// a streaming client never issues a per-round entry.settings fetch.
+	// Settings are self-authenticating — every mixer and PKG contribution
+	// is signed under keys the client pins — so riding them over the
+	// untrusted push channel changes nothing about their trust story; the
+	// client verifies them exactly as it would a fetched copy. Degradation
+	// is transparent in both directions: a V1 frontend's events simply
+	// lack the field and the client falls back to fetching, while a V1
+	// client ignores the extra field. V2 frontends still serve
+	// entry.settings for old clients and for consumers (scans after a
+	// restart) whose open event has left the retained window.
+	EventStreamV2 = 2
 )
 
 // Directory describes a full deployment to connecting clients: addresses
@@ -564,6 +576,13 @@ type Directory struct {
 	// (see the EventStream constants). Omitted by older frontends, which
 	// JSON-decodes to 0 = poll only.
 	EventStreamVersion int `json:"event_stream_version,omitempty"`
+	// FrontendAddrs lists every entry frontend in the deployment
+	// (client-facing addresses, coordinator's own frontend first). All
+	// frontends replay the coordinator's announcement log in the same
+	// order — one shared cursor namespace — so a client may pool them
+	// (DialFrontendPool) and fail over mid-round without a snapshot
+	// reset. Empty on single-frontend deployments.
+	FrontendAddrs []string `json:"frontend_addrs,omitempty"`
 }
 
 type settingsArgs struct {
@@ -596,14 +615,17 @@ type eventsArgs struct {
 	Max    int    `json:"max,omitempty"`
 }
 
-// wireEvent is one round announcement on the wire. Settings are not
-// carried: clients fetch and signature-check settings separately, so the
-// event stream stays a few bytes per round.
+// wireEvent is one round announcement on the wire. On an EventStreamV2
+// frontend a round-open event carries the round's canonical settings
+// encoding so the client never fetches them separately; V1 frontends omit
+// the field and the stream stays a few bytes per round. Either way the
+// client signature-checks settings against its pinned keys before use.
 type wireEvent struct {
-	Cursor  uint64       `json:"cursor"`
-	Service wire.Service `json:"service"`
-	Round   uint32       `json:"round"`
-	Kind    int          `json:"kind"`
+	Cursor   uint64       `json:"cursor"`
+	Service  wire.Service `json:"service"`
+	Round    uint32       `json:"round"`
+	Kind     int          `json:"kind"`
+	Settings []byte       `json:"settings,omitempty"`
 }
 
 type eventsReply struct {
@@ -641,10 +663,21 @@ const (
 	eventsBatchMax = 512
 )
 
+// MailboxSource is the read side of the mailbox store a frontend serves
+// to clients. A coordinator-colocated frontend hands its local *cdn.Store
+// straight in; a pure frontend (-frontend-only) hands in a client that
+// proxies fetches to the deployment's real CDN, so every frontend answers
+// cdn.fetch/fetchrange identically and a failed-over client never changes
+// its fetch path.
+type MailboxSource interface {
+	Fetch(service wire.Service, round uint32, mailbox uint32) ([]byte, error)
+	FetchRange(service wire.Service, fromRound, toRound uint32, mailbox uint32) (map[uint32][]byte, error)
+}
+
 // registerFrontendCommon installs the surface served by every frontend
 // generation: directory, status polling, settings, submission, and
 // per-round mailbox fetch.
-func registerFrontendCommon(s *Server, e *entry.Server, store *cdn.Store, dir Directory) {
+func registerFrontendCommon(s *Server, e *entry.Server, store MailboxSource, dir Directory) {
 	HandleFunc(s, "frontend.directory", func(struct{}) (any, error) {
 		return dir, nil
 	})
@@ -667,18 +700,31 @@ func registerFrontendCommon(s *Server, e *entry.Server, store *cdn.Store, dir Di
 }
 
 // RegisterFrontend exposes the entry server, CDN fetch surface, and
-// deployment directory over RPC, including the EventStreamV1 push
+// deployment directory over RPC, including the EventStreamV2 push
 // surface: entry.events (a resumable long-poll over the entry server's
 // cursor-stamped announcement log, the same framing family as
-// mix.round.wait) and cdn.fetchrange (one request for a span of rounds).
+// mix.round.wait, with round settings riding inside open events) and
+// cdn.fetchrange (one request for a span of rounds).
 //
 // This is the CLIENT-facing surface: cdn.publish is deliberately NOT
 // served here — the transport carries no authentication, so the write
 // surface must live on a separate server-plane listener (RegisterCDN)
 // that deployments keep away from clients; otherwise any client could
 // publish a round's mailboxes first and censor the real ones.
-func RegisterFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Directory) {
-	dir.EventStreamVersion = EventStreamV1
+func RegisterFrontend(s *Server, e *entry.Server, store MailboxSource, dir Directory) {
+	registerStreamFrontend(s, e, store, dir, EventStreamV2)
+}
+
+// RegisterFrontendV1 exposes the EventStreamV1 surface exactly as PR 4
+// shipped it: entry.events without settings in open events. It exists so
+// tests and the bench harness can stand in for a last-generation frontend
+// and prove that a V2 client degrades transparently to fetching settings.
+func RegisterFrontendV1(s *Server, e *entry.Server, store MailboxSource, dir Directory) {
+	registerStreamFrontend(s, e, store, dir, EventStreamV1)
+}
+
+func registerStreamFrontend(s *Server, e *entry.Server, store MailboxSource, dir Directory, version int) {
+	dir.EventStreamVersion = version
 	registerFrontendCommon(s, e, store, dir)
 	HandleFunc(s, "entry.events", func(a eventsArgs) (any, error) {
 		wait := time.Duration(a.WaitMs) * time.Millisecond
@@ -702,12 +748,16 @@ func RegisterFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Director
 		anns, next, gap := e.WaitEvents(ctx, a.Cursor, max)
 		reply := eventsReply{Next: next, Gap: gap}
 		for _, ann := range anns {
-			reply.Events = append(reply.Events, wireEvent{
+			ev := wireEvent{
 				Cursor:  ann.Cursor,
 				Service: ann.Service,
 				Round:   ann.Round,
 				Kind:    int(ann.Kind),
-			})
+			}
+			if version >= EventStreamV2 && ann.Kind == entry.RoundOpen && ann.Settings != nil {
+				ev.Settings = ann.Settings.Marshal()
+			}
+			reply.Events = append(reply.Events, ev)
 		}
 		return reply, nil
 	})
@@ -729,7 +779,7 @@ func RegisterFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Director
 // (frontend.status polling, per-round cdn.fetch, EventStreamNone). It
 // exists so tests and the bench harness can stand in for a frontend built
 // before entry.events and prove the transparent poll fallback.
-func RegisterPollFrontend(s *Server, e *entry.Server, store *cdn.Store, dir Directory) {
+func RegisterPollFrontend(s *Server, e *entry.Server, store MailboxSource, dir Directory) {
 	dir.EventStreamVersion = EventStreamNone
 	registerFrontendCommon(s, e, store, dir)
 }
@@ -876,6 +926,15 @@ func (f *FrontendClient) WatchRounds(ctx context.Context, cursor uint64) ([]entr
 				Service: ev.Service,
 				Round:   ev.Round,
 				Kind:    entry.EventKind(ev.Kind),
+			}
+			if len(ev.Settings) > 0 {
+				// V2 open events carry settings; a copy that fails to
+				// decode is dropped and the client falls back to fetching
+				// (the settings are verified either way, so a bad copy
+				// costs one RPC, never correctness).
+				if rs, err := wire.UnmarshalRoundSettings(ev.Settings); err == nil {
+					anns[i].Settings = rs
+				}
 			}
 		}
 		return anns, reply.Next, nil

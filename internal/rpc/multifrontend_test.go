@@ -1,0 +1,348 @@
+package rpc_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	mathrand "math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"alpenhorn/internal/coordinator"
+	"alpenhorn/internal/core"
+	"alpenhorn/internal/entry"
+	"alpenhorn/internal/noise"
+	"alpenhorn/internal/onionbox"
+	"alpenhorn/internal/rpc"
+	"alpenhorn/internal/sim"
+	"alpenhorn/internal/wire"
+)
+
+// submitSplitTokens wraps the SAME onions, in the SAME order, with the
+// SAME seeded randomness as submitTokens — but deals them across the
+// frontends, first half to the first, second half to the second. The
+// concatenation of the frontends' sub-batches is therefore byte-for-byte
+// the single-frontend batch.
+func submitSplitTokens(t *testing.T, frontends []*entry.Server, settings *wire.RoundSettings, tokens [][]byte, rnd *mathrand.Rand) {
+	t.Helper()
+	hops := make([]*onionbox.PublicKey, len(settings.Mixers))
+	for i, rk := range settings.Mixers {
+		pk, err := onionbox.UnmarshalPublicKey(rk.OnionKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops[i] = pk
+	}
+	src := &seededReader{rng: rnd}
+	half := (len(tokens) + 1) / 2
+	for i, tok := range tokens {
+		payload := (&wire.MixPayload{Mailbox: uint32(i) % settings.NumMailboxes, Body: tok}).Marshal()
+		onion, err := onionbox.WrapOnion(src, hops, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := frontends[0]
+		if i >= half {
+			target = frontends[1]
+		}
+		if err := target.Submit(settings.Service, settings.Round, onion); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runSeededForwardRound runs one fully seeded chain-forward dialing round
+// with the given number of entry frontends (1 or 2; the second joins over
+// the TCP entry.replicate surface) and returns the published mailboxes.
+func runSeededForwardRound(t *testing.T, numFrontends int) (*wire.RoundSettings, map[uint32][]byte) {
+	t.Helper()
+	nz := noise.Laplace{Mu: 2, B: 0}
+	const numTokens = 90
+	tokens := makeTestTokens(numTokens)
+
+	f := startFleet(t, 3, nz, func(pos int) mathrand.Source {
+		return mathrand.NewSource(int64(1000 + pos))
+	})
+	store, cdnAddr := startCDN(t)
+	e := entry.New()
+	coord := forwardCoordinator(f, e, store, cdnAddr)
+	coord.TargetRequestsPerMailbox = 40
+	coord.ChunkSize = 16
+	coord.SetExpectedVolume(wire.Dialing, numTokens)
+
+	var extra *entry.Server
+	if numFrontends == 2 {
+		extra = entry.New()
+		repSrv := rpc.NewServer()
+		rpc.RegisterEntryReplica(repSrv, extra)
+		repAddr, err := repSrv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(repSrv.Close)
+		coord.Frontends = []coordinator.Frontend{rpc.DialEntryReplica(repAddr)}
+	}
+
+	settings, err := coord.OpenDialingRound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra != nil {
+		// The replicated announcement log opened the round on the extra
+		// frontend too (same settings, same cursor namespace).
+		repSettings, err := extra.Settings(wire.Dialing, 1)
+		if err != nil {
+			t.Fatalf("extra frontend missed the open announcement: %v", err)
+		}
+		if !bytes.Equal(repSettings.Marshal(), settings.Marshal()) {
+			t.Fatal("extra frontend holds different settings than the coordinator announced")
+		}
+	}
+
+	rnd := mathrand.New(mathrand.NewSource(4242))
+	if extra == nil {
+		submitTokens(t, e, settings, tokens, rnd)
+	} else {
+		submitSplitTokens(t, []*entry.Server{e, extra}, settings, tokens, rnd)
+		if got := extra.BatchSize(wire.Dialing, 1); got != numTokens/2 {
+			t.Fatalf("extra frontend admitted %d onions, want %d", got, numTokens/2)
+		}
+	}
+
+	if _, err := coord.CloseRound(wire.Dialing, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Published(wire.Dialing, 1) {
+		t.Fatal("round not published")
+	}
+	if extra != nil {
+		if st := extra.Status(wire.Dialing); st.LatestPublished != 1 {
+			t.Fatalf("extra frontend's log missed the published announcement (latest=%d)", st.LatestPublished)
+		}
+	}
+
+	boxes := make(map[uint32][]byte)
+	for mb := uint32(0); mb < settings.NumMailboxes; mb++ {
+		data, err := store.Fetch(wire.Dialing, 1, mb)
+		if err != nil {
+			t.Fatalf("mailbox %d: %v", mb, err)
+		}
+		boxes[mb] = data
+	}
+	return settings, boxes
+}
+
+// TestTwoFrontendIntakeByteIdentical is the N-way-intake acceptance pin: a
+// round whose batch is admitted by TWO frontends — the second feeding its
+// sub-batch through entry.replicate into position 0's counted
+// NumUpstream=2 fan-in — publishes mailboxes byte-identical to the
+// single-frontend round under the same seed. Scaling the entry tier out
+// changes WHO admits an onion, never what the mixnet outputs.
+func TestTwoFrontendIntakeByteIdentical(t *testing.T) {
+	base, baseBoxes := runSeededForwardRound(t, 1)
+	if base.NumMailboxes < 2 {
+		t.Fatalf("want a multi-mailbox round, got K=%d", base.NumMailboxes)
+	}
+	two, twoBoxes := runSeededForwardRound(t, 2)
+	if two.NumMailboxes != base.NumMailboxes {
+		t.Fatalf("two-frontend K=%d, single-frontend K=%d", two.NumMailboxes, base.NumMailboxes)
+	}
+	for mb := uint32(0); mb < base.NumMailboxes; mb++ {
+		if !bytes.Equal(baseBoxes[mb], twoBoxes[mb]) {
+			t.Errorf("mailbox %d differs between single- and two-frontend intake", mb)
+		}
+	}
+}
+
+// newTwoFrontendNetwork builds a deployment with two TCP frontends that
+// share one announcement-log cursor namespace: the coordinator replays
+// every open/publish to both entry servers.
+func newTwoFrontendNetwork(t *testing.T) (*sim.Network, []*rpc.Server, []string) {
+	t.Helper()
+	network, err := sim.NewNetwork(sim.Config{NumPKGs: 1, NumMixers: 1, NumFrontends: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []*entry.Server{network.Entry, network.Frontends[0]}
+	var srvs []*rpc.Server
+	var addrs []string
+	for _, e := range entries {
+		srv := rpc.NewServer()
+		rpc.RegisterFrontend(srv, e, network.CDN, rpc.Directory{NumMixers: 1})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs = append(srvs, srv)
+		addrs = append(addrs, addr)
+	}
+	return network, srvs, addrs
+}
+
+// TestRunFailsOverToSurvivingFrontend kills one of two frontends mid-round
+// under Client.Run over TCP: the client resumes on the survivor FROM ITS
+// CURSOR (the frontends share one announcement log, so no status-snapshot
+// rebuild and no poll fallback), never double-submits a round, never falls
+// back to per-round settings fetches, and drains its goroutines on
+// shutdown.
+func TestRunFailsOverToSurvivingFrontend(t *testing.T) {
+	network, srvs, addrs := newTwoFrontendNetwork(t)
+	defer srvs[1].Close()
+	baseline := runtime.NumGoroutine()
+
+	pool := rpc.DialFrontendPool(addrs...)
+	h := &sim.Handler{AcceptAll: true}
+	cfg := network.ClientConfig("failover@tcp.example", h)
+	cfg.Entry = pool
+	cfg.Mailboxes = pool
+	cfg.PollInterval = 50 * time.Millisecond
+	client, err := core.NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := network.ConfirmAll(client); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	handle, err := client.ConnectDialing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One submission per round, wherever it lands: with a pool the onion
+	// goes to whichever frontend the client currently uses, so the
+	// double-submit budget sums both intake batches.
+	batchTotal := func(r uint32) int {
+		return network.Entry.BatchSize(wire.Dialing, r) + network.Frontends[0].BatchSize(wire.Dialing, r)
+	}
+	driveRounds := func(from, to uint32, window time.Duration) {
+		t.Helper()
+		for r := from; r <= to; r++ {
+			if _, err := network.Coord.OpenDialingRound(r); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(window)
+			for time.Now().Before(deadline) && batchTotal(r) < 1 {
+				time.Sleep(2 * time.Millisecond)
+			}
+			if got := batchTotal(r); got > 1 {
+				t.Fatalf("dialing round %d carries %d submissions across the tier, want at most 1 — the client double-submitted during failover", r, got)
+			}
+			if _, err := network.Coord.CloseRound(wire.Dialing, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Phase 1: rounds flow through frontend A (the pool's first member).
+	driveRounds(1, 3, 5*time.Second)
+	waitUntil(t, 10*time.Second, "pre-failover rounds to be scanned", func() bool {
+		return client.DialRound() >= 4
+	})
+
+	// Phase 2: frontend A dies mid-deployment. Rounds keep happening; the
+	// client's event stream breaks, the pool rotates to the survivor, and
+	// the SAME cursor resumes there — the coordinator replayed every
+	// announcement to both logs in the same order.
+	srvs[0].Close()
+	driveRounds(4, 6, 10*time.Second)
+	waitUntil(t, 15*time.Second, "post-failover rounds to be scanned on the survivor", func() bool {
+		return client.DialRound() >= 7 && client.DialBacklog() == 0
+	})
+
+	// No snapshot reset: tracking stayed on the event stream the whole
+	// time. A cursor mismatch between the logs would have shown up as a
+	// gap -> status rebuild -> poll traffic; the status budget is the
+	// connect-time snapshot plus at most a couple of failover re-syncs.
+	if n := pool.CallCount("frontend.status"); n > 6 {
+		t.Fatalf("client issued %d frontend.status calls — failover fell back to polling (snapshot reset)", n)
+	}
+	// Settings rode the open events (EventStreamV2) on both frontends:
+	// failing over does not resurrect the per-round settings fetch.
+	if n := pool.CallCount("entry.settings"); n != 0 {
+		t.Fatalf("client issued %d entry.settings fetches, want 0 (settings ride open events)", n)
+	}
+
+	// Shutdown drains every loop goroutine.
+	start := time.Now()
+	cancel()
+	handle.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %v, want well under one network timeout", elapsed)
+	}
+	if err := handle.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("handle.Err() = %v, want context.Canceled", err)
+	}
+	pool.Close()
+	srvs[1].Close()
+	waitUntil(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= baseline
+	})
+}
+
+// TestEventSettingsEliminateFetch pins EventStreamV2's request savings: a
+// client on a V2 frontend completes rounds with ZERO entry.settings
+// fetches (settings ride the open events), while the same client code on a
+// V1 frontend degrades transparently — it fetches settings per round and
+// still completes every round.
+func TestEventSettingsEliminateFetch(t *testing.T) {
+	network, err := sim.NewNetwork(sim.Config{NumPKGs: 1, NumMixers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Srv := rpc.NewServer()
+	rpc.RegisterFrontend(v2Srv, network.Entry, network.CDN, rpc.Directory{NumMixers: 1})
+	v2Addr, err := v2Srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2Srv.Close()
+	v1Srv := rpc.NewServer()
+	rpc.RegisterFrontendV1(v1Srv, network.Entry, network.CDN, rpc.Directory{NumMixers: 1})
+	v1Addr, err := v1Srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1Srv.Close()
+
+	v2FE := rpc.DialFrontend(v2Addr)
+	v1FE := rpc.DialFrontend(v1Addr)
+	defer v2FE.Close()
+	defer v1FE.Close()
+	v2Client, _ := newTCPRunClient(t, network, v2FE, "v2@tcp.example")
+	v1Client, _ := newTCPRunClient(t, network, v1FE, "v1@tcp.example")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h2, err := v2Client.ConnectDialing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	h1, err := v1Client.ConnectDialing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Close()
+
+	const rounds = 3
+	driveDialRounds(t, network, 1, rounds, 2, 10*time.Second)
+	waitUntil(t, 15*time.Second, "both clients to scan all rounds", func() bool {
+		return v2Client.DialRound() >= rounds+1 && v1Client.DialRound() >= rounds+1
+	})
+
+	if n := v2FE.CallCount("entry.settings"); n != 0 {
+		t.Fatalf("V2 client fetched settings %d times, want 0 (settings ride open events)", n)
+	}
+	if n := v1FE.CallCount("entry.settings"); n == 0 {
+		t.Fatal("V1 client never fetched settings — the degradation path went untested")
+	}
+	t.Logf("entry.settings calls over %d rounds: V2=%d V1=%d",
+		rounds, v2FE.CallCount("entry.settings"), v1FE.CallCount("entry.settings"))
+}

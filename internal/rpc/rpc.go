@@ -232,12 +232,16 @@ type Client struct {
 	addr    string
 	timeout time.Duration
 
-	mu   sync.Mutex
+	mu   sync.Mutex // serializes calls on the connection
 	conn net.Conn
 
 	// Transport accounting: the chain-forward acceptance test and the
 	// bench harness use these to prove the coordinator's connections
-	// carry control messages, not batch payloads.
+	// carry control messages, not batch payloads. The counters live
+	// under their OWN lock so reading stats never parks behind an
+	// in-flight call — an entry.events long-poll holds mu for up to its
+	// full wait.
+	statsMu       sync.Mutex
 	bytesSent     uint64
 	bytesReceived uint64
 	calls         map[string]uint64
@@ -259,8 +263,8 @@ func Dial(addr string) *Client {
 // Stats returns cumulative bytes moved and calls made by this client,
 // counting frame headers and retried writes.
 func (c *Client) Stats() ClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
 	var n uint64
 	for _, v := range c.calls {
 		n += v
@@ -270,9 +274,24 @@ func (c *Client) Stats() ClientStats {
 
 // CallCount returns how many times this client has invoked a method.
 func (c *Client) CallCount(method string) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
 	return c.calls[method]
+}
+
+// countCall records one invocation of method.
+func (c *Client) countCall(method string) {
+	c.statsMu.Lock()
+	c.calls[method]++
+	c.statsMu.Unlock()
+}
+
+// addBytes records frame bytes moved on the wire (headers included).
+func (c *Client) addBytes(sent, received uint64) {
+	c.statsMu.Lock()
+	c.bytesSent += sent
+	c.bytesReceived += received
+	c.statsMu.Unlock()
 }
 
 // Call invokes a remote method. result may be nil to discard the reply.
@@ -319,9 +338,9 @@ func (c *Client) call(ctx context.Context, method string, params any, result any
 		return err
 	}
 
+	c.countCall(method)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.calls[method]++
 	// Reconnect attempts on a stale connection, bounded by maxAttempts.
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -348,7 +367,7 @@ func (c *Client) call(ctx context.Context, method string, params any, result any
 		// interrupt. The next call reconnects.
 		conn := c.conn
 		stop := context.AfterFunc(ctx, func() { conn.Close() })
-		c.bytesSent += uint64(len(req)) + 4
+		c.addBytes(uint64(len(req))+4, 0)
 		if err := writeFrame(c.conn, req); err != nil {
 			stop()
 			c.conn.Close()
@@ -374,7 +393,7 @@ func (c *Client) call(ctx context.Context, method string, params any, result any
 			}
 			return fmt.Errorf("%w: reading from %s: %v", ErrTransport, c.addr, err)
 		}
-		c.bytesReceived += uint64(len(payload)) + 4
+		c.addBytes(0, uint64(len(payload))+4)
 		var resp response
 		if err := json.Unmarshal(payload, &resp); err != nil {
 			return err

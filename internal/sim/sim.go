@@ -33,6 +33,14 @@ type Config struct {
 	NumPKGs   int
 	NumMixers int
 
+	// NumFrontends is the number of entry frontends (default 1). With
+	// more than one, Network.Entry is frontend 0 and the rest live in
+	// Network.Frontends; the coordinator replays every announcement to
+	// all of them in the same order (one shared cursor namespace), and
+	// each frontend admits — and, at close, contributes — its own
+	// sub-batch.
+	NumFrontends int
+
 	// Noise distributions; defaults are deliberately small so tests run
 	// fast (the paper-scale µ=4000/25000 values generate millions of
 	// messages). Pass noise.AddFriendNoise / noise.DialingNoise for
@@ -55,8 +63,12 @@ type Network struct {
 	PKGs     []*pkgserver.Server
 	Mixers   []*mixnet.Server
 	Entry    *entry.Server
-	CDN      *cdn.Store
-	Coord    *coordinator.Coordinator
+	// Frontends holds the extra entry frontends beyond Entry when
+	// Config.NumFrontends > 1. Clients may track rounds and submit
+	// through any of them.
+	Frontends []*entry.Server
+	CDN       *cdn.Store
+	Coord     *coordinator.Coordinator
 
 	MixerKeys  []ed25519.PublicKey
 	PKGKeys    []ed25519.PublicKey
@@ -119,6 +131,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	n.Coord = coordinator.New(n.Entry, n.Mixers, n.PKGs, n.CDN)
 	n.Coord.TargetRequestsPerMailbox = cfg.TargetRequestsPerMailbox
+	for i := 1; i < cfg.NumFrontends; i++ {
+		f := entry.New()
+		n.Frontends = append(n.Frontends, f)
+		n.Coord.Frontends = append(n.Coord.Frontends, f)
+	}
 	return n, nil
 }
 
