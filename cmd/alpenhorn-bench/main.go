@@ -67,9 +67,11 @@ func main() {
 	users := flag.Int("calibration-batch", 4000, "batch size for real-round mix calibration")
 	par := flag.Int("parallelism", 0, "mixer decryption/noise workers (0 = GOMAXPROCS, 1 = sequential)")
 	jsonOut := flag.String("json", "", "write machine-readable results (shard-compare, status-load, fanout-load, ibe-bench) to this file")
+	baseline := flag.String("baseline", "", "committed ibe-bench JSON record to diff speedup ratios against; exits nonzero on >30% regression")
 	flag.Parse()
 	parallelism = *par
 	jsonPath = *jsonOut
+	baselinePath = *baseline
 
 	any := false
 	run := func(n int, name string, fn func(batch int)) {
@@ -108,6 +110,13 @@ var parallelism int
 // first keeps the given path and later ones append their name, so no
 // record silently clobbers another.
 var jsonPath string
+
+// baselinePath is the -baseline flag: a previously committed ibe-bench
+// record whose speedup ratios gate the fresh run (see checkIBEBaseline).
+// The baseline is read before writeJSONRecord runs, so pointing -json and
+// -baseline at the same file compares against the old record, then
+// replaces it.
+var baselinePath string
 
 // jsonPathUsedBy remembers which experiment wrote jsonPath verbatim.
 var jsonPathUsedBy string
@@ -877,24 +886,35 @@ func fanoutLoad() {
 }
 
 // measureIBEDecrypt returns seconds per trial decryption with our pairing,
-// on the scan configuration (precomputed key ladder), the shape the
-// IBEDecryptSeconds calibration extrapolates.
+// on the scan configuration clients actually run — DecryptBatch over a
+// mailbox chunk with a precomputed key ladder and shared batch inversions
+// — the shape the IBEDecryptSeconds calibration extrapolates.
 func measureIBEDecrypt() float64 {
 	pub, priv, err := ibe.Setup(rand.Reader)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctxt, err := ibe.Encrypt(rand.Reader, pub, "bob@example.org", make([]byte, wire.FriendRequestSize))
+	key := ibe.Extract(priv, "bob@example.org").Precompute()
+	const batch = 16
+	ctxts := make([][]byte, batch)
+	for i := 1; i < batch; i++ {
+		c, err := ibe.RandomCiphertext(rand.Reader, wire.FriendRequestSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctxts[i] = c
+	}
+	ctxts[0], err = ibe.Encrypt(rand.Reader, pub, "bob@example.org", make([]byte, wire.FriendRequestSize))
 	if err != nil {
 		log.Fatal(err)
 	}
-	key := ibe.Extract(priv, "bob@example.org").Precompute()
+	ibe.DecryptBatch(key, ctxts) // warm the scratch pool
 	start := time.Now()
 	const reps = 10
 	for i := 0; i < reps; i++ {
-		ibe.Decrypt(key, ctxt)
+		ibe.DecryptBatch(key, ctxts)
 	}
-	return time.Since(start).Seconds() / reps
+	return time.Since(start).Seconds() / (reps * batch)
 }
 
 func latencyTable(title string, latency func(p model.Params, c model.CostCalibration) float64, batch int) {

@@ -1,0 +1,86 @@
+package bn254
+
+// Montgomery-trick batch inversion: n field inversions cost one real
+// inversion plus 3(n−1) multiplications by chaining prefix products.
+// The scan pipeline (PairBatch), the comb-table construction, and the
+// batched noise path all lean on it — one Fermat inversion (~380 base
+// multiplications) is amortized across a whole batch.
+//
+// THE BATCH-INVERSION INVARIANT: a zero element anywhere in the chain
+// zeroes every prefix product after it and poisons the whole pass, so
+// every batch entry point must exclude degenerate slots from the chain
+// before it starts — infinity points are skipped by their z = 0 mark,
+// and invalid ciphertexts are filtered by the unmarshal phase before the
+// shared easy-part inversion runs. Helpers here skip z = 0 slots; the
+// fe12 pass in PairBatch skips slots whose validity flag is unset. A
+// skipped slot contributes nothing to the chain, so one bad element can
+// never corrupt its neighbors' inverses.
+
+// g1JacBatchToAffine converts a slice of Jacobian points to affine with a
+// single shared inversion. Infinity inputs (z = 0) are skipped in the
+// inversion chain and set to affine infinity.
+func g1JacBatchToAffine(jacs []g1Jac, out []G1) {
+	n := len(jacs)
+	if n == 0 {
+		return
+	}
+	// pre[i] = product of the nonzero z's before index i.
+	pre := make([]fe, n)
+	acc := feOne
+	for i := range jacs {
+		pre[i] = acc
+		if !jacs[i].z.IsZero() {
+			feMul(&acc, &acc, &jacs[i].z)
+		}
+	}
+	var inv fe
+	feInv(&inv, &acc)
+	for i := n - 1; i >= 0; i-- {
+		if jacs[i].z.IsZero() {
+			out[i].SetInfinity()
+			continue
+		}
+		// inv = 1/Π_{j≤i} z_j here, so inv·pre[i] = 1/z_i.
+		var zInv, zInv2, zInv3 fe
+		feMul(&zInv, &inv, &pre[i])
+		feMul(&inv, &inv, &jacs[i].z)
+		feSquare(&zInv2, &zInv)
+		feMul(&zInv3, &zInv2, &zInv)
+		feMul(&out[i].x, &jacs[i].x, &zInv2)
+		feMul(&out[i].y, &jacs[i].y, &zInv3)
+		out[i].inf = false
+	}
+}
+
+// g2JacBatchToAffine is g1JacBatchToAffine over the twist.
+func g2JacBatchToAffine(jacs []g2Jac, out []G2) {
+	n := len(jacs)
+	if n == 0 {
+		return
+	}
+	pre := make([]fe2, n)
+	var acc fe2
+	acc.SetOne()
+	for i := range jacs {
+		pre[i] = acc
+		if !jacs[i].z.IsZero() {
+			acc.Mul(&acc, &jacs[i].z)
+		}
+	}
+	var inv fe2
+	inv.Invert(&acc)
+	for i := n - 1; i >= 0; i-- {
+		if jacs[i].z.IsZero() {
+			out[i].SetInfinity()
+			continue
+		}
+		var zInv, zInv2, zInv3 fe2
+		zInv.Mul(&inv, &pre[i])
+		inv.Mul(&inv, &jacs[i].z)
+		zInv2.Square(&zInv)
+		zInv3.Mul(&zInv2, &zInv)
+		out[i].x.Mul(&jacs[i].x, &zInv2)
+		out[i].y.Mul(&jacs[i].y, &zInv3)
+		out[i].inf = false
+	}
+}

@@ -34,6 +34,48 @@
 // pairings produce bit-identical results — and a relative benchmark test
 // pins the limb backend's speedup so it cannot silently rot.
 //
+// # Fixed-base comb tables
+//
+// ScalarBaseMult on both groups uses Lim-Lee comb tables (comb.go): the
+// 255-bit scalar is read as an 8×32 bit matrix whose j-th row is weighted
+// by 2^(32j), and a 255-entry affine table holds every nonzero combination
+// sum Σ 2^(32j)·G, so one multiplication costs 31 doublings plus at most
+// 32 mixed additions (vs ~254 doublings + ~127 additions for the generic
+// ladder). Tables build lazily on first use (sync.Once) with two
+// batch-affine passes; no table entry can be the identity because every
+// combination scalar is a nonzero value < 2^225 < Order. Results are
+// bit-identical to ScalarMult(Generator(), k), pinned differentially on
+// random and edge scalars (0, 1, r−1, r).
+//
+// # Batched pairings and the batch-inversion invariant
+//
+// PrecomputedG1.PairBatch evaluates many pairings that share a fixed G1
+// argument (the mailbox-scan shape: one identity key, thousands of
+// ciphertext G2 points). Per batch it pays ONE Fp12 inversion for the
+// final exponentiation's easy part, shared across elements via
+// Montgomery's inversion trick; the hard part runs per element through
+// the Devegili-Scott decomposition (three cyclotomic exponentiations by
+// the curve parameter u plus Frobenius maps) rather than a full-width
+// window exponentiation. G2 inputs are subgroup-checked with the twist
+// endomorphism ψ (ψ(Q) = [6u²]Q on the right subgroup), a ~127-bit ladder
+// instead of a 254-bit order multiplication. The batch-inversion
+// INVARIANT, relied on by every prefix-product chain in this package
+// (batch.go, pairbatch.go): invalid, infinity, or otherwise skipped slots
+// are masked out of the chain BEFORE it runs, never patched afterwards —
+// a zero or garbage element that entered the running product would
+// corrupt every later element's inverse, letting one malformed ciphertext
+// poison its batch neighbors. Fuzzing pins that a genuine element always
+// decrypts identically no matter what surrounds it.
+//
+// # Boundary-conversion rule
+//
+// Montgomery form never crosses the package boundary: values enter the
+// Montgomery domain only in unmarshal/from-big conversions and leave it
+// only in marshal/to-big conversions. Batching and comb tables change
+// scheduling, never representation, so every wire encoding (G1/G2/GT
+// points, keys, ciphertexts, signatures) remains byte-identical to the
+// big.Int reference.
+//
 // All operations on exported types are constant-structure but NOT
 // constant-time; this substrate targets protocol research, not production
 // deployment against local side-channel attackers.

@@ -449,3 +449,50 @@ func TestUnmarshalDifferential(t *testing.T) {
 		t.Fatal("G2 unmarshal/marshal round trip changed bytes")
 	}
 }
+
+// TestCombScalarBaseMultDifferential cross-checks the fixed-base comb
+// tables bit-for-bit against the generic Jacobian ladder AND the big.Int
+// reference, over random scalars and the edge scalars 0, 1, r−1, r (and a
+// few beyond-r values to exercise the reduction path).
+func TestCombScalarBaseMultDifferential(t *testing.T) {
+	scalars := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(Order, big.NewInt(1)),
+		new(big.Int).Set(Order),
+		new(big.Int).Add(Order, big.NewInt(1)),
+		new(big.Int).Lsh(big.NewInt(1), 255),
+	}
+	for i := 0; i < 20; i++ {
+		k, err := RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars = append(scalars, k)
+	}
+	for _, k := range scalars {
+		comb1 := new(G1).ScalarBaseMult(k).Marshal()
+		ladder1 := new(G1).ScalarMult(G1Generator(), k).Marshal()
+		ref1 := new(refG1).ScalarBaseMult(k).Marshal()
+		if !bytes.Equal(comb1, ladder1) || !bytes.Equal(comb1, ref1) {
+			t.Fatalf("G1 comb mismatch for k=%v:\ncomb   %x\nladder %x\nref    %x", k, comb1, ladder1, ref1)
+		}
+		comb2 := new(G2).ScalarBaseMult(k).Marshal()
+		ladder2 := new(G2).ScalarMult(G2Generator(), k).Marshal()
+		ref2 := new(refG2).ScalarBaseMult(k).Marshal()
+		if !bytes.Equal(comb2, ladder2) || !bytes.Equal(comb2, ref2) {
+			t.Fatalf("G2 comb mismatch for k=%v:\ncomb   %x\nladder %x\nref    %x", k, comb2, ladder2, ref2)
+		}
+	}
+	// The batched variant must match element-wise, including a zero scalar
+	// (infinity) in the middle of the shared affine-conversion pass.
+	ks := []*big.Int{scalars[3], big.NewInt(0), scalars[len(scalars)-1], big.NewInt(7)}
+	batch := G2ScalarBaseMultBatch(ks)
+	for i, k := range ks {
+		want := new(G2).ScalarBaseMult(k)
+		if !batch[i].Equal(want) {
+			t.Fatalf("G2ScalarBaseMultBatch[%d] mismatch for k=%v", i, k)
+		}
+	}
+}

@@ -265,9 +265,16 @@ func (p *G1) ScalarMult(a *G1, k *big.Int) *G1 {
 	return p
 }
 
-// ScalarBaseMult sets p = k·G where G is the conventional generator.
+// ScalarBaseMult sets p = k·G where G is the conventional generator, using
+// the fixed-base comb table (see comb.go). Results are bit-identical to
+// ScalarMult(G1Generator(), k).
 func (p *G1) ScalarBaseMult(k *big.Int) *G1 {
-	return p.ScalarMult(G1Generator(), k)
+	var buf [32]byte
+	combScalarBytes(&buf, k)
+	var acc g1Jac
+	g1CombMult(&acc, &buf)
+	acc.toAffine(p)
+	return p
 }
 
 // Marshal encodes p as x ‖ y (32-byte big-endian each). Infinity encodes as

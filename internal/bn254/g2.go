@@ -275,9 +275,15 @@ func (p *G2) ScalarMult(a *G2, k *big.Int) *G2 {
 	return p
 }
 
-// ScalarBaseMult sets p = k·G2gen.
+// ScalarBaseMult sets p = k·G2gen, using the fixed-base comb table (see
+// comb.go). Results are bit-identical to ScalarMult(G2Generator(), k).
 func (p *G2) ScalarBaseMult(k *big.Int) *G2 {
-	return p.ScalarMult(G2Generator(), k)
+	var buf [32]byte
+	combScalarBytes(&buf, k)
+	var acc g2Jac
+	g2CombMult(&acc, &buf)
+	acc.toAffine(p)
+	return p
 }
 
 // isInSubgroup reports whether Order·p = ∞ (inversion-free check on the

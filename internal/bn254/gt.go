@@ -65,13 +65,20 @@ func (g *GT) coeffs() [12]*fe {
 
 // Marshal encodes g as twelve 32-byte big-endian coefficients.
 func (g *GT) Marshal() []byte {
-	out := make([]byte, gtMarshalledSize)
+	return g.AppendMarshal(make([]byte, 0, gtMarshalledSize))
+}
+
+// AppendMarshal appends the Marshal encoding of g to dst and returns the
+// extended slice. Passing a buffer with spare capacity (buf[:0]) makes the
+// encoding allocation-free — the batched scan uses this for its per-
+// ciphertext key derivation.
+func (g *GT) AppendMarshal(dst []byte) []byte {
 	var buf [32]byte
-	for i, c := range g.coeffs() {
+	for _, c := range g.coeffs() {
 		feBytes(c, &buf)
-		copy(out[i*32:(i+1)*32], buf[:])
+		dst = append(dst, buf[:]...)
 	}
-	return out
+	return dst
 }
 
 // Unmarshal decodes an element encoded with Marshal. It checks coefficient

@@ -164,6 +164,13 @@ func addStep(coeffs []lineCoeff, t *g1Jac, p *G1) []lineCoeff {
 // which the final exponentiation kills).
 func evalLines(coeffs []lineCoeff, xq, yq *fe2) *fe12 {
 	f := new(fe12)
+	evalLinesInto(f, coeffs, xq, yq)
+	return f
+}
+
+// evalLinesInto is evalLines writing into caller-owned storage, so the
+// batched scan pipeline can run Miller loops without allocating.
+func evalLinesInto(f *fe12, coeffs []lineCoeff, xq, yq *fe2) {
 	f.SetOne()
 	k := 0
 	apply := func() {
@@ -184,7 +191,6 @@ func evalLines(coeffs []lineCoeff, xq, yq *fe2) *fe12 {
 			apply()
 		}
 	}
-	return f
 }
 
 // finalExp maps a Miller value into GT:

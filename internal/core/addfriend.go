@@ -22,6 +22,12 @@ import (
 // This file implements the client side of the add-friend protocol
 // (Algorithm 1 in the paper).
 
+// scanChunkSize is how many mailbox entries one scan worker feeds to
+// ibe.DecryptBatch at a time: large enough to amortize the batch's shared
+// field inversion, small enough that a 24k-entry mailbox still spreads
+// evenly over a handful of cores.
+const scanChunkSize = 32
+
 // SubmitAddFriendRound performs the submission half of an add-friend round:
 // it verifies the round settings, extracts this round's identity key shares
 // and PKG attestations (step 1), builds either a real friend request
@@ -271,29 +277,45 @@ func (c *Client) ScanAddFriendRound(ctx context.Context, round uint32) error {
 	// Every trial decryption pairs against the same identity key, so the
 	// key's Miller-loop ladder is precomputed once (before the workers
 	// start — the precomputation is not concurrency-safe) and shared
-	// read-only by the pool.
+	// read-only by the pool. Each worker pulls a CHUNK of the mailbox and
+	// runs it through ibe.DecryptBatch, which amortizes the shared-
+	// inversion pairing pipeline across the chunk; results land at their
+	// mailbox index, preserving processing order.
 	secrets.identityKey.Precompute()
 	n := len(box) / wire.EncryptedFriendRequestSize
 	plaintexts := make([][]byte, n)
+	chunks := (n + scanChunkSize - 1) / scanChunkSize
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if workers > chunks {
+		workers = chunks
 	}
 	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
+	next := make(chan int, chunks)
+	for chunk := 0; chunk < chunks; chunk++ {
+		next <- chunk
 	}
 	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				off := i * wire.EncryptedFriendRequestSize
-				ctxt := box[off : off+wire.EncryptedFriendRequestSize]
-				if pt, ok := ibe.Decrypt(secrets.identityKey, ctxt); ok {
-					plaintexts[i] = pt
+			ctxts := make([][]byte, 0, scanChunkSize)
+			for chunk := range next {
+				lo := chunk * scanChunkSize
+				hi := lo + scanChunkSize
+				if hi > n {
+					hi = n
+				}
+				ctxts = ctxts[:0]
+				for i := lo; i < hi; i++ {
+					off := i * wire.EncryptedFriendRequestSize
+					ctxts = append(ctxts, box[off:off+wire.EncryptedFriendRequestSize])
+				}
+				pts, oks := ibe.DecryptBatch(secrets.identityKey, ctxts)
+				for j, ok := range oks {
+					if ok {
+						plaintexts[lo+j] = pts[j]
+					}
 				}
 			}
 		}()

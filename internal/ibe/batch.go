@@ -1,0 +1,93 @@
+package ibe
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"alpenhorn/internal/bn254"
+)
+
+// sealKeyPrefix is the domain-separation tag of sealKey, hoisted so the
+// batched path can hash it without rebuilding the byte slice.
+var sealKeyPrefix = []byte("alpenhorn/ibe/seal-key:")
+
+// batchScratch bundles the reusable buffers of one DecryptBatch call:
+// the bn254 pipeline scratch plus the pairing outputs and the hash
+// buffers for key derivation. Pooled so concurrent mailbox-scan workers
+// each grab a warm set instead of reallocating per chunk.
+type batchScratch struct {
+	pair   *bn254.PairScratch
+	gts    []bn254.GT
+	ok     []bool
+	raws   [][]byte
+	gtBuf  []byte
+	keyBuf []byte
+}
+
+var batchPool = sync.Pool{
+	New: func() interface{} {
+		return &batchScratch{
+			pair:  bn254.NewPairScratch(0),
+			gtBuf: make([]byte, 0, 384),
+		}
+	},
+}
+
+func (s *batchScratch) grow(n int) {
+	if cap(s.gts) < n {
+		s.gts = make([]bn254.GT, n)
+		s.ok = make([]bool, n)
+		s.raws = make([][]byte, n)
+	}
+	s.gts = s.gts[:n]
+	s.ok = s.ok[:n]
+	s.raws = s.raws[:n]
+}
+
+// DecryptBatch trial-decrypts a whole slice of ciphertexts with one key,
+// element-wise identical to calling Decrypt on each (msgs[i], oks[i]) ==
+// Decrypt(ipk, ctxts[i]) — but sharing the batched pairing pipeline:
+// ψ-checked unmarshaling, one Fp12 inversion for the whole batch, and the
+// decomposed final exponentiation (see bn254.PairBatch). Malformed or
+// foreign ciphertexts yield oks[i] = false without disturbing their
+// neighbors. Safe for concurrent calls with the same key, which is how
+// the mailbox-scan worker pool uses it.
+func DecryptBatch(ipk *IdentityPrivateKey, ctxts [][]byte) ([][]byte, []bool) {
+	n := len(ctxts)
+	msgs := make([][]byte, n)
+	oks := make([]bool, n)
+	if n == 0 {
+		return msgs, oks
+	}
+	pre := ipk.pre
+	if pre == nil {
+		pre = bn254.PrecomputeG1(ipk.d)
+	}
+	s := batchPool.Get().(*batchScratch)
+	s.grow(n)
+	for i, c := range ctxts {
+		if len(c) < Overhead {
+			s.raws[i] = nil // wrong length: flagged invalid by the pipeline
+		} else {
+			s.raws[i] = c[:128]
+		}
+	}
+	pre.PairBatch(s.raws, s.gts, s.ok, s.pair)
+	h := sha256.New()
+	for i := range ctxts {
+		if !s.ok[i] {
+			continue
+		}
+		h.Reset()
+		h.Write(sealKeyPrefix)
+		s.gtBuf = s.gts[i].AppendMarshal(s.gtBuf[:0])
+		h.Write(s.gtBuf)
+		s.keyBuf = h.Sum(s.keyBuf[:0])
+		msgs[i], oks[i] = aeadOpen(s.keyBuf, ctxts[i][128:])
+	}
+	for i := range s.raws {
+		s.raws[i] = nil // do not retain caller ciphertexts in the pool
+	}
+	batchPool.Put(s)
+	return msgs, oks
+}

@@ -2,6 +2,7 @@ package ibe
 
 import (
 	"io"
+	"math/big"
 
 	"alpenhorn/internal/bn254"
 )
@@ -15,16 +16,36 @@ import (
 // Boneh-Franklin IBE (§4.3): real ciphertexts carry no recipient- or
 // sender-dependent structure.
 func RandomCiphertext(rand io.Reader, msgLen int) ([]byte, error) {
-	r, err := bn254.RandomScalar(rand)
+	outs, err := RandomCiphertexts(rand, msgLen, 1)
 	if err != nil {
 		return nil, err
 	}
-	u := new(bn254.G2).ScalarBaseMult(r)
-	out := make([]byte, 0, msgLen+Overhead)
-	out = append(out, u.Marshal()...)
-	tail := make([]byte, msgLen+Overhead-128)
-	if _, err := io.ReadFull(rand, tail); err != nil {
-		return nil, err
+	return outs[0], nil
+}
+
+// RandomCiphertexts generates n noise blobs in one pass: the comb-table
+// scalar multiplications run in Jacobian form and share one affine-
+// conversion inversion (bn254.G2ScalarBaseMultBatch). Randomness is
+// consumed in exactly the per-message order of repeated RandomCiphertext
+// calls — scalar i, then tail i — so a deterministic rand source produces
+// byte-identical noise either way (a unit test pins this).
+func RandomCiphertexts(rand io.Reader, msgLen, n int) ([][]byte, error) {
+	outs := make([][]byte, n)
+	scalars := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		r, err := bn254.RandomScalar(rand)
+		if err != nil {
+			return nil, err
+		}
+		scalars[i] = r
+		buf := make([]byte, msgLen+Overhead)
+		if _, err := io.ReadFull(rand, buf[128:]); err != nil {
+			return nil, err
+		}
+		outs[i] = buf
 	}
-	return append(out, tail...), nil
+	for i, u := range bn254.G2ScalarBaseMultBatch(scalars) {
+		copy(outs[i][:128], u.Marshal())
+	}
+	return outs, nil
 }

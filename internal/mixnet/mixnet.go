@@ -718,12 +718,12 @@ func (s *Server) generateNoise(service wire.Service, numMailboxes uint32, downst
 		if err != nil {
 			return nil, err
 		}
+		bodies, err := s.noiseBodies(service, n)
+		if err != nil {
+			return nil, err
+		}
 		var msgs [][]byte
-		for i := 0; i < n; i++ {
-			body, err := s.noiseBody(service)
-			if err != nil {
-				return nil, err
-			}
+		for _, body := range bodies {
 			payload := (&wire.MixPayload{Mailbox: mb, Body: body}).Marshal()
 			wrapped, err := onionbox.WrapOnion(s.randSrc, downstream, payload)
 			if err != nil {
@@ -753,14 +753,26 @@ func (s *Server) generateNoise(service wire.Service, numMailboxes uint32, downst
 	return msgs, nil
 }
 
-func (s *Server) noiseBody(service wire.Service) ([]byte, error) {
+// noiseBodies generates one mailbox's worth of noise bodies. Add-friend
+// blobs are produced by the batched IBE noise generator — the comb-table
+// scalar multiplications share one affine-conversion inversion across the
+// mailbox — consuming randomness in exactly the order of n sequential
+// RandomCiphertext calls, so noise bytes are identical to the unbatched
+// path under a fixed rand source.
+func (s *Server) noiseBodies(service wire.Service, n int) ([][]byte, error) {
 	switch service {
 	case wire.AddFriend:
-		return ibe.RandomCiphertext(s.randSrc, wire.FriendRequestSize)
+		return ibe.RandomCiphertexts(s.randSrc, wire.FriendRequestSize, n)
 	case wire.Dialing:
-		tok := make([]byte, keywheel.TokenSize)
-		_, err := io.ReadFull(s.randSrc, tok)
-		return tok, err
+		bodies := make([][]byte, n)
+		for i := range bodies {
+			tok := make([]byte, keywheel.TokenSize)
+			if _, err := io.ReadFull(s.randSrc, tok); err != nil {
+				return nil, err
+			}
+			bodies[i] = tok
+		}
+		return bodies, nil
 	default:
 		return nil, fmt.Errorf("mixnet: unknown service %v", service)
 	}

@@ -150,11 +150,15 @@ type CostCalibration struct {
 	// NoiseSecondsPerMessage is the per-noise-message generation cost.
 	NoiseSecondsPerMessage float64
 	// IBEDecryptSeconds is one trial decryption during a mailbox scan,
-	// in the scan configuration: the identity key's Miller-loop ladder
-	// is precomputed once per mailbox, so this is the marginal
-	// per-ciphertext cost. On the Montgomery-limb backend it is ~5 ms
-	// on the dev machine (was ~135 ms on big.Int, which made this term
-	// dominate the whole Figure 8 "ours" curve).
+	// in the scan configuration clients run: the identity key's
+	// Miller-loop ladder is precomputed once per mailbox and ciphertexts
+	// go through ibe.DecryptBatch in chunks, which shares one field
+	// inversion across the whole chunk (Montgomery's trick) and uses the
+	// decomposed final exponentiation, so this is the marginal
+	// per-ciphertext cost of the batched pipeline. On the Montgomery-limb
+	// backend it is ~2-4 ms on the dev machine (~5 ms unbatched; ~135 ms
+	// on big.Int, which made this term dominate the whole Figure 8
+	// "ours" curve).
 	IBEDecryptSeconds float64
 	// TokenScanSeconds is one keywheel token derivation + Bloom probe.
 	TokenScanSeconds float64
