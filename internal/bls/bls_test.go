@@ -3,6 +3,8 @@ package bls
 import (
 	"crypto/rand"
 	"testing"
+
+	"alpenhorn/internal/bn254"
 )
 
 func TestSignVerify(t *testing.T) {
@@ -133,5 +135,52 @@ func TestSignatureSizeConstant(t *testing.T) {
 	agg := AggregateSignatures(sigs...)
 	if len(agg.Marshal()) != SignatureSize {
 		t.Fatalf("aggregate signature size %d, want %d", len(agg.Marshal()), SignatureSize)
+	}
+}
+
+// TestVerifyMatchesTwoPairReconstruction pins the combined pairing check
+// that Verify uses — one shared Miller product through the decomposed
+// final exponentiation — against the textbook two-pairing reconstruction
+// e(σ, G2) == e(H(m), pk) computed via bn254.Pair, which retains the
+// generic windowed final exponentiation as its oracle. The two paths must
+// agree on valid signatures, tampered messages, tampered signatures, and
+// mismatched keys.
+func TestVerifyMatchesTwoPairReconstruction(t *testing.T) {
+	reconstruct := func(pub *PublicKey, msg []byte, sig *Signature) bool {
+		if pub == nil || sig == nil || sig.s.IsInfinity() {
+			return false
+		}
+		h := bn254.HashToG1("bls-signature", msg)
+		return bn254.Pair(sig.s, bn254.G2Generator()).Equal(bn254.Pair(h, pub.p))
+	}
+	pub, priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherPub, _, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("pkg attests bob@example.org at round 42")
+	sig := Sign(priv, msg)
+	tamperedSig := &Signature{s: new(bn254.G1).Add(sig.s, sig.s)}
+	cases := []struct {
+		name string
+		pub  *PublicKey
+		msg  []byte
+		sig  *Signature
+		want bool
+	}{
+		{"valid", pub, msg, sig, true},
+		{"tampered message", pub, []byte("pkg attests eve@example.org at round 42"), sig, false},
+		{"tampered signature", pub, msg, tamperedSig, false},
+		{"wrong key", otherPub, msg, sig, false},
+	}
+	for _, c := range cases {
+		got := Verify(c.pub, c.msg, c.sig)
+		oracle := reconstruct(c.pub, c.msg, c.sig)
+		if got != c.want || oracle != c.want {
+			t.Fatalf("%s: Verify=%v oracle=%v want=%v", c.name, got, oracle, c.want)
+		}
 	}
 }

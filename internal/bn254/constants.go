@@ -67,6 +67,24 @@
 // poison its batch neighbors. Fuzzing pins that a genuine element always
 // decrypts identically no matter what surrounds it.
 //
+// # Optimal-ate pairing (AtePair)
+//
+// Alongside the Tate pairing the package provides the optimal ate pairing
+// (ate.go): the Miller loop runs over the G2 argument on the twist for
+// |6u+2| ≈ 2⁶⁵ iterations in non-adjacent form — roughly a quarter of the
+// Tate loop's Order.BitLen() ≈ 254 — followed by two Frobenius correction
+// steps through the twist endomorphism ψ, then the same final
+// exponentiation. Both maps are nondegenerate bilinear pairings on
+// G1 × G2 and their reduced values differ by a FIXED exponent: e_ate =
+// e_tate^κ with κ constant across all inputs. That relation is the
+// differential oracle — the Tate path is retained untouched, an init-time
+// check pins AtePair's consistency on generator multiples before first
+// use, and tests cross-check bilinearity of both loops on random points.
+// AtePrecomputedG1.PairBatch mirrors the Tate batch pipeline (same
+// 4-phase structure, same shared-inversion invariant, same PairScratch)
+// over the shorter loop; v2 decodes subgroup-check via the
+// Galbraith–Scott ψ-ladder identity rather than the [6u²] ladder.
+//
 // # Boundary-conversion rule
 //
 // Montgomery form never crosses the package boundary: values enter the
@@ -75,6 +93,18 @@
 // scheduling, never representation, so every wire encoding (G1/G2/GT
 // points, keys, ciphertexts, signatures) remains byte-identical to the
 // big.Int reference.
+//
+// # Pairing-version negotiation rule
+//
+// The two pairings are deliberately NOT interchangeable: deriving keys
+// from e_ate where a peer derives from e_tate yields unrelated secrets.
+// Protocol layers therefore treat the pairing as a versioned capability
+// (wire.RoundSettings.PairingVersion): v1 = Tate, v2 = optimal ate,
+// negotiated per round, all participants of a round on one version, with
+// transparent degradation to v1 when any participant lacks v2. Like the
+// boundary-conversion rule this is representation-stable: a v1 round's
+// wire bytes are byte-identical to pre-capability encodings, and v2
+// changes which pairing keys a ciphertext — never any encoding.
 //
 // All operations on exported types are constant-structure but NOT
 // constant-time; this substrate targets protocol research, not production

@@ -99,6 +99,32 @@ func (e *fe12) MulLine(a *fe12, cst *fe, b, c *fe2) *fe12 {
 	return e
 }
 
+// MulAteLine sets e = a·ℓ for the sparse optimal-ate line value
+//
+//	ℓ = c + b·w + la·w³   (c, b, la ∈ Fp2)
+//
+// produced by the ate Miller loop, whose ladder runs on the TWIST side
+// (coefficients in Fp2, evaluation point in Fp — the mirror image of
+// MulLine). In tower coordinates c sits at c0.c0, b at c1.c0, and la at
+// c1.c1, so L0 = c and L1 = b + la·v. Karatsuba over the Fp6 halves with
+// the sparse products costs ~15 Fp2 multiplications instead of 18 for a
+// generic Mul.
+func (e *fe12) MulAteLine(a *fe12, c, b, la *fe2) *fe12 {
+	var v0, v1, cross, sa fe6
+	v0.mulByFe2(&a.c0, c)
+	v1.mulBy01fe2(&a.c1, b, la)
+	var cb fe2
+	cb.Add(c, b)
+	sa.Add(&a.c0, &a.c1)
+	cross.mulBy01fe2(&sa, &cb, la)
+	cross.Sub(&cross, &v0)
+	e.c1.Sub(&cross, &v1)
+	var vv1 fe6
+	vv1.MulV(&v1)
+	e.c0.Add(&v0, &vv1)
+	return e
+}
+
 // Conjugate sets e = a0 − a1·w: the p⁶-power Frobenius map.
 func (e *fe12) Conjugate(a *fe12) *fe12 {
 	e.c0 = a.c0

@@ -150,6 +150,37 @@ func (e *fe6) mulBy1(a *fe6, b1 *fe2) *fe6 {
 	return e
 }
 
+// mulByFe2 sets e = a·b for a scalar b ∈ Fp2 (three Fp2 multiplications) —
+// the w-even half of an ate line's sparse product.
+func (e *fe6) mulByFe2(a *fe6, b *fe2) *fe6 {
+	e.c0.Mul(&a.c0, b)
+	e.c1.Mul(&a.c1, b)
+	e.c2.Mul(&a.c2, b)
+	return e
+}
+
+// mulBy01fe2 is mulBy01 with a full Fp2 constant term: e = a·(b0 + b1·v),
+// b0, b1 ∈ Fp2 — the w-odd half of an ate line (the ate ladder runs on the
+// twist, so its line coefficients are Fp2 values, not Fp):
+//
+//	e0 = b0·a0 + ξ·(b1·a2)
+//	e1 = b0·a1 + b1·a0
+//	e2 = b0·a2 + b1·a1
+func (e *fe6) mulBy01fe2(a *fe6, b0, b1 *fe2) *fe6 {
+	var s0, s1, s2, t0, t1, t2 fe2
+	s0.Mul(&a.c0, b0)
+	s1.Mul(&a.c1, b0)
+	s2.Mul(&a.c2, b0)
+	t0.Mul(b1, &a.c2)
+	t0.MulXi(&t0)
+	t1.Mul(b1, &a.c0)
+	t2.Mul(b1, &a.c1)
+	e.c0.Add(&s0, &t0)
+	e.c1.Add(&s1, &t1)
+	e.c2.Add(&s2, &t2)
+	return e
+}
+
 // Invert sets e = a⁻¹ using the standard formula for cubic extensions:
 //
 //	A = c0² − ξ·c1·c2,  B = ξ·c2² − c0·c1,  C = c1² − c0·c2

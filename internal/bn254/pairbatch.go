@@ -59,29 +59,50 @@ func (e *fe12) Frobenius(a *fe12) *fe12 {
 	return e
 }
 
-// uLow is the BN parameter u as a word (it is positive and 63 bits), for
-// the branch-per-bit exponentiation below.
-var uLow = deriveULow()
+// uNAF is the BN parameter u in non-adjacent form, most significant digit
+// last. Conjugation is free inversion in the cyclotomic subgroup, so the
+// signed recoding trades binary Hamming weight 28 for NAF weight 24 in
+// each of the three hard-part exponentiations by u.
+var uNAF = deriveNAF(u)
 
-func deriveULow() uint64 {
-	if u.Sign() <= 0 || u.BitLen() > 64 {
-		panic("bn254: BN parameter u does not fit a word")
+// deriveNAF returns the non-adjacent form of a positive k (digits in
+// {−1, 0, 1}, least significant first, no two adjacent nonzero).
+func deriveNAF(k *big.Int) []int8 {
+	if k.Sign() <= 0 {
+		panic("bn254: NAF recoding of a non-positive exponent")
 	}
-	return u.Uint64()
+	n := new(big.Int).Set(k)
+	var digits []int8
+	four := big.NewInt(4)
+	for n.Sign() > 0 {
+		if n.Bit(0) == 1 {
+			d := int8(2 - new(big.Int).Mod(n, four).Int64())
+			digits = append(digits, d)
+			n.Sub(n, big.NewInt(int64(d)))
+		} else {
+			digits = append(digits, 0)
+		}
+		n.Rsh(n, 1)
+	}
+	if digits[len(digits)-1] != 1 {
+		panic("bn254: NAF recoding lost the leading digit")
+	}
+	return digits
 }
 
-// cycloExpU sets e = a^u for a in the cyclotomic subgroup.
+// cycloExpU sets e = a^u for a in the cyclotomic subgroup, walking uNAF
+// with conj(a) standing in for a⁻¹ (a^(p⁶+1) = 1 there).
 func (e *fe12) cycloExpU(a *fe12) *fe12 {
-	var acc fe12
+	var acc, aInv fe12
 	acc.Set(a)
-	top := 63
-	for top >= 0 && (uLow>>uint(top))&1 == 0 {
-		top--
-	}
-	for i := top - 1; i >= 0; i-- {
+	aInv.Conjugate(a)
+	for i := len(uNAF) - 2; i >= 0; i-- {
 		acc.CyclotomicSquare(&acc)
-		if (uLow>>uint(i))&1 == 1 {
+		switch uNAF[i] {
+		case 1:
 			acc.Mul(&acc, a)
+		case -1:
+			acc.Mul(&acc, &aInv)
 		}
 	}
 	return e.Set(&acc)
@@ -201,9 +222,13 @@ const (
 )
 
 // g2DecodeBatch decodes one wire-encoded G2 element for the batch
-// pipeline: same length/range/curve acceptance as G2.Unmarshal, with the
-// ψ-endomorphism subgroup check in place of the Order ladder.
-func g2DecodeBatch(q *G2, raw []byte) uint8 {
+// pipeline: same length/range/curve acceptance as G2.Unmarshal, with a
+// fast subgroup check in place of the Order ladder — the ψ-endomorphism
+// half-length ladder for the v1 Tate batch, or (gsCheck) the
+// Galbraith–Scott short-vector check for the v2 ate batch. All three
+// checks accept exactly the same set of points; differential and fuzz
+// tests pin the equivalence.
+func g2DecodeBatch(q *G2, raw []byte, gsCheck bool) uint8 {
 	if len(raw) != g2MarshalledSize {
 		return batchInvalid
 	}
@@ -226,7 +251,14 @@ func g2DecodeBatch(q *G2, raw []byte) uint8 {
 	q.x = fe2{c0: coords[0], c1: coords[1]}
 	q.y = fe2{c0: coords[2], c1: coords[3]}
 	q.inf = false
-	if !q.IsOnCurve() || !q.isInSubgroupPsi() {
+	if !q.IsOnCurve() {
+		return batchInvalid
+	}
+	if gsCheck {
+		if !q.isInSubgroupGS() {
+			return batchInvalid
+		}
+	} else if !q.isInSubgroupPsi() {
 		return batchInvalid
 	}
 	return batchPoint
@@ -285,7 +317,7 @@ func (pc *PrecomputedG1) PairBatch(raws [][]byte, dst []GT, ok []bool, scratch *
 	// Phase 1: decode + curve + ψ subgroup checks.
 	var q G2
 	for i := range raws {
-		st := g2DecodeBatch(&q, raws[i])
+		st := g2DecodeBatch(&q, raws[i], false)
 		scratch.state[i] = st
 		if st == batchPoint {
 			scratch.qx[i] = q.x

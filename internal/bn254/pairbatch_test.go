@@ -62,6 +62,57 @@ func TestFinalExpHardDecompDifferential(t *testing.T) {
 	}
 }
 
+// TestFinalExpDecompDifferential pins the full decomposed final
+// exponentiation (easy part + Devegili–Scott hard part, as used by
+// PairingCheck and both batch pipelines) against the windowed finalExp
+// that Pair retains as the oracle, on arbitrary — not merely
+// cyclotomic — field elements and on a genuine Miller value.
+func TestFinalExpDecompDifferential(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		f := randFe12(t)
+		want := finalExp(&f)
+		got := finalExpDecomp(&f)
+		if !got.Equal(want) {
+			t.Fatalf("decomposed final exp disagrees with windowed final exp on trial %d", i)
+		}
+	}
+	m := evalLines(g1Lines(G1Generator()), &G2Generator().x, &G2Generator().y)
+	if !finalExpDecomp(m).Equal(finalExp(m)) {
+		t.Fatal("decomposed final exp disagrees on a Miller value")
+	}
+}
+
+// TestFinalExpDecompSpeedupPin guards the hard-part decomposition used by
+// PairingCheck (the BLS verification path): it must beat the generic
+// windowed exponentiation by at least 1.5x (measured ~2x; the floor
+// leaves a flake margin). Skipped in -short mode like the other pins.
+func TestFinalExpDecompSpeedupPin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("relative perf pin skipped in -short mode")
+	}
+	f := randFe12(t)
+	best := func(n int, fn func()) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	const trials = 10
+	decomp := best(trials, func() { finalExpDecomp(&f) })
+	window := best(trials, func() { finalExp(&f) })
+	if decomp*15 > window*10 {
+		t.Errorf("decomposed final exp %v is under 1.5x the windowed %v (ratio %.2fx)",
+			decomp, window, float64(window)/float64(decomp))
+	}
+	t.Logf("final exp: decomposed %v vs windowed %v (%.2fx)",
+		decomp, window, float64(window)/float64(decomp))
+}
+
 // randTwistPoint finds a random point on the twist curve by sampling x
 // until x³ + b is a square. Such points lie outside the prime-order
 // subgroup with overwhelming probability (the twist group order is

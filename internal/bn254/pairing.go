@@ -208,8 +208,28 @@ func finalExp(f *fe12) *fe12 {
 	return out
 }
 
+// finalExpDecomp is finalExp with the hard part evaluated through the
+// Devegili–Scott Frobenius decomposition (finalExpHardDecomp) instead of
+// the generic windowed exponentiation. The two agree on every input —
+// finalExp stays as the slow differential oracle, and a pin test enforces
+// both the equality and the speedup.
+func finalExpDecomp(f *fe12) *fe12 {
+	var inv, g fe12
+	inv.Invert(f)
+	g.Conjugate(f)
+	g.Mul(&g, &inv) // f^(p⁶−1)
+	var t fe12
+	t.FrobeniusP2(&g)
+	t.Mul(&t, &g) // ^(p²+1); now in the cyclotomic subgroup
+	out := new(fe12)
+	finalExpHardDecomp(out, &t)
+	return out
+}
+
 // Pair computes the reduced Tate pairing e(p, q) ∈ GT. Pairing with the
-// identity in either argument returns the identity of GT.
+// identity in either argument returns the identity of GT. It keeps the
+// generic windowed final exponentiation as the differential oracle for
+// the decomposed hard part used by the batch pipelines and PairingCheck.
 func Pair(p *G1, q *G2) *GT {
 	if p.IsInfinity() || q.IsInfinity() {
 		return GTOne()
@@ -220,7 +240,8 @@ func Pair(p *G1, q *G2) *GT {
 // PairingCheck reports whether ∏ e(p[i], q[i]) == 1. It is used by BLS
 // signature verification: e(sig, G2) == e(H(m), pk) is checked as
 // e(sig, −G2)·e(H(m), pk) == 1. The Miller values are multiplied before a
-// single shared final exponentiation.
+// single shared final exponentiation, taken through the decomposed hard
+// part (the scalar Pair retains the windowed path as its oracle).
 func PairingCheck(ps []*G1, qs []*G2) bool {
 	if len(ps) != len(qs) {
 		return false
@@ -238,7 +259,7 @@ func PairingCheck(ps []*G1, qs []*G2) bool {
 	if !nontrivial {
 		return true
 	}
-	return finalExp(&acc).IsOne()
+	return finalExpDecomp(&acc).IsOne()
 }
 
 // PrecomputedG1 holds the Miller-loop line coefficients of a fixed G1

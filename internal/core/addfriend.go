@@ -172,10 +172,24 @@ func (c *Client) buildAddFriendPayload(round uint32, settings *wire.RoundSetting
 		}
 		masterKeys = append(masterKeys, mk)
 	}
-	agg := ibe.AggregateMasterKeys(masterKeys...).Precompute()
-	ctxt, err := ibe.Encrypt(c.cfg.Rand, agg, target.email, plaintext)
-	if err != nil {
-		return nil, nil, err
+	// The round's SIGNED settings pick the sealed-ciphertext tier: both
+	// sides of a round key their pairing off the same capability byte,
+	// so a v2 client in a v1 deployment (or vice versa) degrades
+	// transparently — never a mixed-version derivation.
+	var ctxt []byte
+	if settings.PairingV2() {
+		agg := ibe.AggregateMasterKeys(masterKeys...).PrecomputeV2()
+		c2, err := ibe.EncryptV2(c.cfg.Rand, agg, target.email, plaintext)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctxt = []byte(c2)
+	} else {
+		agg := ibe.AggregateMasterKeys(masterKeys...).Precompute()
+		ctxt, err = ibe.Encrypt(c.cfg.Rand, agg, target.email, plaintext)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	commit := func() {
@@ -280,8 +294,16 @@ func (c *Client) ScanAddFriendRound(ctx context.Context, round uint32) error {
 	// read-only by the pool. Each worker pulls a CHUNK of the mailbox and
 	// runs it through ibe.DecryptBatch, which amortizes the shared-
 	// inversion pairing pipeline across the chunk; results land at their
-	// mailbox index, preserving processing order.
-	secrets.identityKey.Precompute()
+	// mailbox index, preserving processing order. The round's signed
+	// settings select the pairing tier — a v2 round scans through the
+	// optimal-ate DecryptBatchV2 (~1.8x the batched v1 marginal cost).
+	scanBatch := ibe.DecryptBatch
+	if settings.PairingV2() {
+		secrets.identityKey.PrecomputeV2()
+		scanBatch = ibe.DecryptBatchV2
+	} else {
+		secrets.identityKey.Precompute()
+	}
 	n := len(box) / wire.EncryptedFriendRequestSize
 	plaintexts := make([][]byte, n)
 	chunks := (n + scanChunkSize - 1) / scanChunkSize
@@ -311,7 +333,7 @@ func (c *Client) ScanAddFriendRound(ctx context.Context, round uint32) error {
 					off := i * wire.EncryptedFriendRequestSize
 					ctxts = append(ctxts, box[off:off+wire.EncryptedFriendRequestSize])
 				}
-				pts, oks := ibe.DecryptBatch(secrets.identityKey, ctxts)
+				pts, oks := scanBatch(secrets.identityKey, ctxts)
 				for j, ok := range oks {
 					if ok {
 						plaintexts[lo+j] = pts[j]

@@ -138,39 +138,58 @@ func TestRandomCiphertextsDeterministic(t *testing.T) {
 	}
 }
 
-// TestDecryptBatchAllocations compares per-ciphertext heap allocations of
-// the batched and scalar scan paths. The bn254 pipeline underneath is
-// pinned at zero allocations separately; at this layer the AEAD opening
-// (stdlib cipher construction) allocates a small constant either way, so
-// the meaningful pin is that batching never allocates MORE than the
-// scalar path it replaces.
+// TestDecryptBatchAllocations ratchets per-ciphertext heap allocations of
+// the batched scan path. The bn254 pipeline underneath is pinned at zero
+// allocations separately; at this layer a warm batch pays the result
+// slices, one plaintext arena, and one AES key schedule per accepted
+// element (gcmOpen; the pooled scratch absorbs the hash state and GHASH
+// buffers). That lands well under 2 allocations per ciphertext — versus
+// ~4.5 through the scalar stdlib AEAD path — and both tiers must hold
+// the bound.
 func TestDecryptBatchAllocations(t *testing.T) {
 	pubs, privs := setupN(t, 1)
 	const identity = "bob@example.org"
-	ipk := Extract(privs[0], identity).Precompute()
+	ipk := Extract(privs[0], identity).Precompute().PrecomputeV2()
 	const n = 4
 	ctxts := make([][]byte, n)
+	ctxtsV2 := make([][]byte, n)
 	for i := range ctxts {
 		c, err := Encrypt(rand.Reader, pubs[0], identity, []byte("msg"))
 		if err != nil {
 			t.Fatal(err)
 		}
 		ctxts[i] = c
+		c2, err := EncryptV2(rand.Reader, pubs[0], identity, []byte("msg"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxtsV2[i] = c2
 	}
-	DecryptBatch(ipk, ctxts) // warm the scratch pool
+	// Warm the scratch pool.
+	DecryptBatch(ipk, ctxts)
+	DecryptBatchV2(ipk, ctxtsV2)
 
 	batched := testing.AllocsPerRun(3, func() {
 		DecryptBatch(ipk, ctxts)
+	}) / n
+	batchedV2 := testing.AllocsPerRun(3, func() {
+		DecryptBatchV2(ipk, ctxtsV2)
 	}) / n
 	scalar := testing.AllocsPerRun(3, func() {
 		for _, c := range ctxts {
 			Decrypt(ipk, c)
 		}
 	}) / n
-	if batched > scalar {
-		t.Fatalf("batched path allocates %.1f/ctxt, more than the scalar path's %.1f/ctxt", batched, scalar)
+	if batched > 2 {
+		t.Fatalf("batched v1 path allocates %.2f/ctxt; want ≤ 2", batched)
 	}
-	t.Logf("allocations per ciphertext: batched %.1f vs scalar %.1f", batched, scalar)
+	if batchedV2 > 2 {
+		t.Fatalf("batched v2 path allocates %.2f/ctxt; want ≤ 2", batchedV2)
+	}
+	if batched > scalar {
+		t.Fatalf("batched path allocates %.2f/ctxt, more than the scalar path's %.2f/ctxt", batched, scalar)
+	}
+	t.Logf("allocations per ciphertext: batched v1 %.2f, v2 %.2f vs scalar %.2f", batched, batchedV2, scalar)
 }
 
 // FuzzDecryptBatchMatchesDecrypt asserts element-wise equivalence of

@@ -43,6 +43,10 @@ type MasterPublicKey struct {
 	// pre caches the pairing precomputation for p. Set by Precompute;
 	// nil keys work identically, just without the cached setup.
 	pre *bn254.PrecomputedG2
+
+	// preV2 caches the optimal-ate line ladder for the v2 sealed-
+	// ciphertext tier. Set by PrecomputeV2.
+	preV2 *bn254.AtePrecomputedG2
 }
 
 // Precompute caches the key's pairing evaluation point for repeated
@@ -73,6 +77,10 @@ type IdentityPrivateKey struct {
 	// mailbox scan that trial-decrypts thousands of ciphertexts with one
 	// key replays the precomputed ladder instead of re-running it.
 	pre *bn254.PrecomputedG1
+
+	// preV2 caches the key's evaluation coordinates for the v2 (optimal-
+	// ate) scan. Set by PrecomputeV2; scrubbed by Erase like pre.
+	preV2 *bn254.AtePrecomputedG1
 }
 
 // Precompute runs the Miller-loop ladder for the key once, speeding up
@@ -275,6 +283,10 @@ func (k *IdentityPrivateKey) Erase() {
 	if k.pre != nil {
 		k.pre.Erase()
 		k.pre = nil
+	}
+	if k.preV2 != nil {
+		k.preV2.Erase()
+		k.preV2 = nil
 	}
 }
 

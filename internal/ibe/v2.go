@@ -1,0 +1,114 @@
+package ibe
+
+import (
+	"crypto/sha256"
+	"io"
+
+	"alpenhorn/internal/bn254"
+)
+
+// The v2 sealed-ciphertext tier: byte-for-byte the same wire layout as v1
+// (a 128-byte G2 point followed by an AES-GCM blob, Overhead unchanged)
+// but keyed by the OPTIMAL-ATE pairing instead of the Tate pairing. The
+// two reduced pairings differ by a fixed exponent, so v1 and v2 derive
+// unrelated AEAD keys from the same ciphertext bytes: a v2 ciphertext
+// scanned with the v1 path (or vice versa) fails authentication exactly
+// like a foreign message. Which tier a round uses is negotiated via the
+// PairingVersion capability in the round settings (see internal/wire);
+// these functions never mix — call sites select Encrypt/Decrypt or
+// EncryptV2/DecryptV2 from the negotiated version, and the key-derivation
+// domain tags differ as a second line of defense.
+
+// CiphertextV2 is a v2 sealed ciphertext. It is a distinct type from the
+// v1 []byte ciphertexts so encrypt-side call sites cannot hand a v2
+// ciphertext to a v1 submission path (or vice versa) without an explicit
+// conversion; on the wire the two formats are indistinguishable by
+// design — anonymity against the mailbox host requires it.
+type CiphertextV2 []byte
+
+// sealKeyV2Prefix domain-separates v2 key derivation from v1 (defense in
+// depth: the pairing values already differ).
+var sealKeyV2Prefix = []byte("alpenhorn/ibe/seal-key-v2:")
+
+// sealKeyV2 derives the v2 AEAD key from an ate pairing value.
+func sealKeyV2(g *bn254.GT) []byte {
+	h := sha256.New()
+	h.Write(sealKeyV2Prefix)
+	h.Write(g.Marshal())
+	return h.Sum(nil)
+}
+
+// PrecomputeV2 caches the optimal-ate line ladder of the key for repeated
+// v2 encryption against the same round key. Unlike the v1 Precompute —
+// where the Tate ladder runs on the varying G1 side and only the
+// evaluation point is cacheable — the ate ladder runs over THIS fixed G2
+// argument, so v2 encryption replays ~90 precomputed line triples instead
+// of re-running the twist arithmetic per message. EncryptV2 produces
+// identical ciphertexts either way. Not safe to call concurrently with
+// EncryptV2 on the same key.
+func (k *MasterPublicKey) PrecomputeV2() *MasterPublicKey {
+	k.preV2 = bn254.AtePrecomputeG2(k.p)
+	return k
+}
+
+// PrecomputeV2 caches the key's evaluation coordinates for the v2 scan.
+// The ate Miller ladder runs over the varying ciphertext element, so —
+// dual to the v1 Precompute, and the reverse of the encrypt side — there
+// are no lines to replay for a fixed G1 key: the v2 scan's win is the
+// ~4x shorter loop itself, not line replay. DecryptV2/DecryptBatchV2
+// results are identical either way. Not safe to call concurrently with
+// DecryptV2 on the same key.
+func (k *IdentityPrivateKey) PrecomputeV2() *IdentityPrivateKey {
+	k.preV2 = bn254.AtePrecomputeG1(k.d)
+	return k
+}
+
+// EncryptV2 encrypts msg to the given identity under the (possibly
+// aggregated) master public key using the v2 sealed-ciphertext tier. The
+// ciphertext is len(msg)+Overhead bytes, reveals nothing about the
+// identity, and is indistinguishable on the wire from a v1 ciphertext.
+func EncryptV2(rand io.Reader, mpk *MasterPublicKey, identity string, msg []byte) (CiphertextV2, error) {
+	r, err := bn254.RandomScalar(rand)
+	if err != nil {
+		return nil, err
+	}
+	u := new(bn254.G2).ScalarBaseMult(r)
+	q := bn254.HashToG1(hashToG1Domain, []byte(identity))
+	// a(Q, mpk)^r = a(r·Q, mpk) by bilinearity, as in v1.
+	rq := new(bn254.G1).ScalarMult(q, r)
+	var g *bn254.GT
+	if mpk.preV2 != nil {
+		g = mpk.preV2.Pair(rq)
+	} else {
+		g = bn254.AtePair(rq, mpk.p)
+	}
+
+	out := make(CiphertextV2, 0, len(msg)+Overhead)
+	out = append(out, u.Marshal()...)
+	out = append(out, aeadSeal(sealKeyV2(g), msg)...)
+	return out, nil
+}
+
+// DecryptV2 attempts to decrypt a v2 ciphertext with the given (possibly
+// aggregated) identity private key, returning ok=false if the ciphertext
+// is malformed, keyed to another identity, or sealed under the v1 tier.
+// Like Decrypt it is the scalar oracle for its batch path: it unmarshals
+// through the full Order-ladder subgroup check and opens through the
+// stdlib AEAD, and differential tests pin DecryptBatchV2 against it
+// element-wise.
+func DecryptV2(ipk *IdentityPrivateKey, ctxt CiphertextV2) ([]byte, bool) {
+	if len(ctxt) < Overhead {
+		return nil, false
+	}
+	u := new(bn254.G2)
+	if err := u.Unmarshal(ctxt[:128]); err != nil {
+		return nil, false
+	}
+	var g *bn254.GT
+	if ipk.preV2 != nil {
+		g = ipk.preV2.Pair(u)
+	} else {
+		g = bn254.AtePair(ipk.d, u)
+	}
+	return aeadOpen(sealKeyV2(g), ctxt[128:])
+}

@@ -1,0 +1,223 @@
+package ibe
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+// TestV2RoundTrip pins the v2 tier end to end: encrypt/decrypt round-trips
+// for plain, aggregated, and precomputed keys, with the same Overhead and
+// wire shape as v1.
+func TestV2RoundTrip(t *testing.T) {
+	pubs, privs := setupN(t, 2)
+	mpk := AggregateMasterKeys(pubs...)
+	const identity = "bob@example.org"
+	ipk := AggregatePrivateKeys(
+		Extract(privs[0], identity),
+		Extract(privs[1], identity),
+	)
+	msg := []byte("sealed under the ate loop")
+	ctxt, err := EncryptV2(rand.Reader, mpk, identity, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctxt) != len(msg)+Overhead {
+		t.Fatalf("v2 ciphertext is %d bytes, want %d", len(ctxt), len(msg)+Overhead)
+	}
+	got, ok := DecryptV2(ipk, ctxt)
+	if !ok || !bytes.Equal(got, msg) {
+		t.Fatalf("v2 round trip failed: (%q, %v)", got, ok)
+	}
+	// Precomputed keys must produce identical ciphertext semantics.
+	mpk.PrecomputeV2()
+	ipk.PrecomputeV2()
+	ctxt2, err := EncryptV2(rand.Reader, mpk, identity, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = DecryptV2(ipk, ctxt2)
+	if !ok || !bytes.Equal(got, msg) {
+		t.Fatalf("precomputed v2 round trip failed: (%q, %v)", got, ok)
+	}
+	if _, ok := DecryptV2(ipk, ctxt); !ok {
+		t.Fatal("precomputed key rejected a plain-key ciphertext")
+	}
+	// Wrong identity rejects.
+	other := AggregatePrivateKeys(
+		Extract(privs[0], "eve@example.org"),
+		Extract(privs[1], "eve@example.org"),
+	)
+	if _, ok := DecryptV2(other, ctxt); ok {
+		t.Fatal("v2 ciphertext decrypted under the wrong identity")
+	}
+	// Erased keys reject, scrubbing the v2 precompute too.
+	ipk.Erase()
+	if ipk.preV2 != nil {
+		t.Fatal("Erase left the v2 precomputation behind")
+	}
+	if _, ok := DecryptV2(ipk, ctxt); ok {
+		t.Fatal("erased key still decrypts v2 ciphertexts")
+	}
+}
+
+// TestV2V1Separation pins the tier separation: the same wire bytes sealed
+// under one pairing version never open under the other, in either the
+// scalar or batched paths. This is the client-visible face of the fixed-
+// exponent relation between the two pairings.
+func TestV2V1Separation(t *testing.T) {
+	pubs, privs := setupN(t, 1)
+	const identity = "bob@example.org"
+	ipk := Extract(privs[0], identity)
+	msg := []byte("tier-locked")
+	v1, err := Encrypt(rand.Reader, pubs[0], identity, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := EncryptV2(rand.Reader, pubs[0], identity, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecryptV2(ipk, CiphertextV2(v1)); ok {
+		t.Fatal("v1 ciphertext opened under the v2 tier")
+	}
+	if _, ok := Decrypt(ipk, []byte(v2)); ok {
+		t.Fatal("v2 ciphertext opened under the v1 tier")
+	}
+	_, oks := DecryptBatchV2(ipk, [][]byte{v1, v2, v1})
+	if oks[0] || !oks[1] || oks[2] {
+		t.Fatalf("v2 batch acceptance %v, want [false true false]", oks)
+	}
+	_, oks = DecryptBatch(ipk, [][]byte{v2, v1, v2})
+	if oks[0] || !oks[1] || oks[2] {
+		t.Fatalf("v1 batch acceptance %v, want [false true false]", oks)
+	}
+}
+
+// mixedBatchV2 is mixedBatch for the v2 tier.
+func mixedBatchV2(t testing.TB, mpk *MasterPublicKey, identity string) [][]byte {
+	t.Helper()
+	enc := func(id string, msg []byte) []byte {
+		c, err := EncryptV2(rand.Reader, mpk, id, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	good := enc(identity, []byte("hello from the v2 batch"))
+	corruptPoint := append([]byte(nil), good...)
+	corruptPoint[17] ^= 1
+	corruptTag := append([]byte(nil), enc(identity, []byte("doomed"))...)
+	corruptTag[len(corruptTag)-1] ^= 1
+	noise, err := RandomCiphertext(rand.Reader, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{
+		good,
+		enc("someone-else@example.org", []byte("not for us")),
+		corruptPoint,
+		[]byte{1, 2, 3},
+		nil,
+		corruptTag,
+		noise,
+		enc(identity, []byte("second real v2 message")),
+	}
+}
+
+// TestDecryptBatchV2MatchesDecryptV2 pins DecryptBatchV2 element-wise
+// against the scalar DecryptV2 on a batch interleaving every failure
+// mode, for plain, precomputed, and erased keys — the same contract the
+// v1 differential test enforces.
+func TestDecryptBatchV2MatchesDecryptV2(t *testing.T) {
+	pubs, privs := setupN(t, 2)
+	mpk := AggregateMasterKeys(pubs...)
+	const identity = "bob@example.org"
+	ipk := AggregatePrivateKeys(
+		Extract(privs[0], identity),
+		Extract(privs[1], identity),
+	)
+	ctxts := mixedBatchV2(t, mpk, identity)
+
+	check := func(label string) {
+		t.Helper()
+		msgs, oks := DecryptBatchV2(ipk, ctxts)
+		for i, c := range ctxts {
+			wantMsg, wantOK := DecryptV2(ipk, c)
+			if oks[i] != wantOK || !bytes.Equal(msgs[i], wantMsg) {
+				t.Fatalf("%s element %d: batch (%q, %v) != single (%q, %v)",
+					label, i, msgs[i], oks[i], wantMsg, wantOK)
+			}
+		}
+	}
+	check("plain")
+	msgs, oks := DecryptBatchV2(ipk, ctxts)
+	if !oks[0] || !oks[7] {
+		t.Fatal("v2 batch rejected genuine ciphertexts")
+	}
+	if oks[1] || oks[2] || oks[3] || oks[4] || oks[5] || oks[6] {
+		t.Fatal("v2 batch accepted a foreign/corrupt/noise ciphertext")
+	}
+	if !bytes.Equal(msgs[0], []byte("hello from the v2 batch")) {
+		t.Fatalf("v2 batch plaintext mismatch: %q", msgs[0])
+	}
+	ipk.PrecomputeV2()
+	check("precomputed")
+	ipk.Erase()
+	check("erased")
+}
+
+// FuzzDecryptBatchV2MatchesDecryptV2 is the v2 decode fuzz target:
+// adversarial blobs (arbitrary lengths, corrupted points, non-subgroup
+// points probing the Galbraith–Scott check) interleaved with a genuine v2
+// ciphertext, asserting batch/scalar equivalence and that invalid
+// neighbors never poison the shared-inversion pass.
+func FuzzDecryptBatchV2MatchesDecryptV2(f *testing.F) {
+	pub, priv, err := Setup(rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	const identity = "bob@example.org"
+	ipk := Extract(priv, identity).PrecomputeV2()
+	secret := []byte("the real v2 message")
+	good, err := EncryptV2(rand.Reader, pub, identity, secret)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, Overhead))
+	f.Add(append([]byte(nil), good...))
+	corrupt := append([]byte(nil), good...)
+	corrupt[31] ^= 0xff
+	f.Add(corrupt)
+	offSub := append([]byte(nil), good...)
+	offSub[127] ^= 2
+	f.Add(offSub)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ctxts [][]byte
+		ctxts = append(ctxts, good)
+		for len(data) > 0 && len(ctxts) < 7 {
+			n := Overhead + 8
+			if n > len(data) {
+				n = len(data)
+			}
+			ctxts = append(ctxts, data[:n])
+			data = data[n:]
+		}
+		ctxts = append(ctxts, good)
+
+		msgs, oks := DecryptBatchV2(ipk, ctxts)
+		for i, c := range ctxts {
+			wantMsg, wantOK := DecryptV2(ipk, c)
+			if oks[i] != wantOK || !bytes.Equal(msgs[i], wantMsg) {
+				t.Fatalf("element %d (%d bytes): batch (%q, %v) != single (%q, %v)",
+					i, len(c), msgs[i], oks[i], wantMsg, wantOK)
+			}
+		}
+		if !oks[0] || !bytes.Equal(msgs[0], secret) || !oks[len(ctxts)-1] {
+			t.Fatal("genuine v2 ciphertext was poisoned by its batch neighbors")
+		}
+	})
+}

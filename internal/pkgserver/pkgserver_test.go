@@ -252,6 +252,48 @@ func TestRoundKeyAnnouncementSigned(t *testing.T) {
 	}
 }
 
+// TestNewRoundV2CrossVersionConsistency pins the invariants the
+// coordinator's all-or-nothing negotiation relies on: NewRoundV2 hands
+// out the SAME master key as NewRound for an open round (in either probe
+// order), its announcement verifies only under the v2 domain tag, and a
+// closed round refuses both surfaces.
+func TestNewRoundV2CrossVersionConsistency(t *testing.T) {
+	s, _, _ := newTestPKG(t)
+	rkV2, err := s.NewRoundV2(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkV1, err := s.NewRound(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rkV2.MasterKey) != string(rkV1.MasterKey) {
+		t.Fatal("v2 and v1 announcements carry different master keys for one round")
+	}
+	if !ed25519.Verify(s.SigningKey(), wire.PKGKeyMessageV2(5, rkV2.MasterKey), rkV2.Sig) {
+		t.Fatal("v2 announcement signature invalid")
+	}
+	if ed25519.Verify(s.SigningKey(), wire.PKGKeyMessage(5, rkV2.MasterKey), rkV2.Sig) {
+		t.Fatal("v2 announcement verifies under the v1 domain")
+	}
+	// The reverse probe order (v1 first, then v2) on a fresh round.
+	rkV1, err = s.NewRound(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkV2, err = s.NewRoundV2(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rkV2.MasterKey) != string(rkV1.MasterKey) {
+		t.Fatal("master key differs when v1 opens the round first")
+	}
+	s.CloseRound(5)
+	if _, err := s.NewRoundV2(5); err != ErrRoundClosed {
+		t.Fatalf("NewRoundV2 on a closed round: %v, want ErrRoundClosed", err)
+	}
+}
+
 func TestFailingEmailProvider(t *testing.T) {
 	s, err := New(Config{Name: "x", Provider: email.FailingProvider{}})
 	if err != nil {

@@ -99,6 +99,9 @@ func RegisterPKG(s *Server, pkg *pkgserver.Server) {
 	HandleFunc(s, "pkg.newround", func(a roundArgs) (any, error) {
 		return pkg.NewRound(a.Round)
 	})
+	HandleFunc(s, "pkg.newroundv2", func(a roundArgs) (any, error) {
+		return pkg.NewRoundV2(a.Round)
+	})
 	HandleFunc(s, "pkg.closeround", func(a roundArgs) (any, error) {
 		pkg.CloseRound(a.Round)
 		return nil, nil
@@ -159,6 +162,18 @@ func (p *PKGClient) Deregister(ctx context.Context, email string, sig []byte) er
 func (p *PKGClient) NewRound(round uint32) (wire.PKGRoundKey, error) {
 	var rk wire.PKGRoundKey
 	err := p.c.Call("pkg.newround", roundArgs{Round: round}, &rk)
+	return rk, err
+}
+
+// NewRoundV2 asks the PKG for its round key signed under the optimal-ate
+// v2 domain (coordinator side). Against a daemon predating the v2 tier
+// the call fails with an unknown-method error, which the coordinator
+// treats as "capability absent" and downgrades the whole round to v1 —
+// NewRound is idempotent per open round, so the retry under v1 returns
+// the same master key.
+func (p *PKGClient) NewRoundV2(round uint32) (wire.PKGRoundKey, error) {
+	var rk wire.PKGRoundKey
+	err := p.c.Call("pkg.newroundv2", roundArgs{Round: round}, &rk)
 	return rk, err
 }
 
@@ -576,6 +591,12 @@ type Directory struct {
 	// (see the EventStream constants). Omitted by older frontends, which
 	// JSON-decodes to 0 = poll only.
 	EventStreamVersion int `json:"event_stream_version,omitempty"`
+	// PairingVersion advertises the deployment's sealed-ciphertext tier
+	// (≥2 = the optimal-ate v2 pairing; 0/absent = v1 Tate). Advisory:
+	// the authoritative per-round version is the capability byte in the
+	// SIGNED RoundSettings — clients key each round off the settings, so
+	// a frontend cannot re-tier a round by lying here.
+	PairingVersion int `json:"pairing_version,omitempty"`
 	// FrontendAddrs lists every entry frontend in the deployment
 	// (client-facing addresses, coordinator's own frontend first). All
 	// frontends replay the coordinator's announcement log in the same

@@ -63,7 +63,22 @@ type RoundSettings struct {
 	// PKGs holds the per-round IBE master public keys (add-friend rounds
 	// only; empty for dialing).
 	PKGs []PKGRoundKey
+
+	// PairingVersion is the sealed-ciphertext tier negotiated for the
+	// round: 0 and 1 both mean the v1 Tate tier (0 is simply "field
+	// absent"), 2 means the optimal-ate v2 tier. The encoding is a single
+	// trailing byte appended ONLY when the version is ≥ 2, so v1 settings
+	// marshal byte-identically to pre-capability encodings and old
+	// decoders reject v2 settings (trailing garbage) rather than silently
+	// mis-keying a round. PKG round keys are domain-separated per version
+	// (PKGKeyMessage vs PKGKeyMessageV2), so a round's signatures pin its
+	// tier: a coordinator cannot advertise v2 over v1-signed keys.
+	PairingVersion uint8
 }
+
+// PairingV2 reports whether the settings negotiate the optimal-ate v2
+// sealed-ciphertext tier.
+func (rs *RoundSettings) PairingV2() bool { return rs.PairingVersion >= 2 }
 
 // MixerRoundKey is one mixer's per-round onion key, signed with the mixer's
 // long-term ed25519 key over (service, round, key).
@@ -100,6 +115,18 @@ func PKGKeyMessage(round uint32, masterKey []byte) []byte {
 	return b.Bytes()
 }
 
+// PKGKeyMessageV2 returns the canonical bytes a PKG signs when announcing
+// a round key for the optimal-ate v2 tier. The domain tag differs from
+// PKGKeyMessage so a signature binds the key to ONE pairing version: a
+// v1 announcement cannot be replayed into a v2 round or vice versa.
+func PKGKeyMessageV2(round uint32, masterKey []byte) []byte {
+	b := NewBuffer(nil)
+	b.Raw([]byte("alpenhorn/pkg-round-key-v2:"))
+	b.Uint32(round)
+	b.Raw(masterKey)
+	return b.Bytes()
+}
+
 // Verify checks every signature in the settings against the given pinned
 // long-term server keys (one per mixer, one per PKG, in order). It returns
 // an error describing the first failure.
@@ -121,6 +148,9 @@ func (rs *RoundSettings) Verify(mixerKeys, pkgKeys []ed25519.PublicKey) error {
 	}
 	for i, p := range rs.PKGs {
 		msg := PKGKeyMessage(rs.Round, p.MasterKey)
+		if rs.PairingV2() {
+			msg = PKGKeyMessageV2(rs.Round, p.MasterKey)
+		}
 		if !ed25519.Verify(pkgKeys[i], msg, p.Sig) {
 			return fmt.Errorf("wire: bad signature from PKG %d", i)
 		}
@@ -143,6 +173,11 @@ func (rs *RoundSettings) Marshal() []byte {
 	for _, p := range rs.PKGs {
 		b.Bytes16(p.MasterKey)
 		b.Bytes16(p.Sig)
+	}
+	// The pairing-version capability byte is appended only for v2+ so
+	// that v1 settings stay byte-identical to the pre-capability format.
+	if rs.PairingV2() {
+		b.Uint8(rs.PairingVersion)
 	}
 	return b.Bytes()
 }
@@ -168,6 +203,16 @@ func UnmarshalRoundSettings(data []byte) (*RoundSettings, error) {
 			MasterKey: r.Bytes16(),
 			Sig:       r.Bytes16(),
 		})
+	}
+	// A single leftover byte ≥ 2 is the pairing-version capability; any
+	// other trailing bytes are garbage. (A leftover byte < 2 is rejected
+	// too: v1 settings encode the version by omission.)
+	if r.Err() == nil && r.Remaining() == 1 {
+		v := r.Uint8()
+		if v < 2 {
+			return nil, errors.New("wire: invalid pairing version byte")
+		}
+		rs.PairingVersion = v
 	}
 	if err := r.AllConsumed(); err != nil {
 		return nil, err
