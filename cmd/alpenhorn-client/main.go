@@ -113,6 +113,15 @@ func main() {
 		Handler:    &printHandler{},
 		Persister:  statePersister{path: *statePath},
 	}
+	if len(dir.CDNAddrs) > 0 {
+		// The deployment runs a dedicated CDN tier: fetch mailboxes from
+		// it directly (failing over between nodes) instead of proxying
+		// every fetch through the frontend.
+		pool := rpc.DialCDNPool(dir.CDNAddrs...)
+		defer pool.Close()
+		cfg.Mailboxes = pool
+		fmt.Printf("fetching mailboxes from CDN tier %v\n", dir.CDNAddrs)
+	}
 	for _, a := range dir.PKGAddrs {
 		cfg.PKGs = append(cfg.PKGs, rpc.DialPKG(a))
 	}

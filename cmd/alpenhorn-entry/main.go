@@ -72,6 +72,7 @@ func main() {
 	coordinatorAddr := flag.String("coordinator-addr", "", "client-facing address of the coordinator frontend to join (with -frontend-only)")
 	replicaAddr := flag.String("replica-addr", ":7020", "server-plane listen address for entry.replicate (with -frontend-only; kept OFF the client-facing -addr: the transport is unauthenticated)")
 	frontendSpecs := flag.String("frontends", "", "comma-separated extra frontends joining this coordinator, each clientAddr=replicaAddr; announcements replay to all of them and each feeds its own sub-batch")
+	cdnNodes := flag.String("cdns", "", "comma-separated client-facing addresses of dedicated alpenhorn-cdn nodes, published in the directory (cdn_addrs) so clients fetch mailboxes from the CDN tier with failover; point -cdn-public-addr at one node's -ingest so rounds publish there (this binary's embedded store is the degenerate single-node case)")
 	flag.Parse()
 
 	if *frontendOnly {
@@ -208,6 +209,11 @@ func main() {
 			dir.FrontendAddrs = append(dir.FrontendAddrs, clientAddr)
 			log.Printf("frontend %s joined (replica surface %s)", clientAddr, replica)
 		}
+	}
+
+	if *cdnNodes != "" {
+		dir.CDNAddrs = strings.Split(*cdnNodes, ",")
+		log.Printf("directory advertises CDN tier %v", dir.CDNAddrs)
 	}
 
 	server := rpc.NewServer()

@@ -1,0 +1,62 @@
+package cdn
+
+import "alpenhorn/internal/wire"
+
+// MemoryBackend holds sealed rounds in a map: the original cdn.Store
+// semantics. It is the default backend (NewStore) and what the embedded
+// coordinator CDN and the simulator use.
+type MemoryBackend struct {
+	rounds map[roundKey]map[uint32][]byte
+	sums   map[roundKey][32]byte
+}
+
+// NewMemoryBackend creates an empty in-memory backend.
+func NewMemoryBackend() *MemoryBackend {
+	return &MemoryBackend{
+		rounds: make(map[roundKey]map[uint32][]byte),
+		sums:   make(map[roundKey][32]byte),
+	}
+}
+
+func (m *MemoryBackend) Seal(service wire.Service, round uint32, mailboxes map[uint32][]byte, checksum [32]byte) error {
+	k := roundKey{service, round}
+	m.rounds[k] = mailboxes
+	m.sums[k] = checksum
+	return nil
+}
+
+func (m *MemoryBackend) Mailbox(service wire.Service, round uint32, mailbox uint32) ([]byte, error) {
+	data, ok := m.rounds[roundKey{service, round}][mailbox]
+	if !ok {
+		return nil, nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+func (m *MemoryBackend) Sizes(service wire.Service, round uint32) (map[uint32]int, error) {
+	boxes := m.rounds[roundKey{service, round}]
+	sizes := make(map[uint32]int, len(boxes))
+	for id, data := range boxes {
+		sizes[id] = len(data)
+	}
+	return sizes, nil
+}
+
+func (m *MemoryBackend) Delete(service wire.Service, round uint32) error {
+	k := roundKey{service, round}
+	delete(m.rounds, k)
+	delete(m.sums, k)
+	return nil
+}
+
+func (m *MemoryBackend) Rounds() []RoundInfo {
+	out := make([]RoundInfo, 0, len(m.rounds))
+	for k := range m.rounds {
+		out = append(out, RoundInfo{Service: k.service, Round: k.round, Checksum: m.sums[k]})
+	}
+	return out
+}
+
+func (m *MemoryBackend) Close() error { return nil }

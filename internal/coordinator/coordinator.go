@@ -190,6 +190,22 @@ func supportsSharding(m Mixer) bool {
 	return false
 }
 
+// buildCapable mirrors shardCapable for the sharded mailbox-build surface
+// (StreamVersionCDNShard): the last position's shard group deals the
+// post-shuffle batch by mailbox ID and each shard publishes its own slice
+// to the CDN. Like sharding, it defaults to FALSE — the round falls back
+// to the merge server building every mailbox (rolling upgrade).
+type buildCapable interface {
+	SupportsShardedBuild() bool
+}
+
+func supportsShardedBuild(fm ForwardMixer) bool {
+	if bc, ok := fm.(buildCapable); ok {
+		return bc.SupportsShardedBuild()
+	}
+	return false
+}
+
 // PKG is the coordinator's view of one PKG server. It is satisfied by
 // *pkgserver.Server (in-process) and *rpc.PKGClient (remote daemon).
 type PKG interface {
@@ -301,6 +317,13 @@ type Coordinator struct {
 	// CDNAddr is the RPC address serving cdn.publish (normally this
 	// coordinator's own frontend). Required for ChainForward rounds.
 	CDNAddr string
+
+	// CDNMirrors are additional in-process CDN replicas that receive a
+	// copy of every round the RELAYED path publishes to CDN. (Forwarded
+	// rounds replicate server-side: the ingest CDN node pushes sealed
+	// rounds to its peers itself.) The simulator uses this for its extra
+	// replicas; failures are best-effort, a mirror backfills later.
+	CDNMirrors []*cdn.Store
 
 	// Logger, when set, gets one round-health line per closed round.
 	Logger *log.Logger
@@ -833,6 +856,9 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	if err := c.CDN.PublishOwned(service, round, published); err != nil {
 		return nil, err
 	}
+	for _, mirror := range c.CDNMirrors {
+		_ = cdn.CloneRound(mirror, c.CDN, service, round)
+	}
 	c.recordHealth(RoundHealth{Service: service, Round: round, Batch: len(batch), Duration: time.Since(start)})
 	c.announcePublished(service, round)
 	return mailboxes, nil
@@ -942,8 +968,30 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 		group := groups[i]
 		var successors []string
 		cdnAddr := ""
+		var buildShards []string
 		if i == len(groups)-1 {
 			cdnAddr = c.CDNAddr
+			// Sharded mailbox building: when the LAST position is a multi-
+			// shard group and every member advertises the build surface,
+			// the merge server deals the post-shuffle batch by mailbox ID
+			// and each shard publishes its own slice straight to the CDN —
+			// the merged round's mailbox bytes never funnel through one
+			// machine. Any pre-build daemon in the group falls the whole
+			// group back to merge-builds-all (rolling upgrade).
+			if len(group) > 1 {
+				capable := true
+				for _, fm := range group {
+					if !supportsShardedBuild(fm) {
+						capable = false
+						break
+					}
+				}
+				if capable {
+					for _, fm := range group {
+						buildShards = append(buildShards, fm.Addr())
+					}
+				}
+			}
 		} else {
 			for _, fm := range groups[i+1] {
 				successors = append(successors, fm.Addr())
@@ -970,8 +1018,14 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 				// post-shuffle output leaves the group from here.
 				spec.Successors = successors
 				spec.CDNAddr = cdnAddr
+				spec.BuildShards = buildShards
 			} else {
 				spec.MergeAddr = group[0].Addr()
+				if buildShards != nil {
+					// A build shard publishes its dealt mailbox-ID slice
+					// itself, so it needs the CDN address too.
+					spec.CDNAddr = cdnAddr
+				}
 			}
 			if err := group[s].OpenRoute(service, round, spec); err != nil {
 				return fmt.Errorf("coordinator: routing mixer %d/%d: %w", i, s, err)

@@ -34,39 +34,71 @@ func BuildMailboxes(service wire.Service, numMailboxes uint32, batch [][]byte) (
 // (1 = the sequential path). Output is identical regardless of workers:
 // bodies keep batch order within each mailbox.
 func BuildMailboxesParallel(service wire.Service, numMailboxes uint32, batch [][]byte, workers int) (map[uint32][]byte, error) {
+	return BuildMailboxesRange(service, 0, numMailboxes, batch, workers)
+}
+
+// ShardRange returns the contiguous mailbox-ID range [lo, hi) that shard
+// `shard` of `count` owns when a round's numMailboxes mailboxes are built
+// sharded across the last position's group. The ranges partition
+// [0, numMailboxes) exactly — every union over shards reproduces the
+// single-machine build's ID set — and are balanced to within one mailbox.
+func ShardRange(numMailboxes uint32, shard, count int) (lo, hi uint32) {
+	if count <= 1 {
+		return 0, numMailboxes
+	}
+	lo = uint32(uint64(numMailboxes) * uint64(shard) / uint64(count))
+	hi = uint32(uint64(numMailboxes) * uint64(shard+1) / uint64(count))
+	return lo, hi
+}
+
+// encodeMailbox encodes one mailbox from its request bodies: concatenation
+// for add-friend, a Bloom filter over the dial tokens for dialing (§5.2).
+// A mailbox's encoding depends ONLY on its own bodies (in batch order), so
+// a range-restricted build is byte-identical per mailbox to the full one.
+func encodeMailbox(service wire.Service, bodies [][]byte) []byte {
+	switch service {
+	case wire.AddFriend:
+		var box []byte
+		for _, b := range bodies {
+			box = append(box, b...)
+		}
+		return box
+	default: // wire.Dialing
+		return bloom.NewFromElements(bodies, bloom.DefaultBitsPerElement).Marshal()
+	}
+}
+
+// BuildMailboxesRange builds only the mailboxes with IDs in [lo, hi):
+// one shard's slice of a sharded mailbox build. The batch should contain
+// the payloads dealt to this shard, in the position's post-shuffle batch
+// order; payloads addressed outside [lo, hi) are ignored. Every ID in
+// [lo, hi) is present in the result, even if empty, so the union of the
+// shards' slices is byte-identical to BuildMailboxes over the full batch.
+func BuildMailboxesRange(service wire.Service, lo, hi uint32, batch [][]byte, workers int) (map[uint32][]byte, error) {
 	switch service {
 	case wire.AddFriend, wire.Dialing:
 	default:
 		return nil, fmt.Errorf("mixnet: unknown service %v", service)
 	}
+	if hi < lo {
+		return nil, fmt.Errorf("mixnet: bad mailbox range [%d, %d)", lo, hi)
+	}
 	if workers <= 0 {
 		workers = 1
 	}
 
-	grouped := groupByMailbox(service, numMailboxes, batch, workers)
+	grouped := groupByMailbox(service, hi, batch, workers)
 
-	encode := func(bodies [][]byte) []byte {
-		switch service {
-		case wire.AddFriend:
-			var box []byte
-			for _, b := range bodies {
-				box = append(box, b...)
-			}
-			return box
-		default: // wire.Dialing
-			return bloom.NewFromElements(bodies, bloom.DefaultBitsPerElement).Marshal()
-		}
-	}
-
-	boxes := make([][]byte, numMailboxes)
-	parallelFor(int(numMailboxes), workers, func(mb int) error {
-		boxes[mb] = encode(grouped[uint32(mb)])
+	n := int(hi - lo)
+	boxes := make([][]byte, n)
+	parallelFor(n, workers, func(i int) error {
+		boxes[i] = encodeMailbox(service, grouped[lo+uint32(i)])
 		return nil
 	})
 
-	out := make(map[uint32][]byte, numMailboxes)
-	for mb := uint32(0); mb < numMailboxes; mb++ {
-		out[mb] = boxes[mb]
+	out := make(map[uint32][]byte, n)
+	for i := 0; i < n; i++ {
+		out[lo+uint32(i)] = boxes[i]
 	}
 	return out, nil
 }

@@ -200,6 +200,13 @@ const (
 	// by several daemons (mix.round.shard, mix.round.exportkey/importkey,
 	// the mix.merge.* deposit surface, and fan-out/fan-in routing).
 	StreamVersionShard = 3
+	// StreamVersionCDNShard: sharded mailbox building — after the merged
+	// shuffle the last group's merge server deals request bodies by
+	// mailbox ID across its shards (mix.deal.*), each shard builds its own
+	// ID range and publishes it over its own shard-tagged cdn.publish
+	// stream. The merge server never touches the other shards' final
+	// mailbox bytes.
+	StreamVersionCDNShard = 4
 )
 
 // MixerInfo advertises a mixer's pinned key and chain position.
@@ -373,6 +380,15 @@ func (m *MixerClient) SupportsSharding() bool {
 	return m.info.StreamVersion >= StreamVersionShard
 }
 
+// SupportsShardedBuild reports whether the daemon serves the sharded
+// mailbox-building surface (mix.deal.*, shard-tagged cdn.publish). The
+// coordinator only splits the last position's build across its shard
+// group when every daemon in that group does; otherwise the merge server
+// builds all mailboxes itself, exactly as StreamVersionShard rounds did.
+func (m *MixerClient) SupportsShardedBuild() bool {
+	return m.info.StreamVersion >= StreamVersionCDNShard
+}
+
 // SetRoundShard implements coordinator.ShardMixer: the daemon is shard
 // `index` of `count` jointly serving its chain position this round. Must
 // precede PrepareNoise — the group divides the position's noise.
@@ -405,6 +421,7 @@ func (m *MixerClient) OpenRoute(service wire.Service, round uint32, spec wire.Ro
 		CDNAddr:    spec.CDNAddr,
 		ShardIndex: spec.ShardIndex, ShardCount: spec.ShardCount,
 		MergeAddr: spec.MergeAddr, NumUpstream: spec.NumUpstream,
+		BuildShards: spec.BuildShards,
 	}
 	if len(spec.Successors) == 1 && spec.ShardCount <= 1 {
 		a.Successor = spec.Successors[0]
@@ -604,6 +621,12 @@ type Directory struct {
 	// (DialFrontendPool) and fail over mid-round without a snapshot
 	// reset. Empty on single-frontend deployments.
 	FrontendAddrs []string `json:"frontend_addrs,omitempty"`
+	// CDNAddrs lists the deployment's CDN nodes (client-facing read
+	// addresses). Every node holds every sealed round — the ingest node
+	// fans rounds out over cdn.replicate — so a client may pool them
+	// (DialCDNPool) and fail mailbox fetches over to a replica mid-round.
+	// Empty when mailboxes are served through the frontends themselves.
+	CDNAddrs []string `json:"cdn_addrs,omitempty"`
 }
 
 type settingsArgs struct {

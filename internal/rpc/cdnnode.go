@@ -1,0 +1,633 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alpenhorn/internal/cdn"
+	"alpenhorn/internal/wire"
+)
+
+// This file is the CDN node: the write-plane surfaces of a cdn.Store
+// (publish from the mixnet, replicate/pull between CDN nodes) and the
+// client read plane (fetch/fetchrange). Mailbox content is public — the
+// privacy analysis ends when the last mixer publishes — so this tier is
+// ordinary replicated storage: every node ends up holding every sealed
+// round, and clients may fetch from any of them (CDNPool fails over).
+//
+// Security boundary: cdn.publish and cdn.replicate are UNAUTHENTICATED
+// WRITE surfaces. They must live on a server-plane listener that
+// deployments keep away from clients; otherwise any client could publish
+// a round's mailboxes first and censor the real ones. The read surface
+// (RegisterCDNFrontend) is safe on a client-facing listener.
+
+// publishBudget bounds the mailbox bytes carried by one cdn.publish call,
+// keeping frames far below the transport cap after JSON/base64 inflation.
+const publishBudget = 4 << 20
+
+type cdnBoxFragment struct {
+	ID   uint32 `json:"id"`
+	Data []byte `json:"data"`
+}
+
+type cdnPublishArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	// Boxes are mailbox fragments; fragments with the same ID across
+	// calls concatenate in arrival order, so one huge mailbox can span
+	// frames. An entry with empty Data still creates the mailbox.
+	Boxes []cdnBoxFragment `json:"boxes"`
+	// Done commits this stream's contribution to the staged round.
+	Done bool `json:"done"`
+	// Abort discards the staged round (publisher failed mid-round).
+	Abort bool `json:"abort,omitempty"`
+	// Sharded builds: NumShards > 0 tags the stream as shard Shard of
+	// NumShards publishing disjoint mailbox-ID slices of one round. The
+	// round seals only when all NumShards streams have sent Done.
+	// NumShards == 0 is the classic single-publisher stream.
+	Shard     int `json:"shard,omitempty"`
+	NumShards int `json:"num_shards,omitempty"`
+}
+
+// cdnReplicateArgs mirrors cdnPublishArgs for node-to-node replication;
+// Done carries the round's canonical checksum so the receiver can verify
+// the reassembled round before sealing it.
+type cdnReplicateArgs struct {
+	Service  wire.Service     `json:"service"`
+	Round    uint32           `json:"round"`
+	Boxes    []cdnBoxFragment `json:"boxes"`
+	Done     bool             `json:"done"`
+	Abort    bool             `json:"abort,omitempty"`
+	Checksum []byte           `json:"checksum,omitempty"`
+}
+
+type cdnRoundInfoArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	// All lists every round the node holds (both services); Service and
+	// Round are ignored.
+	All bool `json:"all,omitempty"`
+}
+
+type cdnRoundEntry struct {
+	Service  wire.Service `json:"service"`
+	Round    uint32       `json:"round"`
+	Checksum []byte       `json:"checksum"`
+}
+
+type cdnRoundInfoReply struct {
+	Rounds []cdnRoundEntry `json:"rounds,omitempty"`
+}
+
+// cdnPullArgs pages one sealed round out of a node (restart backfill).
+// Cursor is the first mailbox ID wanted; the reply carries whole
+// mailboxes from there, budget-bounded but always at least one, plus the
+// next cursor.
+type cdnPullArgs struct {
+	Service wire.Service `json:"service"`
+	Round   uint32       `json:"round"`
+	Cursor  uint32       `json:"cursor"`
+}
+
+type cdnPullReply struct {
+	Boxes []cdnBoxFragment `json:"boxes,omitempty"`
+	Next  uint32           `json:"next"`
+	Done  bool             `json:"done"`
+}
+
+const (
+	// stagingLimit bounds how many half-published rounds a CDN node
+	// stages. A publisher that dies between fragments never sends Done or
+	// Abort, so without a cap its partial mailboxes would accumulate
+	// forever; beyond the cap the oldest staged round is dropped (that
+	// round already failed — its publisher is gone).
+	stagingLimit = 8
+
+	// defaultStagingTTL bounds how long an idle half-published round may
+	// stage. The count cap alone is time-unbounded: with fewer than
+	// stagingLimit abandoned rounds, their partial mailboxes would sit in
+	// memory forever. Any write to a staged round refreshes its clock.
+	defaultStagingTTL = 2 * time.Minute
+
+	// stagingSweepInterval is how often the TTL sweep runs.
+	stagingSweepInterval = time.Second
+)
+
+// stagedRound is one half-published round: mailbox fragments concatenated
+// in arrival order, which publish streams have finished (sharded builds),
+// and when it was last written (TTL eviction).
+type stagedRound struct {
+	boxes map[uint32][]byte
+	// numShards/shardDone track a sharded publish: the round seals only
+	// when every shard's stream has sent Done. numShards == 0 until a
+	// shard-tagged frame arrives; a legacy single stream seals on Done
+	// directly.
+	numShards int
+	shardDone []bool
+	lastWrite time.Time
+}
+
+// CDNDaemon is one CDN node: a cdn.Store plus the staging state behind
+// its write surfaces and the replication fan-out to its peers.
+type CDNDaemon struct {
+	store *cdn.Store
+
+	mu      sync.Mutex
+	staging map[outKey]*stagedRound
+	order   []outKey
+	repl    map[outKey]*stagedRound // cdn.replicate staging, separate keyspace
+	peers   []*Client
+	ttl     time.Duration
+
+	stagingEvictions atomic.Uint64
+	sealsSingle      atomic.Uint64
+	sealsSharded     atomic.Uint64
+	lastSealStreams  atomic.Int64
+}
+
+// RegisterCDN exposes a cdn.Store's write plane over RPC — cdn.publish
+// for the last mixer position's shard-tagged mailbox streams, and
+// cdn.replicate / cdn.roundinfo / cdn.pull for peer CDN nodes — and
+// starts the staging TTL sweep (it stops when the server closes).
+// Fetching stays on RegisterCDNFrontend / the entry frontend.
+func RegisterCDN(s *Server, store *cdn.Store) *CDNDaemon {
+	d := &CDNDaemon{
+		store:   store,
+		staging: make(map[outKey]*stagedRound),
+		repl:    make(map[outKey]*stagedRound),
+		ttl:     defaultStagingTTL,
+	}
+
+	HandleFunc(s, "cdn.publish", func(a cdnPublishArgs) (any, error) {
+		return nil, d.publish(a)
+	})
+	HandleFunc(s, "cdn.replicate", func(a cdnReplicateArgs) (any, error) {
+		return nil, d.replicate(a)
+	})
+	HandleFunc(s, "cdn.roundinfo", func(a cdnRoundInfoArgs) (any, error) {
+		return d.roundInfo(a), nil
+	})
+	HandleFunc(s, "cdn.pull", func(a cdnPullArgs) (any, error) {
+		return d.pull(a)
+	})
+
+	go func() {
+		t := time.NewTicker(stagingSweepInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.Closing():
+				return
+			case <-t.C:
+				d.sweep(time.Now())
+			}
+		}
+	}()
+	return d
+}
+
+// SetPeers names the other CDN nodes' ingest addresses. Every round this
+// node seals from a publish stream is pushed to each peer; Backfill pulls
+// the other direction. Replication is publish-triggered only — a round
+// received via cdn.replicate is not re-pushed, so mutual peering does not
+// loop.
+func (d *CDNDaemon) SetPeers(addrs ...string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, addr := range addrs {
+		d.peers = append(d.peers, Dial(addr))
+	}
+}
+
+// SetStagingTTL overrides how long an idle half-published round may stage
+// before the sweep evicts it.
+func (d *CDNDaemon) SetStagingTTL(ttl time.Duration) {
+	d.mu.Lock()
+	d.ttl = ttl
+	d.mu.Unlock()
+}
+
+// StagingEvictions counts staged rounds dropped by the TTL sweep or the
+// count cap — publishers that died without sending Done or Abort.
+func (d *CDNDaemon) StagingEvictions() uint64 { return d.stagingEvictions.Load() }
+
+// SealsSharded counts rounds sealed from N > 1 shard-tagged publish
+// streams; SealsSingle counts classic single-stream seals. LastSealStreams
+// is the stream count of the most recent seal.
+func (d *CDNDaemon) SealsSharded() uint64 { return d.sealsSharded.Load() }
+func (d *CDNDaemon) SealsSingle() uint64  { return d.sealsSingle.Load() }
+func (d *CDNDaemon) LastSealStreams() int { return int(d.lastSealStreams.Load()) }
+
+// Close closes the daemon's peer connections (the server owns its own).
+func (d *CDNDaemon) Close() {
+	d.mu.Lock()
+	peers := d.peers
+	d.peers = nil
+	d.mu.Unlock()
+	for _, c := range peers {
+		c.Close()
+	}
+}
+
+// dropLocked removes a staged round from the publish keyspace.
+func (d *CDNDaemon) dropLocked(k outKey) {
+	if _, ok := d.staging[k]; !ok {
+		return
+	}
+	delete(d.staging, k)
+	for i, o := range d.order {
+		if o == k {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// sweep evicts staged rounds idle past the TTL, in both keyspaces.
+func (d *CDNDaemon) sweep(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k, st := range d.staging {
+		if now.Sub(st.lastWrite) > d.ttl {
+			d.dropLocked(k)
+			d.stagingEvictions.Add(1)
+		}
+	}
+	for k, st := range d.repl {
+		if now.Sub(st.lastWrite) > d.ttl {
+			delete(d.repl, k)
+			d.stagingEvictions.Add(1)
+		}
+	}
+}
+
+func (d *CDNDaemon) publish(a cdnPublishArgs) error {
+	k := outKey{a.Service, a.Round}
+	d.mu.Lock()
+	if a.Abort {
+		// Any shard's abort discards the whole staged round: a sharded
+		// build either seals completely or not at all.
+		d.dropLocked(k)
+		d.mu.Unlock()
+		return nil
+	}
+	st, ok := d.staging[k]
+	if !ok {
+		st = &stagedRound{boxes: make(map[uint32][]byte)}
+		d.staging[k] = st
+		d.order = append(d.order, k)
+		for len(d.order) > stagingLimit {
+			d.dropLocked(d.order[0])
+			d.stagingEvictions.Add(1)
+		}
+	}
+	if a.NumShards > 0 {
+		if st.numShards == 0 {
+			st.numShards = a.NumShards
+			st.shardDone = make([]bool, a.NumShards)
+		}
+		if a.NumShards != st.numShards || a.Shard < 0 || a.Shard >= st.numShards {
+			d.dropLocked(k)
+			d.mu.Unlock()
+			return fmt.Errorf("cdn: round %d (%s): bad shard %d/%d (staged %d-way)",
+				a.Round, a.Service, a.Shard, a.NumShards, st.numShards)
+		}
+	} else if st.numShards > 0 {
+		d.dropLocked(k)
+		d.mu.Unlock()
+		return fmt.Errorf("cdn: round %d (%s): unsharded stream into %d-way staged round",
+			a.Round, a.Service, st.numShards)
+	}
+	for _, frag := range a.Boxes {
+		st.boxes[frag.ID] = append(st.boxes[frag.ID], frag.Data...)
+	}
+	st.lastWrite = time.Now()
+	if !a.Done {
+		d.mu.Unlock()
+		return nil
+	}
+	streams := 1
+	if st.numShards > 0 {
+		st.shardDone[a.Shard] = true
+		for _, done := range st.shardDone {
+			if !done {
+				// Other shards still streaming; the round seals when the
+				// last one finishes.
+				d.mu.Unlock()
+				return nil
+			}
+		}
+		streams = st.numShards
+	}
+	d.dropLocked(k)
+	boxes := st.boxes
+	d.mu.Unlock()
+
+	if err := d.store.PublishOwned(a.Service, a.Round, boxes); err != nil {
+		return err
+	}
+	d.lastSealStreams.Store(int64(streams))
+	if streams > 1 {
+		d.sealsSharded.Add(1)
+	} else {
+		d.sealsSingle.Add(1)
+	}
+	d.pushToPeers(a.Service, a.Round)
+	return nil
+}
+
+// pushToPeers replicates a freshly sealed round to every peer,
+// best-effort and asynchronous: a down peer backfills when it returns.
+func (d *CDNDaemon) pushToPeers(service wire.Service, round uint32) {
+	d.mu.Lock()
+	peers := append([]*Client(nil), d.peers...)
+	d.mu.Unlock()
+	for _, peer := range peers {
+		go func(peer *Client) {
+			_ = d.ReplicateRound(peer, service, round)
+		}(peer)
+	}
+}
+
+// ReplicateRound streams one locally sealed round to a peer's
+// cdn.replicate surface. Idempotent: a peer that already holds the round
+// reports success.
+func (d *CDNDaemon) ReplicateRound(peer *Client, service wire.Service, round uint32) error {
+	boxes, err := d.store.RoundSnapshot(service, round)
+	if err != nil {
+		return err
+	}
+	sum, _ := d.store.Checksum(service, round)
+	err = streamRound(boxes, func(frags []cdnBoxFragment, done bool) error {
+		a := cdnReplicateArgs{Service: service, Round: round, Boxes: frags, Done: done}
+		if done {
+			a.Checksum = sum[:]
+		}
+		return peer.CallOnce("cdn.replicate", a, nil)
+	})
+	if err != nil {
+		_ = peer.Call("cdn.replicate", cdnReplicateArgs{Service: service, Round: round, Abort: true}, nil)
+		return err
+	}
+	return nil
+}
+
+func (d *CDNDaemon) replicate(a cdnReplicateArgs) error {
+	k := outKey{a.Service, a.Round}
+	if d.store.Published(a.Service, a.Round) {
+		// Already sealed (publish raced replication, or a retried Done).
+		// Success — replication is idempotent.
+		d.mu.Lock()
+		delete(d.repl, k)
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Lock()
+	if a.Abort {
+		delete(d.repl, k)
+		d.mu.Unlock()
+		return nil
+	}
+	st, ok := d.repl[k]
+	if !ok {
+		st = &stagedRound{boxes: make(map[uint32][]byte)}
+		d.repl[k] = st
+	}
+	for _, frag := range a.Boxes {
+		st.boxes[frag.ID] = append(st.boxes[frag.ID], frag.Data...)
+	}
+	st.lastWrite = time.Now()
+	if !a.Done {
+		d.mu.Unlock()
+		return nil
+	}
+	delete(d.repl, k)
+	boxes := st.boxes
+	d.mu.Unlock()
+
+	sum := cdn.RoundChecksum(boxes)
+	if !bytes.Equal(sum[:], a.Checksum) {
+		return fmt.Errorf("cdn: round %d (%s): replicated round fails checksum", a.Round, a.Service)
+	}
+	err := d.store.PublishOwned(a.Service, a.Round, boxes)
+	if err != nil && d.store.Published(a.Service, a.Round) {
+		return nil // lost a race with another replica or the publisher
+	}
+	return err
+}
+
+func (d *CDNDaemon) roundInfo(a cdnRoundInfoArgs) cdnRoundInfoReply {
+	var reply cdnRoundInfoReply
+	if a.All {
+		for _, service := range []wire.Service{wire.AddFriend, wire.Dialing} {
+			for _, info := range d.store.Rounds(service) {
+				sum := info.Checksum
+				reply.Rounds = append(reply.Rounds, cdnRoundEntry{
+					Service: info.Service, Round: info.Round, Checksum: sum[:],
+				})
+			}
+		}
+		return reply
+	}
+	if sum, ok := d.store.Checksum(a.Service, a.Round); ok {
+		reply.Rounds = []cdnRoundEntry{{Service: a.Service, Round: a.Round, Checksum: sum[:]}}
+	}
+	return reply
+}
+
+func (d *CDNDaemon) pull(a cdnPullArgs) (cdnPullReply, error) {
+	sizes, err := d.store.MailboxSizes(a.Service, a.Round)
+	if err != nil {
+		return cdnPullReply{}, err
+	}
+	ids := make([]uint32, 0, len(sizes))
+	for id := range sizes {
+		if id >= a.Cursor {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var reply cdnPullReply
+	var pending int
+	for _, id := range ids {
+		if len(reply.Boxes) > 0 && pending+sizes[id] > publishBudget {
+			reply.Next = id
+			return reply, nil
+		}
+		box, err := d.store.RoundSnapshotMailbox(a.Service, a.Round, id)
+		if err != nil {
+			return cdnPullReply{}, err
+		}
+		reply.Boxes = append(reply.Boxes, cdnBoxFragment{ID: id, Data: box})
+		pending += len(box)
+	}
+	reply.Done = true
+	return reply, nil
+}
+
+// Backfill pulls every sealed round this node is missing from its peers:
+// the restart path. A node that was down while rounds sealed probes each
+// peer's inventory (cdn.roundinfo), pages missing rounds over cdn.pull,
+// verifies each against the peer's advertised checksum, and seals it
+// locally. Returns the number of rounds recovered.
+func (d *CDNDaemon) Backfill() (int, error) {
+	d.mu.Lock()
+	peers := append([]*Client(nil), d.peers...)
+	d.mu.Unlock()
+
+	recovered := 0
+	var firstErr error
+	for _, peer := range peers {
+		var inv cdnRoundInfoReply
+		if err := peer.Call("cdn.roundinfo", cdnRoundInfoArgs{All: true}, &inv); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, entry := range inv.Rounds {
+			if d.store.Published(entry.Service, entry.Round) {
+				continue
+			}
+			if err := d.pullRound(peer, entry); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			recovered++
+		}
+	}
+	return recovered, firstErr
+}
+
+func (d *CDNDaemon) pullRound(peer *Client, entry cdnRoundEntry) error {
+	boxes := make(map[uint32][]byte)
+	cursor := uint32(0)
+	for {
+		var page cdnPullReply
+		if err := peer.Call("cdn.pull", cdnPullArgs{
+			Service: entry.Service, Round: entry.Round, Cursor: cursor,
+		}, &page); err != nil {
+			return err
+		}
+		for _, frag := range page.Boxes {
+			boxes[frag.ID] = frag.Data
+		}
+		if page.Done {
+			break
+		}
+		if page.Next <= cursor && len(page.Boxes) == 0 {
+			return fmt.Errorf("cdn: round %d (%s): pull made no progress", entry.Round, entry.Service)
+		}
+		cursor = page.Next
+	}
+	sum := cdn.RoundChecksum(boxes)
+	if !bytes.Equal(sum[:], entry.Checksum) {
+		return fmt.Errorf("cdn: round %d (%s): backfilled round fails checksum", entry.Round, entry.Service)
+	}
+	err := d.store.PublishOwned(entry.Service, entry.Round, boxes)
+	if err != nil && d.store.Published(entry.Service, entry.Round) {
+		return nil
+	}
+	return err
+}
+
+// RegisterCDNFrontend exposes a cdn.Store's READ plane — cdn.fetch and
+// cdn.fetchrange, the same wire surface a frontend serves — so clients
+// (via CDNPool) can fetch mailboxes from CDN nodes directly.
+func RegisterCDNFrontend(s *Server, store *cdn.Store) {
+	HandleFunc(s, "cdn.fetch", func(a fetchArgs) (any, error) {
+		return store.Fetch(a.Service, a.Round, a.Mailbox)
+	})
+	HandleFunc(s, "cdn.fetchrange", func(a fetchRangeArgs) (any, error) {
+		boxes, err := store.FetchRange(a.Service, a.FromRound, a.ToRound, a.Mailbox)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]rangedBox, 0, len(boxes))
+		for r, data := range boxes {
+			out = append(out, rangedBox{Round: r, Data: data})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+		return out, nil
+	})
+}
+
+// streamRound feeds a round's mailboxes through send in budget-bounded
+// fragment batches, in ID order, splitting oversized mailboxes across
+// frames; the final call carries done=true (possibly with no fragments).
+func streamRound(mailboxes map[uint32][]byte, send func(frags []cdnBoxFragment, done bool) error) error {
+	ids := make([]uint32, 0, len(mailboxes))
+	for id := range mailboxes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var frags []cdnBoxFragment
+	var pending int
+	flush := func(done bool) error {
+		if !done && len(frags) == 0 {
+			return nil
+		}
+		err := send(frags, done)
+		frags, pending = nil, 0
+		return err
+	}
+	for _, id := range ids {
+		data := mailboxes[id]
+		for {
+			n := min(len(data), publishBudget-pending)
+			frags = append(frags, cdnBoxFragment{ID: id, Data: data[:n]})
+			data = data[n:]
+			pending += n
+			if len(data) == 0 {
+				break
+			}
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+		if pending >= publishBudget {
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+	}
+	return flush(true)
+}
+
+// PublishMailboxes streams a round's mailboxes to a cdn.publish endpoint
+// in budget-bounded calls, splitting oversized mailboxes across frames.
+// Mailboxes are sent in ID order so runs are reproducible. Fragments are
+// sent AT MOST ONCE (a transparent retry after a lost reply would
+// concatenate a fragment twice); on a mid-publish failure a best-effort
+// abort tells the endpoint to discard the staged round.
+func PublishMailboxes(c *Client, service wire.Service, round uint32, mailboxes map[uint32][]byte) error {
+	return PublishMailboxesShard(c, service, round, mailboxes, 0, 0)
+}
+
+// PublishMailboxesShard is PublishMailboxes for one shard of a sharded
+// mailbox build: every frame carries the (shard, numShards) tag and the
+// endpoint seals the round only when all numShards streams finish.
+// numShards == 0 publishes untagged (the classic single stream).
+func PublishMailboxesShard(c *Client, service wire.Service, round uint32, mailboxes map[uint32][]byte, shard, numShards int) error {
+	err := streamRound(mailboxes, func(frags []cdnBoxFragment, done bool) error {
+		return c.CallOnce("cdn.publish", cdnPublishArgs{
+			Service: service, Round: round, Boxes: frags, Done: done,
+			Shard: shard, NumShards: numShards,
+		}, nil)
+	})
+	if err != nil {
+		_ = c.Call("cdn.publish", cdnPublishArgs{
+			Service: service, Round: round, Abort: true, Shard: shard, NumShards: numShards,
+		}, nil)
+		return err
+	}
+	return nil
+}

@@ -3,13 +3,12 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"slices"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
-	"alpenhorn/internal/cdn"
 	"alpenhorn/internal/mixnet"
 	"alpenhorn/internal/wire"
 )
@@ -63,9 +62,15 @@ type outKey struct {
 // mix.round.route and resolved exactly once (completion or abort).
 type route struct {
 	successors   []string // next position's shard set; empty for the last position
-	cdnAddr      string   // cdn.publish address; set only on the last position's merge server
+	cdnAddr      string   // cdn.publish address; set on every shard of the last position
 	numMailboxes uint32
 	chunkSize    int
+
+	// buildShards switches the last position's merge server to sharded
+	// mailbox building: after the merged shuffle it deals request bodies
+	// by mailbox ID across these addresses (its own shard group, shard
+	// order, itself included) instead of building every mailbox locally.
+	buildShards []string
 
 	// Shard-group layout. shardCount 1 is the unsharded chain-forward
 	// path; mergeAddr is where a non-merge shard deposits its peeled
@@ -88,6 +93,13 @@ type route struct {
 	// shard-index order, and which shards have delivered theirs.
 	mergeParts [][][]byte
 	mergeEnded []bool
+
+	// Sharded-build intake (build shards only): the post-shuffle payloads
+	// the merge server dealt to this shard's mailbox-ID range
+	// (mix.deal.*). dealEnded latches the single end — the merge server
+	// is the deal's only writer.
+	dealParts [][]byte
+	dealEnded bool
 
 	// Self-reported accounting for mix.round.wait.
 	opened   time.Time
@@ -132,6 +144,11 @@ type routeArgs struct {
 	MergeAddr   string   `json:"merge_addr,omitempty"`
 	Successors  []string `json:"successors,omitempty"`
 	NumUpstream int      `json:"num_upstream,omitempty"`
+	// BuildShards (StreamVersionCDNShard) marks the last position's merge
+	// server for sharded mailbox building: the full shard group's
+	// addresses, in shard order. Non-merge shards of such a group carry
+	// CDNAddr but no BuildShards.
+	BuildShards []string `json:"build_shards,omitempty"`
 }
 
 type abortArgs struct {
@@ -270,6 +287,13 @@ func (d *MixerDaemon) finish(k outKey, rt *route, err error) {
 	if rt.mergeAddr != "" {
 		targets = append(targets, rt.mergeAddr)
 	}
+	// A failed sharded-build merge server releases its build shards too:
+	// they are parked waiting for dealt slices that will never come.
+	for s, addr := range rt.buildShards {
+		if s != rt.shardIndex {
+			targets = append(targets, addr)
+		}
+	}
 	for _, addr := range targets {
 		go func(addr string) {
 			_ = d.peer(addr).Call("mix.round.abort", abortArgs{
@@ -299,7 +323,14 @@ func (d *MixerDaemon) forward(k outKey, rt *route) {
 			return
 		}
 		if rt.mergeAddr != "" {
-			d.finish(k, rt, d.pushDeposit(k, rt, out))
+			if err := d.pushDeposit(k, rt, out); err != nil || rt.cdnAddr == "" {
+				d.finish(k, rt, err)
+				return
+			}
+			// Sharded build: this shard's duty is not done at deposit.
+			// The merge server deals back this shard's mailbox-ID slice
+			// (mix.deal.*); the route resolves once the slice is built
+			// and published over the shard's own cdn.publish stream.
 			return
 		}
 		d.addDeposit(k, rt, rt.shardIndex, out)
@@ -316,10 +347,17 @@ func (d *MixerDaemon) forward(k outKey, rt *route) {
 // finishPosition completes a position's data-plane duty once its full
 // post-shuffle batch exists on this daemon: deal it across the successor
 // position's shard set, or — at the end of the chain — build the round's
-// mailboxes and publish them to the CDN.
+// mailboxes and publish them to the CDN. With a sharded build route the
+// batch is instead dealt BY MAILBOX ID across the position's own shard
+// group and this daemon only builds its own ID range: the merge server
+// never touches the other shards' final mailbox bytes.
 func (d *MixerDaemon) finishPosition(k outKey, rt *route, out [][]byte) {
 	if len(rt.successors) > 0 {
 		d.finish(k, rt, d.dealDownstream(k, rt, out))
+		return
+	}
+	if len(rt.buildShards) > 0 {
+		d.dealMailboxBuild(k, rt, out)
 		return
 	}
 	boxes, err := mixnet.BuildMailboxes(k.service, rt.numMailboxes, out)
@@ -335,6 +373,108 @@ func (d *MixerDaemon) finishPosition(k outKey, rt *route, out [][]byte) {
 	rt.bytesOut += published
 	d.mu.Unlock()
 	d.finish(k, rt, PublishMailboxes(d.peer(rt.cdnAddr), k.service, k.round, boxes))
+}
+
+// dealMailboxBuild distributes the last position's post-shuffle batch by
+// MAILBOX ID across the shard group (merge server only): shard s gets the
+// payloads addressed to its contiguous ID range (mixnet.ShardRange), in
+// batch order, over mix.deal.* streams. Cover traffic, malformed payloads,
+// and out-of-range mailboxes are dropped here — exactly the payloads
+// BuildMailboxes would drop — so the per-shard builds are byte-identical
+// to the single-machine build. The merge server's own slice never crosses
+// the network; it is built and published concurrently with the deals.
+func (d *MixerDaemon) dealMailboxBuild(k outKey, rt *route, out [][]byte) {
+	n := len(rt.buildShards)
+	// hi-boundary per shard: payload with mailbox < bounds[s] and
+	// >= bounds[s-1] belongs to shard s.
+	bounds := make([]uint32, n)
+	for s := 0; s < n; s++ {
+		_, bounds[s] = mixnet.ShardRange(rt.numMailboxes, s, n)
+	}
+	perShard := make([][][]byte, n)
+	for _, data := range out {
+		payload, err := wire.UnmarshalMixPayload(k.service, data)
+		if err != nil || payload.Mailbox == wire.CoverMailbox || payload.Mailbox >= rt.numMailboxes {
+			continue
+		}
+		s := 0
+		for s < n-1 && payload.Mailbox >= bounds[s] {
+			s++
+		}
+		perShard[s] = append(perShard[s], data)
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for s, addr := range rt.buildShards {
+		go func(s int, addr string) {
+			defer wg.Done()
+			if s == rt.shardIndex {
+				errs[s] = d.buildAndPublishSlice(k, rt, perShard[s])
+				return
+			}
+			errs[s] = d.pushBuildSlice(k, rt, addr, perShard[s])
+		}(s, addr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			d.finish(k, rt, err)
+			return
+		}
+	}
+	d.finish(k, rt, nil)
+}
+
+// pushBuildSlice streams one shard's dealt payload slice over the
+// mix.deal.* surface. Same discipline as every other data stream: the
+// idempotent begin retries with backoff, the data calls are at most once.
+func (d *MixerDaemon) pushBuildSlice(k outKey, rt *route, addr string, slice [][]byte) error {
+	c, err := d.openStream(addr, "mix.deal.begin", roundArgs{Service: k.service, Round: k.round})
+	if err != nil {
+		return err
+	}
+	chunkSize := rt.effectiveChunk()
+	var sent uint64
+	for lo := 0; lo < len(slice); lo += chunkSize {
+		hi := min(lo+chunkSize, len(slice))
+		if err := c.CallOnce("mix.deal.chunk", mixArgs{
+			Service: k.service, Round: k.round, Batch: slice[lo:hi],
+		}, nil); err != nil {
+			return fmt.Errorf("rpc: dealing build slice to %s: %w", addr, err)
+		}
+		for _, msg := range slice[lo:hi] {
+			sent += uint64(len(msg))
+		}
+	}
+	if err := c.CallOnce("mix.deal.end", roundArgs{Service: k.service, Round: k.round}, nil); err != nil {
+		return fmt.Errorf("rpc: closing build slice to %s: %w", addr, err)
+	}
+	d.mu.Lock()
+	rt.bytesOut += sent
+	d.mu.Unlock()
+	return nil
+}
+
+// buildAndPublishSlice builds this shard's mailbox-ID range from its
+// dealt payload slice and publishes it over the shard's own shard-tagged
+// cdn.publish stream. The CDN seals the round only after all shardCount
+// streams complete.
+func (d *MixerDaemon) buildAndPublishSlice(k outKey, rt *route, slice [][]byte) error {
+	lo, hi := mixnet.ShardRange(rt.numMailboxes, rt.shardIndex, rt.shardCount)
+	boxes, err := mixnet.BuildMailboxesRange(k.service, lo, hi, slice, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	var published uint64
+	for _, box := range boxes {
+		published += uint64(len(box))
+	}
+	d.mu.Lock()
+	rt.bytesOut += published
+	d.mu.Unlock()
+	return PublishMailboxesShard(d.peer(rt.cdnAddr), k.service, k.round, boxes, rt.shardIndex, rt.shardCount)
 }
 
 // addDeposit records one shard's peeled slice on the group's merge
@@ -540,7 +680,7 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 			AddFriendMu:   m.AddFriendNoise.Mu,
 			DialingMu:     m.DialingNoise.Mu,
 			Streaming:     true,
-			StreamVersion: StreamVersionShard,
+			StreamVersion: StreamVersionCDNShard,
 			ShardIndex:    shardIndex,
 			ShardCount:    shardCount,
 		}, nil
@@ -619,8 +759,19 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 		if merge && len(successors) == 0 && a.CDNAddr == "" {
 			return nil, fmt.Errorf("rpc: round %d (%s): route needs a successor or a CDN address", a.Round, a.Service)
 		}
-		if !merge && (len(successors) > 0 || a.CDNAddr != "") {
+		if !merge && len(successors) > 0 {
+			// A non-merge shard MAY carry a CDN address: that is its
+			// sharded-build publish target. It never has successors.
 			return nil, fmt.Errorf("rpc: round %d (%s): non-merge shard cannot have successors", a.Round, a.Service)
+		}
+		if len(a.BuildShards) > 0 {
+			if !merge || a.CDNAddr == "" || len(successors) > 0 {
+				return nil, fmt.Errorf("rpc: round %d (%s): build shards require a last-position merge server", a.Round, a.Service)
+			}
+			if len(a.BuildShards) != shardCount {
+				return nil, fmt.Errorf("rpc: round %d (%s): %d build shards for %d-shard group",
+					a.Round, a.Service, len(a.BuildShards), shardCount)
+			}
 		}
 		k := outKey{a.Service, a.Round}
 		d.mu.Lock()
@@ -631,7 +782,8 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 			if slices.Equal(rt.successors, successors) && rt.cdnAddr == a.CDNAddr &&
 				rt.numMailboxes == a.NumMailboxes && rt.chunkSize == a.ChunkSize &&
 				rt.shardIndex == a.ShardIndex && rt.shardCount == shardCount &&
-				rt.mergeAddr == a.MergeAddr && rt.numUpstream == numUpstream {
+				rt.mergeAddr == a.MergeAddr && rt.numUpstream == numUpstream &&
+				slices.Equal(rt.buildShards, a.BuildShards) {
 				return nil, nil
 			}
 			return nil, fmt.Errorf("rpc: round %d (%s) already routed elsewhere", a.Round, a.Service)
@@ -641,6 +793,7 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 			cdnAddr:      a.CDNAddr,
 			numMailboxes: a.NumMailboxes,
 			chunkSize:    a.ChunkSize,
+			buildShards:  a.BuildShards,
 			shardIndex:   a.ShardIndex,
 			shardCount:   shardCount,
 			mergeAddr:    a.MergeAddr,
@@ -687,6 +840,65 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 		// output on. That work belongs on its own goroutine, not in the
 		// RPC handler the depositing shard is waiting on.
 		go d.addDeposit(k, rt, a.Shard, nil)
+		return nil, nil
+	})
+	// mix.deal.* is the sharded-build intake: the merge server deals each
+	// build shard the post-shuffle payloads addressed to that shard's
+	// mailbox-ID range. Only non-merge shards whose route carries a CDN
+	// address (their publish target) accept the stream.
+	dealRoute := func(a roundArgs) (*route, outKey, error) {
+		k := outKey{a.Service, a.Round}
+		d.mu.Lock()
+		rt := d.routes[k]
+		d.mu.Unlock()
+		if rt == nil {
+			return nil, k, fmt.Errorf("rpc: round %d (%s) has no route", a.Round, a.Service)
+		}
+		if rt.mergeAddr == "" || rt.cdnAddr == "" {
+			return nil, k, fmt.Errorf("rpc: round %d (%s): daemon is not a build shard", a.Round, a.Service)
+		}
+		return rt, k, nil
+	}
+	HandleFunc(s, "mix.deal.begin", func(a roundArgs) (any, error) {
+		// Idempotent, like mix.merge.begin: validation only, so the merge
+		// server's dial retry can ride on it.
+		_, _, err := dealRoute(a)
+		return nil, err
+	})
+	HandleFunc(s, "mix.deal.chunk", func(a mixArgs) (any, error) {
+		rt, _, err := dealRoute(roundArgs{Service: a.Service, Round: a.Round})
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		if !rt.resolved && !rt.dealEnded {
+			rt.dealParts = append(rt.dealParts, a.Batch...)
+			for _, msg := range a.Batch {
+				rt.bytesIn += uint64(len(msg))
+			}
+		}
+		d.mu.Unlock()
+		return nil, nil
+	})
+	HandleFunc(s, "mix.deal.end", func(a roundArgs) (any, error) {
+		rt, k, err := dealRoute(a)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		if rt.resolved || rt.dealEnded {
+			d.mu.Unlock()
+			return nil, nil
+		}
+		rt.dealEnded = true
+		slice := rt.dealParts
+		rt.dealParts = nil
+		d.mu.Unlock()
+		// Build and publish off the handler goroutine: the merge server is
+		// waiting on this reply and has other shards to deal to.
+		go func() {
+			d.finish(k, rt, d.buildAndPublishSlice(k, rt, slice))
+		}()
 		return nil, nil
 	})
 	HandleFunc(s, "mix.round.wait", func(a roundArgs) (any, error) {
@@ -873,140 +1085,4 @@ func RegisterLegacyMixer(s *Server, m *mixnet.Server) {
 		m.CloseRound(a.Service, a.Round)
 		return nil, nil
 	})
-}
-
-// ---- CDN publish surface ----
-
-// publishBudget bounds the mailbox bytes carried by one cdn.publish call,
-// keeping frames far below the transport cap after JSON/base64 inflation.
-const publishBudget = 4 << 20
-
-type cdnBoxFragment struct {
-	ID   uint32 `json:"id"`
-	Data []byte `json:"data"`
-}
-
-type cdnPublishArgs struct {
-	Service wire.Service `json:"service"`
-	Round   uint32       `json:"round"`
-	// Boxes are mailbox fragments; fragments with the same ID across
-	// calls concatenate in arrival order, so one huge mailbox can span
-	// frames. An entry with empty Data still creates the mailbox.
-	Boxes []cdnBoxFragment `json:"boxes"`
-	// Done commits the staged round to the store.
-	Done bool `json:"done"`
-	// Abort discards the staged round (publisher failed mid-round).
-	Abort bool `json:"abort,omitempty"`
-}
-
-// stagingLimit bounds how many half-published rounds the cdn.publish
-// surface holds. A publisher that dies between fragments never sends
-// Done or Abort, so without a cap its partial mailboxes would accumulate
-// forever on a long-lived frontend; beyond the cap the oldest staged
-// round is dropped (that round already failed — its publisher is gone).
-const stagingLimit = 8
-
-// RegisterCDN exposes a cdn.Store's publish surface over RPC: the last
-// mixer of a chain-forward round streams the mailboxes here in bounded
-// frames instead of relaying them through the coordinator. Fetching
-// stays on the frontend's cdn.fetch.
-func RegisterCDN(s *Server, store *cdn.Store) {
-	var mu sync.Mutex
-	staging := make(map[outKey]map[uint32][]byte)
-	var order []outKey
-
-	drop := func(k outKey) {
-		if _, ok := staging[k]; !ok {
-			return
-		}
-		delete(staging, k)
-		for i, o := range order {
-			if o == k {
-				order = append(order[:i], order[i+1:]...)
-				break
-			}
-		}
-	}
-
-	HandleFunc(s, "cdn.publish", func(a cdnPublishArgs) (any, error) {
-		k := outKey{a.Service, a.Round}
-		mu.Lock()
-		defer mu.Unlock()
-		if a.Abort {
-			drop(k)
-			return nil, nil
-		}
-		boxes, ok := staging[k]
-		if !ok {
-			boxes = make(map[uint32][]byte)
-			staging[k] = boxes
-			order = append(order, k)
-			for len(order) > stagingLimit {
-				drop(order[0])
-			}
-		}
-		for _, frag := range a.Boxes {
-			boxes[frag.ID] = append(boxes[frag.ID], frag.Data...)
-		}
-		if !a.Done {
-			return nil, nil
-		}
-		drop(k)
-		return nil, store.PublishOwned(a.Service, a.Round, boxes)
-	})
-}
-
-// PublishMailboxes streams a round's mailboxes to a cdn.publish endpoint
-// in budget-bounded calls, splitting oversized mailboxes across frames.
-// Mailboxes are sent in ID order so runs are reproducible. Fragments are
-// sent AT MOST ONCE (a transparent retry after a lost reply would
-// concatenate a fragment twice); on a mid-publish failure a best-effort
-// abort tells the endpoint to discard the staged round.
-func PublishMailboxes(c *Client, service wire.Service, round uint32, mailboxes map[uint32][]byte) error {
-	ids := make([]uint32, 0, len(mailboxes))
-	for id := range mailboxes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	var frags []cdnBoxFragment
-	var pending int
-	flush := func(done bool) error {
-		if !done && len(frags) == 0 {
-			return nil
-		}
-		err := c.CallOnce("cdn.publish", cdnPublishArgs{
-			Service: service, Round: round, Boxes: frags, Done: done,
-		}, nil)
-		frags, pending = nil, 0
-		return err
-	}
-	publish := func() error {
-		for _, id := range ids {
-			data := mailboxes[id]
-			for {
-				n := min(len(data), publishBudget-pending)
-				frags = append(frags, cdnBoxFragment{ID: id, Data: data[:n]})
-				data = data[n:]
-				pending += n
-				if len(data) == 0 {
-					break
-				}
-				if err := flush(false); err != nil {
-					return err
-				}
-			}
-			if pending >= publishBudget {
-				if err := flush(false); err != nil {
-					return err
-				}
-			}
-		}
-		return flush(true)
-	}
-	if err := publish(); err != nil {
-		_ = c.Call("cdn.publish", cdnPublishArgs{Service: service, Round: round, Abort: true}, nil)
-		return err
-	}
-	return nil
 }

@@ -83,15 +83,22 @@ func (r *seededReader) Read(p []byte) (int, error) {
 // startCDN serves cdn.publish + a store on localhost TCP.
 func startCDN(t *testing.T) (*cdn.Store, string) {
 	t.Helper()
+	store, addr, _ := startCDNDaemon(t)
+	return store, addr
+}
+
+// startCDNDaemon is startCDN exposing the daemon for seal/staging stats.
+func startCDNDaemon(t *testing.T) (*cdn.Store, string, *rpc.CDNDaemon) {
+	t.Helper()
 	store := cdn.NewStore(0)
 	srv := rpc.NewServer()
-	rpc.RegisterCDN(srv, store)
+	d := rpc.RegisterCDN(srv, store)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Close)
-	return store, addr
+	return store, addr, d
 }
 
 // forwardCoordinator assembles a chain-forward coordinator over a fleet.

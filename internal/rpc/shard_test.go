@@ -243,7 +243,7 @@ func TestShardDeterminismAcrossShardCounts(t *testing.T) {
 			}
 			return mathrand.NewSource(int64(5000 + 100*pos + shard))
 		})
-		store, cdnAddr := startCDN(t)
+		store, cdnAddr, daemon := startCDNDaemon(t)
 		e := entry.New()
 		coord := shardCoordinator(f, e, store, cdnAddr)
 		coord.ChunkSize = 16
@@ -256,6 +256,12 @@ func TestShardDeterminismAcrossShardCounts(t *testing.T) {
 		submitTokens(t, e, settings, tokens, mathrand.New(mathrand.NewSource(4242)))
 		if _, err := coord.CloseRound(wire.Dialing, 1); err != nil {
 			t.Fatalf("%d shards/position: %v", shardsPerPos, err)
+		}
+		// The seal's stream count pins that the sharded-build path really
+		// ran: N > 1 shards mean N publish streams — the merge server no
+		// longer funnels the round's final mailbox bytes.
+		if got := daemon.LastSealStreams(); got != shardsPerPos {
+			t.Fatalf("%d shards/position: round sealed from %d publish streams", shardsPerPos, got)
 		}
 		boxes := make(map[uint32][]byte)
 		for mb := uint32(0); mb < settings.NumMailboxes; mb++ {

@@ -41,6 +41,12 @@ type Config struct {
 	// sub-batch.
 	NumFrontends int
 
+	// NumCDNs is the number of CDN replicas (default 1). Network.CDN is
+	// replica 0, the coordinator's publish target; the rest live in
+	// Network.CDNs[1:] and receive a copy of every published round
+	// (Coordinator.CDNMirrors), so a client can fetch from any replica.
+	NumCDNs int
+
 	// Noise distributions; defaults are deliberately small so tests run
 	// fast (the paper-scale µ=4000/25000 values generate millions of
 	// messages). Pass noise.AddFriendNoise / noise.DialingNoise for
@@ -68,7 +74,10 @@ type Network struct {
 	// through any of them.
 	Frontends []*entry.Server
 	CDN       *cdn.Store
-	Coord     *coordinator.Coordinator
+	// CDNs holds every CDN replica; CDNs[0] == CDN. Present only when
+	// Config.NumCDNs > 1.
+	CDNs  []*cdn.Store
+	Coord *coordinator.Coordinator
 
 	MixerKeys  []ed25519.PublicKey
 	PKGKeys    []ed25519.PublicKey
@@ -135,6 +144,14 @@ func NewNetwork(cfg Config) (*Network, error) {
 		f := entry.New()
 		n.Frontends = append(n.Frontends, f)
 		n.Coord.Frontends = append(n.Coord.Frontends, f)
+	}
+	if cfg.NumCDNs > 1 {
+		n.CDNs = []*cdn.Store{n.CDN}
+		for i := 1; i < cfg.NumCDNs; i++ {
+			replica := cdn.NewStore(0)
+			n.CDNs = append(n.CDNs, replica)
+			n.Coord.CDNMirrors = append(n.Coord.CDNMirrors, replica)
+		}
 	}
 	return n, nil
 }

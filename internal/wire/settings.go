@@ -29,6 +29,15 @@ type RouteSpec struct {
 	ShardCount  int
 	MergeAddr   string
 	NumUpstream int
+	// BuildShards switches the LAST position's merge server to sharded
+	// mailbox building: after the merged shuffle it deals request bodies
+	// by mailbox ID to these addresses (its own shard group, in shard
+	// order, including itself at index 0) instead of building every
+	// mailbox itself. Each shard, merge server included, then builds its
+	// own mailbox-ID range and publishes it over its own shard-tagged
+	// cdn.publish stream. Non-merge shards of such a group carry CDNAddr
+	// (their publish target) but empty BuildShards.
+	BuildShards []string
 }
 
 // MixerRoundStats is one daemon's self-reported accounting for its
