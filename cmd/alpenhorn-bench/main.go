@@ -14,14 +14,15 @@
 //	alpenhorn-bench -exp mix-compare # sequential vs parallel vs pipelined round cost
 //	alpenhorn-bench -exp chain-forward # relayed vs server-forwarded data plane over TCP
 //	alpenhorn-bench -exp shard-compare # unsharded vs shard-group positions over TCP
+//	alpenhorn-bench -exp churn      # round availability with hot spares under daemon kills
 //	alpenhorn-bench -exp status-load # 500 ms status pollers vs entry.events streamers
 //	alpenhorn-bench -exp fanout-load # waiter-scale fan-out + V2 vs V1 tracking requests
 //	alpenhorn-bench -exp cdn-load   # CDN seal throughput, fetch p50/p99, replication lag
 //	alpenhorn-bench -all            # everything
 //
-// -json FILE writes the shard-compare / status-load / fanout-load /
-// ibe-bench / cdn-load results as a JSON record (CI uploads them per PR
-// to track the perf trajectory).
+// -json FILE writes the shard-compare / churn / status-load /
+// fanout-load / ibe-bench / cdn-load results as a JSON record (CI
+// uploads them per PR to track the perf trajectory).
 //
 // The -parallelism flag sets the mixers' decryption/noise worker count for
 // every experiment that runs real rounds (0 = GOMAXPROCS, 1 = the
@@ -63,7 +64,7 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "paper figure to regenerate (6-10)")
-	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, ibe-bench, mix-cal, mix-compare, chain-forward, shard-compare, status-load, fanout-load, cdn-load")
+	exp := flag.String("exp", "", "named experiment: sizes, extraction, ibe-sweep, ibe-bench, mix-cal, mix-compare, chain-forward, shard-compare, churn, status-load, fanout-load, cdn-load")
 	all := flag.Bool("all", false, "run everything")
 	users := flag.Int("calibration-batch", 4000, "batch size for real-round mix calibration")
 	par := flag.Int("parallelism", 0, "mixer decryption/noise workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -94,6 +95,7 @@ func main() {
 	run(-1, "mix-compare", mixCompare)
 	run(-1, "chain-forward", chainForwardCompare)
 	run(-1, "shard-compare", shardCompare)
+	run(-1, "churn", churnBench)
 	run(-1, "status-load", func(int) { statusLoad() })
 	run(-1, "fanout-load", func(int) { fanoutLoad() })
 	run(-1, "cdn-load", func(int) { cdnLoad() })

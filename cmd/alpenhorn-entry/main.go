@@ -9,9 +9,15 @@
 //
 // -mixers is a flat list: daemons are grouped into chain positions (and,
 // when several daemons advertise the same position with -shard i/N, into
-// that position's shard group) by what each daemon reports. Sharded
-// positions require the chain-forward data plane (-chain-forward, the
-// default).
+// that position's shard group) by what each daemon reports. Daemons
+// started with -spare join their position's hot-spare pool instead: the
+// coordinator's scheduler probes every member at round-plan time,
+// benches the ones that fail (or breach -latency-slo), drafts spares
+// into their slots, and re-admits them automatically once they recover —
+// rounds keep closing with zero operator action. Sharded positions
+// require the chain-forward data plane (-chain-forward, the default).
+// The scheduler's per-daemon scoreboard and the round-health ring are
+// served read-only over the coordinator.status RPC on the client port.
 //
 // Clients connect here, fetch the deployment directory (server addresses
 // and pinned keys), and then poll round status to participate.
@@ -73,6 +79,11 @@ func main() {
 	replicaAddr := flag.String("replica-addr", ":7020", "server-plane listen address for entry.replicate (with -frontend-only; kept OFF the client-facing -addr: the transport is unauthenticated)")
 	frontendSpecs := flag.String("frontends", "", "comma-separated extra frontends joining this coordinator, each clientAddr=replicaAddr; announcements replay to all of them and each feeds its own sub-batch")
 	cdnNodes := flag.String("cdns", "", "comma-separated client-facing addresses of dedicated alpenhorn-cdn nodes, published in the directory (cdn_addrs) so clients fetch mailboxes from the CDN tier with failover; point -cdn-public-addr at one node's -ingest so rounds publish there (this binary's embedded store is the degenerate single-node case)")
+	roundDeadline := flag.Duration("round-deadline", 2*time.Minute, "per-round data-plane deadline pushed to every mixer (0 = none); a stalled round aborts instead of wedging the chain")
+	latencySLO := flag.Duration("latency-slo", 0, "per-daemon round-duration SLO (0 = none); a daemon breaching it is benched and replaced by a hot spare until it recovers")
+	adaptiveChunk := flag.Bool("adaptive-chunk", false, "adapt the pipeline chunk size to observed round outcomes within a bounded window (makes batch order depend on history; leave off when replaying fixed-seed experiments)")
+	pinLead := flag.Bool("pin-lead", false, "pin the shard-group merge/build-lead role to shard 0 instead of rotating it round-robin per round")
+	healthRing := flag.Int("health-ring", 0, "rounds of health history kept for coordinator.status (0 = default)")
 	flag.Parse()
 
 	if *frontendOnly {
@@ -107,12 +118,20 @@ func main() {
 	// key per POSITION — a shard group is one logical mixer, so the
 	// directory and round settings are identical to an unsharded chain.
 	byPosition := make(map[int]map[int]*rpc.MixerClient)
+	sparesByPosition := make(map[int][]coordinator.Mixer)
 	for _, a := range strings.Split(*mixerAddrs, ",") {
 		mc, err := rpc.DialMixer(a)
 		if err != nil {
 			log.Fatalf("connecting to mixer %s: %v", a, err)
 		}
 		info := mc.Info()
+		if info.Spare {
+			// Hot spare: no fixed slot. The scheduler drafts it into a
+			// benched member's slot at its position when a round needs it.
+			log.Printf("mixer %s (%s, position %d) standing by as a hot spare", a, info.Name, info.Position)
+			sparesByPosition[info.Position] = append(sparesByPosition[info.Position], mc)
+			continue
+		}
 		count := info.ShardCount
 		if count == 0 {
 			count = 1
@@ -144,8 +163,9 @@ func main() {
 				log.Fatalf("position %d: shard %d expects a group of %d, found %d", i, s, want, len(group))
 			}
 			if s == 0 {
-				// The lead announces the position's round keys; its
-				// signing key is the one clients pin.
+				// Shard 0 is the position's announcer: it signs the round
+				// announcements, so its key is the one clients pin. The
+				// merge/build-lead role rotates separately each round.
 				dir.MixerKeys = append(dir.MixerKeys, mc.Info().SigningKey)
 				mixers = append(mixers, mc)
 			} else {
@@ -153,10 +173,17 @@ func main() {
 			}
 		}
 		if len(group) > 1 {
-			log.Printf("position %d is sharded across %d daemons (lead %s)", i, len(group), group[0].Addr())
+			log.Printf("position %d is sharded across %d daemons (announcer %s)", i, len(group), group[0].Addr())
 		}
 	}
 	dir.NumMixers = len(mixers)
+	spares := make([][]coordinator.Mixer, len(mixers))
+	for pos, pool := range sparesByPosition {
+		if pos < 0 || pos >= len(mixers) {
+			log.Fatalf("spare mixer advertises position %d, but the chain has positions 0..%d", pos, len(mixers)-1)
+		}
+		spares[pos] = pool
+	}
 
 	e := entry.New()
 	store := cdn.NewStore(64)
@@ -164,9 +191,15 @@ func main() {
 		Entry:                    e,
 		Mixers:                   mixers,
 		Shards:                   shards,
+		Spares:                   spares,
 		PKGs:                     pkgs,
 		CDN:                      store,
 		TargetRequestsPerMailbox: 24000,
+		RoundDeadline:            *roundDeadline,
+		LatencySLO:               *latencySLO,
+		AdaptiveChunk:            *adaptiveChunk,
+		PinLead:                  *pinLead,
+		HealthRing:               *healthRing,
 		Logger:                   log.Default(),
 	}
 	if *chainForward {
@@ -218,6 +251,14 @@ func main() {
 
 	server := rpc.NewServer()
 	rpc.RegisterFrontend(server, e, store, dir)
+	// Read-only operator surface: the round-health ring plus the
+	// scheduler's per-daemon scoreboard and bench/spare state.
+	rpc.RegisterCoordinatorStatus(server, func() any {
+		return struct {
+			Health     []coordinator.RoundHealth `json:"health"`
+			Scoreboard coordinator.Scoreboard    `json:"scoreboard"`
+		}{coord.Status(), coord.Scoreboard()}
+	})
 	bound, err := server.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)

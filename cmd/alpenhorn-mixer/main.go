@@ -10,16 +10,26 @@
 //
 // One position may be SHARDED across several machines run by the same
 // operator — they jointly peel the position's batch, divide its noise,
-// and merge into a single full-batch shuffle on shard 0 (the lead):
+// and merge into a single full-batch shuffle on one member:
 //
 //	alpenhorn-mixer -addr :7102 -position 1 -chain 3 -shard 0/2
 //	alpenhorn-mixer -addr :7112 -position 1 -chain 3 -shard 1/2
 //
 // The entry daemon groups mixers by their advertised position and shard
-// index; the coordinator plans the shard routes each round. Shard 0
-// generates the position's round key (the other shards pull it over the
-// server plane — keep mixer addresses off the client network) and hosts
-// the group's merge, so give it the beefiest machine.
+// index; the coordinator plans the shard routes each round. Shard 0 is
+// the position's ANNOUNCER — it signs the round announcements clients
+// verify, so its signing key is the pinned one — while the merge/build
+// lead role rotates round-robin across the group (the shuffle
+// permutation is derived from the round key, so rotation never changes
+// a round's output). Round keys move inside the group over the server
+// plane (mix.round.exportkey, gated to the round's planned peers) —
+// keep mixer addresses off the client network.
+//
+// A machine may instead stand by as a hot SPARE (-spare): it advertises
+// no fixed slot, and the coordinator drafts it into whichever benched
+// member's slot needs covering that round:
+//
+//	alpenhorn-mixer -addr :7122 -position 1 -chain 3 -spare
 //
 // The daemon serves both data planes: coordinator-relayed streaming, and
 // chain-forwarding, where the coordinator assigns it a successor address
@@ -57,11 +67,15 @@ func main() {
 	dlMu := flag.Float64("dialing-mu", noise.DialingNoise.Mu, "mean dialing noise per mailbox")
 	dlB := flag.Float64("dialing-b", noise.DialingNoise.B, "dialing noise scale (0 = deterministic)")
 	legacy := flag.Bool("legacy", false, "serve only the pre-streaming RPC surface (rolling-upgrade rehearsal)")
-	shard := flag.String("shard", "", "shard identity i/N when N daemons jointly serve this position (e.g. 0/2; shard 0 leads the group)")
+	shard := flag.String("shard", "", "shard identity i/N when N daemons jointly serve this position (e.g. 0/2; shard 0 announces for the group)")
+	spare := flag.Bool("spare", false, "run as an unpinned hot spare for this position: idle until the coordinator drafts it into a benched member's slot")
 	flag.Parse()
 
 	shardIndex, shardCount := 0, 0
 	if *shard != "" {
+		if *spare {
+			log.Fatal("-spare daemons are unpinned; drop -shard")
+		}
 		if _, err := fmt.Sscanf(*shard, "%d/%d", &shardIndex, &shardCount); err != nil ||
 			shardCount < 1 || shardIndex < 0 || shardIndex >= shardCount {
 			log.Fatalf("bad -shard %q: want i/N with 0 <= i < N", *shard)
@@ -76,6 +90,7 @@ func main() {
 		DialingNoise:   &noise.Laplace{Mu: *dlMu, B: *dlB},
 		ShardIndex:     shardIndex,
 		ShardCount:     shardCount,
+		Spare:          *spare,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,7 +108,9 @@ func main() {
 		log.Fatal(err)
 	}
 	shardLabel := "unsharded"
-	if shardCount > 0 {
+	if *spare {
+		shardLabel = "hot spare"
+	} else if shardCount > 0 {
 		shardLabel = fmt.Sprintf("shard %d/%d", shardIndex, shardCount)
 	}
 	log.Printf("alpenhorn-mixer %q (position %d/%d, %s) listening on %s (legacy=%v)", *name, *position, *chain, shardLabel, bound, *legacy)

@@ -32,26 +32,56 @@
 //
 // On the chain-forward plane, one chain position may be SHARDED across
 // several daemons (Shards): the coordinator plans the group each round
-// and announces it through the routes. Shard 0 of a group — its LEAD —
-// generates and announces the position's one round key (the other shards
-// pull it from the lead directly; the private key never crosses the
-// coordinator), hosts the group's merge, and is where the position's
-// single full-batch shuffle runs. Every member learns its shard index
-// and group size at round open (SetRoundShard, before noise generation,
-// because the group divides the position's per-mailbox noise), and the
-// routes give each merge server the successor position's FULL shard set
-// so it can deal its post-shuffle chunks across them. Aborts fan out to
-// every shard of every position. Clients never see any of this: round
-// settings carry one key per position either way.
+// and announces it through the routes. Shard 0 of a group is its
+// ANNOUNCER: it generates and announces the position's one round key —
+// clients pin ITS signing key, so it is the one member the scheduler can
+// never substitute. The other members pull the key inside the group's
+// trust domain (the private key never crosses the coordinator), along a
+// two-step chain when the merge role is rotated: the round's lead pulls
+// from the announcer, everyone else pulls from the lead. Key export is
+// gated to the round's planned shard network — daemons refuse
+// mix.round.exportkey calls from hosts outside the peer list the
+// coordinator distributed with the layout.
+//
+// Every member learns its shard index and group size at round open
+// (SetRoundShard, before noise generation, because the group divides the
+// position's per-mailbox noise), and the routes give each merge server
+// the successor position's FULL shard set so it can deal its
+// post-shuffle chunks across them. Aborts fan out to every shard of
+// every position. Clients never see any of this: round settings carry
+// one key per position either way.
 //
 // Sharded rounds have NO fallback plane — the noise was divided at round
 // open, so if the fleet cannot run the sharded chain-forward plane the
 // round fails at open rather than running with an eroded noise floor.
 //
-// The coordinator also keeps per-round health (Status): wall time,
-// batch size, and — for forwarded rounds — each daemon's self-reported
-// duration and batch bytes from the mix.round.wait long-poll. This is
-// the seed of the round scheduler's flap detection.
+// # Self-healing rounds (schedule.go)
+//
+// The merge/build-lead role — where the position's single full-batch
+// shuffle runs, where deposits funnel, and where mix.deal.* fans out —
+// is a ROLE, not a machine: it rotates round-robin across each group per
+// round (round % groupSize; PinLead pins it to slot 0). Rotation never
+// changes a round's output, because the shuffle permutation is derived
+// from the round key that every member holds.
+//
+// Each round is planned against a per-daemon scoreboard built from the
+// previous rounds' health: daemons that crashed, stalled past the
+// latency SLO, or failed locally are benched and replaced from the
+// position's hot-spare pool (Spares) at the same shard slot; benched
+// daemons are probed with a short-timeout mix.info each plan and
+// re-admitted once they recover. Abort-reason codes from mix.round.wait
+// (slow / crashed / upstream / error) let the scheduler distinguish a
+// daemon's own failure from an abort it merely echoed. The pipeline
+// chunk size can adapt per round to observed outcomes (AdaptiveChunk)
+// inside a bounded window, and RoundDeadline bounds every daemon's
+// peer-dial retries so a dead peer costs bounded time, not the round's
+// wait timeout.
+//
+// The coordinator keeps per-round health (Status): wall time, batch
+// size, and — for forwarded rounds — each daemon's self-reported
+// duration, batch bytes, and abort reason from the mix.round.wait
+// long-poll. The scheduler's scoreboard (Scoreboard) is served to
+// operators read-only over the coordinator.status RPC.
 //
 // One add-friend round proceeds as:
 //
@@ -275,14 +305,50 @@ type Coordinator struct {
 	Frontends []Frontend
 
 	// Shards lists ADDITIONAL shard daemons per chain position:
-	// position i is served by Mixers[i] (shard 0 — the group's lead,
-	// key source, and merge server) plus Shards[i] (shards 1..N-1), in
-	// shard-index order. A nil or empty entry leaves the position
-	// unsharded. Sharded rounds require the chain-forward data plane
-	// and shard-capable daemons everywhere; there is no silent
-	// fallback, because the shards divide the position's noise at round
-	// open.
+	// position i is served by Mixers[i] (shard 0 — the group's
+	// ANNOUNCER, whose pinned signing key clients verify, and the
+	// round-key source) plus Shards[i] (shards 1..N-1), in shard-index
+	// order. A nil or empty entry leaves the position unsharded. The
+	// merge/build-lead ROLE within each group rotates per round (see
+	// PinLead). Sharded rounds require the chain-forward data plane and
+	// shard-capable daemons everywhere; there is no silent fallback,
+	// because the shards divide the position's noise at round open.
 	Shards [][]Mixer
+
+	// Spares lists hot-spare daemons per chain position: unpinned,
+	// idle daemons the scheduler drafts into a benched member's exact
+	// shard slot for a round (the announcer, slot 0, is never
+	// substituted — clients pin its key). A spare returns to the pool
+	// when its round's plan is dropped. Positions beyond len(Spares)
+	// have no spares.
+	Spares [][]Mixer
+
+	// PinLead pins each shard group's merge/build-lead role to slot 0
+	// (the pre-rotation layout) instead of rotating it round-robin per
+	// round. Rotation never changes a round's output — the permutation
+	// is derived from the round key every member holds — so this exists
+	// for A/B determinism tests and operators who want a fixed funnel.
+	PinLead bool
+
+	// AdaptiveChunk lets the scheduler adapt the pipeline chunk size
+	// per round to observed outcomes, inside [ChunkSize/4, ChunkSize*4].
+	// Off by default: a fixed chunk keeps fixed-seed rounds reproducible.
+	AdaptiveChunk bool
+
+	// LatencySLO, when set, is the per-daemon round-duration budget: a
+	// daemon whose self-reported duration exceeds it is treated as slow
+	// (benched and, with AdaptiveChunk, the chunk size shrinks) even if
+	// the round succeeded.
+	LatencySLO time.Duration
+
+	// RoundDeadline, when set, bounds each daemon's data-plane work per
+	// round (RouteSpec.DeadlineMs): peer-dial retries give up once it
+	// passes instead of burning the whole round against a dead peer.
+	RoundDeadline time.Duration
+
+	// HealthRing bounds how many recent rounds Status retains
+	// (0 = defaultHealthRing).
+	HealthRing int
 
 	// TargetRequestsPerMailbox controls how many requests (real + noise)
 	// the coordinator aims to put in one mailbox; the paper sizes
@@ -334,6 +400,15 @@ type Coordinator struct {
 	expectedVolume map[wire.Service]int
 	health         []RoundHealth
 
+	// Scheduler state (schedule.go), all guarded by mu: the per-round
+	// plans captured at open, the per-daemon scoreboard, the adaptive
+	// chunk size per service, and the spares currently drafted into
+	// open plans.
+	plans      map[planKey]*roundPlan
+	scores     map[string]*daemonScore
+	chunkNow   map[wire.Service]int
+	draftedNow map[string]int
+
 	// annMu serializes announcement fan-out across the frontend tier.
 	// Concurrent round opens (the add-friend and dialing timers tick
 	// independently) must reach every frontend's log in the SAME order,
@@ -341,8 +416,18 @@ type Coordinator struct {
 	annMu sync.Mutex
 }
 
-// healthRing bounds how many recent rounds Status retains.
-const healthRing = 8
+// defaultHealthRing bounds how many recent rounds Status retains when
+// Config.HealthRing is unset — sized so the coordinator.status surface
+// can show meaningful failure-rate history, not just the last burst.
+const defaultHealthRing = 64
+
+// healthRingSize is the configured Status retention.
+func (c *Coordinator) healthRingSize() int {
+	if c.HealthRing > 0 {
+		return c.HealthRing
+	}
+	return defaultHealthRing
+}
 
 // DaemonRoundStats is one daemon's outcome in a closed round, built from
 // its mix.round.wait reply.
@@ -400,14 +485,17 @@ func (c *Coordinator) Status() []RoundHealth {
 	return out
 }
 
-// recordHealth appends a round's health to the bounded ring and emits the
-// per-round log line.
+// recordHealth appends a round's health to the bounded ring, folds the
+// per-daemon outcomes into the scheduler's scoreboard, adapts the chunk
+// size, and emits the per-round log line.
 func (c *Coordinator) recordHealth(h RoundHealth) {
 	c.mu.Lock()
 	c.health = append(c.health, h)
-	if len(c.health) > healthRing {
-		c.health = c.health[len(c.health)-healthRing:]
+	if ring := c.healthRingSize(); len(c.health) > ring {
+		c.health = c.health[len(c.health)-ring:]
 	}
+	c.updateScoreboard(h)
+	c.adaptChunk(h)
 	c.mu.Unlock()
 	if c.Logger != nil {
 		c.Logger.Printf("round health: %s", h)
@@ -555,6 +643,7 @@ func (c *Coordinator) OpenAddFriendRound(round uint32) (*wire.RoundSettings, err
 		return nil, err
 	}
 	if err := c.announceOpen(settings); err != nil {
+		c.dropPlan(settings.Service, settings.Round)
 		return nil, err
 	}
 	return settings, nil
@@ -607,13 +696,15 @@ func (c *Coordinator) OpenDialingRound(round uint32) (*wire.RoundSettings, error
 		return nil, err
 	}
 	if err := c.announceOpen(settings); err != nil {
+		c.dropPlan(settings.Service, settings.Round)
 		return nil, err
 	}
 	return settings, nil
 }
 
-// shardGroup returns position i's full shard set: Mixers[i] (the lead,
-// shard 0) plus Shards[i].
+// shardGroup returns position i's CONFIGURED shard set: Mixers[i] (the
+// announcer, shard 0) plus Shards[i]. The scheduler's plan may
+// substitute spares into slots 1..N-1 for a given round.
 func (c *Coordinator) shardGroup(i int) []Mixer {
 	group := []Mixer{c.Mixers[i]}
 	if i < len(c.Shards) {
@@ -632,7 +723,7 @@ func (c *Coordinator) sharded() bool {
 	return false
 }
 
-func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
+func (c *Coordinator) openMixRound(settings *wire.RoundSettings) (err error) {
 	if c.sharded() {
 		if c.Sequential {
 			return fmt.Errorf("coordinator: sharded positions cannot run the sequential data plane")
@@ -641,13 +732,26 @@ func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
 			return fmt.Errorf("coordinator: sharded positions require the chain-forward data plane and a CDN address")
 		}
 	}
-	// The position LEADS announce the round keys: clients wrap one onion
-	// layer per position, so a shard group shares one key, generated by
-	// its lead and announced once. The settings are identical whether or
-	// not any position is sharded — sharding is invisible to clients.
+	// The scheduler plans the round FIRST: it probes every candidate,
+	// drafts spares into benched slots, and picks the merge-role
+	// rotation, so a daemon killed between rounds is caught here rather
+	// than burning the round mid-chain. The plan is fixed for the
+	// round's whole life — CloseRound reuses it verbatim.
+	plan := c.planRound(settings.Service, settings.Round)
+	defer func() {
+		if err != nil {
+			c.dropPlan(settings.Service, settings.Round)
+		}
+	}()
+	// The position ANNOUNCERS announce the round keys: clients wrap one
+	// onion layer per position, so a shard group shares one key,
+	// generated by its announcer (slot 0, whose signing key clients pin)
+	// and announced once. The settings are identical whether or not any
+	// position is sharded — sharding, spares, and rotation are all
+	// invisible to clients.
 	keys := make([][]byte, len(c.Mixers))
 	settings.Mixers = make([]wire.MixerRoundKey, len(c.Mixers))
-	err := fanOut(len(c.Mixers), func(i int) error {
+	err = fanOut(len(c.Mixers), func(i int) error {
 		rk, err := c.Mixers[i].NewRound(settings.Service, settings.Round)
 		if err != nil {
 			return fmt.Errorf("coordinator: mixer %d: %w", i, err)
@@ -660,7 +764,7 @@ func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
 		return err
 	}
 	if c.sharded() {
-		if err := c.openShardGroups(settings.Service, settings.Round); err != nil {
+		if err := c.openShardGroups(settings.Service, settings.Round, plan); err != nil {
 			return err
 		}
 	}
@@ -671,7 +775,7 @@ func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
 	// preparation — it benchmarks the unpipelined chain, where noise
 	// generation happens inside Mix.)
 	return fanOut(len(c.Mixers), func(i int) error {
-		group := c.shardGroup(i)
+		group := plan.group(i)
 		return fanOut(len(group), func(s int) error {
 			m := group[s]
 			if err := m.SetDownstreamKeys(settings.Service, settings.Round, keys[i+1:]); err != nil {
@@ -691,38 +795,87 @@ func (c *Coordinator) openMixRound(settings *wire.RoundSettings) error {
 }
 
 // openShardGroups prepares every sharded position for the round: the
-// group members pull the lead's round key (one key per position — shards
-// are one logical server), and every member, lead included, learns its
-// shard index and group size so its noise share divides correctly. Runs
-// strictly before PrepareNoise.
-func (c *Coordinator) openShardGroups(service wire.Service, round uint32) error {
+// group members pull the announcer's round key (one key per position —
+// shards are one logical server), and every member learns its shard
+// index, group size, and the round's shard network so its noise share
+// divides correctly and its key-export surface is gated to the planned
+// group. Runs strictly before PrepareNoise.
+//
+// The key moves along a two-step chain when the merge-lead role is
+// rotated away from the announcer: the LEAD pulls it from the announcer
+// first, then the remaining members pull from the lead — "key export
+// from whichever shard is lead this round". Ordering matters twice
+// over: a member's import opens its round (so its layout call must
+// follow its import), and a daemon's exportkey allowlist must be
+// installed before any peer pulls from it (so the announcer's layout
+// call comes first of all, and the lead's precedes the other members').
+func (c *Coordinator) openShardGroups(service wire.Service, round uint32, plan *roundPlan) error {
+	setShard := func(m Mixer, pos, s, count int, peers []string) error {
+		if pm, ok := m.(ShardPeerMixer); ok && len(peers) > 0 {
+			if err := pm.SetRoundShardPeers(service, round, s, count, peers); err != nil {
+				return fmt.Errorf("coordinator: position %d shard %d layout: %w", pos, s, err)
+			}
+			return nil
+		}
+		sm, ok := m.(ShardMixer)
+		if !ok || !supportsSharding(m) {
+			return fmt.Errorf("coordinator: position %d shard %d does not support shard groups", pos, s)
+		}
+		if err := sm.SetRoundShard(service, round, s, count); err != nil {
+			return fmt.Errorf("coordinator: position %d shard %d layout: %w", pos, s, err)
+		}
+		return nil
+	}
 	return fanOut(len(c.Mixers), func(i int) error {
-		group := c.shardGroup(i)
+		group := plan.group(i)
 		if len(group) == 1 {
 			return nil
 		}
-		lead, ok := c.Mixers[i].(ForwardMixer)
-		if !ok || !lead.SupportsForwarding() || !supportsSharding(c.Mixers[i]) {
-			return fmt.Errorf("coordinator: position %d is sharded but its lead cannot serve a shard group", i)
+		announcer, ok := group[0].(ForwardMixer)
+		if !ok || !announcer.SupportsForwarding() || !supportsSharding(group[0]) {
+			return fmt.Errorf("coordinator: position %d is sharded but its announcer cannot serve a shard group", i)
 		}
-		// Members are independent of one another (only import-before-
-		// layout matters, per member), so the group fans out like every
-		// other daemon RPC.
+		peers := plan.peers[i]
+		// The announcer owns the round key, so its layout (and with it
+		// the export allowlist) installs before anyone pulls.
+		if err := setShard(group[0], i, 0, len(group), peers); err != nil {
+			return err
+		}
+		li := plan.lead(i)
+		keyAddr := announcer.Addr()
+		if li != 0 {
+			lm, ok := group[li].(ShardMixer)
+			if !ok || !supportsSharding(group[li]) {
+				return fmt.Errorf("coordinator: position %d shard %d does not support shard groups", i, li)
+			}
+			if err := lm.ImportRoundKeyFrom(service, round, announcer.Addr()); err != nil {
+				return fmt.Errorf("coordinator: position %d lead %d importing round key: %w", i, li, err)
+			}
+			if err := setShard(group[li], i, li, len(group), peers); err != nil {
+				return err
+			}
+			lf, ok := group[li].(ForwardMixer)
+			if !ok {
+				return fmt.Errorf("coordinator: position %d lead %d has no address", i, li)
+			}
+			keyAddr = lf.Addr()
+		}
+		// The remaining members are independent of one another (only
+		// import-before-layout matters, per member), so they fan out
+		// like every other daemon RPC.
 		return fanOut(len(group), func(s int) error {
+			if s == 0 || s == li {
+				return nil
+			}
 			m := group[s]
 			sm, ok := m.(ShardMixer)
 			if !ok || !supportsSharding(m) {
 				return fmt.Errorf("coordinator: position %d shard %d does not support shard groups", i, s)
 			}
-			if s > 0 {
-				if err := sm.ImportRoundKeyFrom(service, round, lead.Addr()); err != nil {
-					return fmt.Errorf("coordinator: position %d shard %d importing round key: %w", i, s, err)
-				}
+			if err := sm.ImportRoundKeyFrom(service, round, keyAddr); err != nil {
+				return fmt.Errorf("coordinator: position %d shard %d importing round key: %w", i, s, err)
 			}
-			if err := sm.SetRoundShard(service, round, s, len(group)); err != nil {
-				return fmt.Errorf("coordinator: position %d shard %d layout: %w", i, s, err)
-			}
-			return nil
+			return setShard(m, i, s, len(group), peers)
 		})
 	})
 }
@@ -755,7 +908,11 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	if err != nil {
 		return nil, err
 	}
-	chunkSize := c.ChunkSize
+	// The round runs with the plan captured at open — membership, merge
+	// rotation, chunk size, and deadline are fixed for the round's life.
+	plan := c.planFor(service, round)
+	defer c.dropPlan(service, round)
+	chunkSize := plan.chunkSize
 	if chunkSize <= 0 {
 		chunkSize = mixnet.DefaultStreamChunk
 	}
@@ -781,9 +938,9 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	// die with the round whether it succeeds or fails — a failed round
 	// is never retried (the next round carries the traffic), and keys
 	// that outlive their round are a forward-secrecy hazard.
-	defer c.closeMixerRounds(service, round)
+	defer c.closeMixerRounds(service, round, plan)
 
-	groups, err := c.forwardGroups()
+	groups, err := c.forwardGroups(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -814,7 +971,7 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	c.SetExpectedVolume(service, total)
 
 	if groups != nil {
-		daemons, err := c.runChainForwarded(service, round, settings.NumMailboxes, batch, chunkSize, groups, extras)
+		daemons, err := c.runChainForwarded(service, round, settings.NumMailboxes, batch, chunkSize, plan, groups, extras)
 		h := RoundHealth{
 			Service: service, Round: round, Batch: total,
 			Duration: time.Since(start), Forwarded: true, Daemons: daemons,
@@ -864,13 +1021,13 @@ func (c *Coordinator) CloseRound(service wire.Service, round uint32) (map[uint32
 	return mailboxes, nil
 }
 
-// closeMixerRounds erases the round key on every shard of every position,
-// fanning the calls out (each is a network round trip against daemons).
-// Erasure failures are the daemons' problem — CloseRound is
-// fire-and-forget, like the in-process API.
-func (c *Coordinator) closeMixerRounds(service wire.Service, round uint32) {
+// closeMixerRounds erases the round key on every PLANNED member of every
+// position (drafted spares included), fanning the calls out (each is a
+// network round trip against daemons). Erasure failures are the daemons'
+// problem — CloseRound is fire-and-forget, like the in-process API.
+func (c *Coordinator) closeMixerRounds(service wire.Service, round uint32, plan *roundPlan) {
 	_ = fanOut(len(c.Mixers), func(i int) error {
-		for _, m := range c.shardGroup(i) {
+		for _, m := range plan.group(i) {
 			m.CloseRound(service, round)
 		}
 		return nil
@@ -885,7 +1042,7 @@ func (c *Coordinator) closeMixerRounds(service wire.Service, round uint32) {
 // round falls back to the coordinator-relayed pipeline; a SHARDED fleet
 // that can't forward is an error — the noise was divided at round open,
 // so no other data plane can run this round.
-func (c *Coordinator) forwardGroups() ([][]ForwardMixer, error) {
+func (c *Coordinator) forwardGroups(plan *roundPlan) ([][]ForwardMixer, error) {
 	sharded := c.sharded()
 	usable := c.ChainForward && !c.Sequential && c.CDNAddr != "" && len(c.Mixers) > 0
 	if !usable {
@@ -896,7 +1053,7 @@ func (c *Coordinator) forwardGroups() ([][]ForwardMixer, error) {
 	}
 	groups := make([][]ForwardMixer, len(c.Mixers))
 	for i := range c.Mixers {
-		group := c.shardGroup(i)
+		group := plan.group(i)
 		groups[i] = make([]ForwardMixer, len(group))
 		for s, m := range group {
 			fm, isForward := m.(ForwardMixer)
@@ -948,14 +1105,16 @@ func flattenGroups(groups [][]ForwardMixer) []routedDaemon {
 // Routes announce the shard topology per position: every member learns
 // its shard index and group size, non-merge shards learn their group's
 // merge address, and each merge server learns the successor position's
-// FULL shard set. On the first failure the round is aborted on every
-// shard of every position — daemons also propagate aborts down the chain
-// and across their groups themselves, so a mid-chain death cannot wedge
-// its successors.
+// FULL shard set. The merge/build-lead role lands on the plan's rotated
+// lead — a role, not a machine; the key-derived permutation makes the
+// round's output independent of which member hosts it. On the first
+// failure the round is aborted on every shard of every position —
+// daemons also propagate aborts down the chain and across their groups
+// themselves, so a mid-chain death cannot wedge its successors.
 //
 // The returned per-daemon stats (from mix.round.wait) feed the round
 // health record even when the round fails.
-func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int, groups [][]ForwardMixer, extras []closedFrontend) ([]DaemonRoundStats, error) {
+func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize int, plan *roundPlan, groups [][]ForwardMixer, extras []closedFrontend) ([]DaemonRoundStats, error) {
 	numUpstream := 1 + len(extras)
 	all := flattenGroups(groups)
 	abortAll := func(reason error) {
@@ -1000,12 +1159,14 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 		// Positions are routed back-to-front (a successor must be routed
 		// before its predecessor could forward), but the shards WITHIN a
 		// position are independent and fan out.
+		li := plan.lead(i)
 		err := fanOut(len(group), func(s int) error {
 			spec := RouteSpec{
 				NumMailboxes: numMailboxes,
 				ChunkSize:    chunkSize,
 				ShardIndex:   s,
 				ShardCount:   len(group),
+				DeadlineMs:   plan.deadlineMs,
 			}
 			if i == 0 && numUpstream > 1 {
 				// Position 0 is fed by every frontend: its intake stays
@@ -1013,14 +1174,16 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 				// upstream-tagged end (PR 3's counted fan-in).
 				spec.NumUpstream = numUpstream
 			}
-			if s == 0 {
-				// The lead is the group's merge server: the position's
-				// post-shuffle output leaves the group from here.
+			if s == li {
+				// This round's lead hosts the group's merge: the
+				// position's post-shuffle output leaves the group from
+				// here. (BuildShards stays in shard order — members
+				// identify themselves by their own shard index.)
 				spec.Successors = successors
 				spec.CDNAddr = cdnAddr
 				spec.BuildShards = buildShards
 			} else {
-				spec.MergeAddr = group[0].Addr()
+				spec.MergeAddr = group[li].Addr()
 				if buildShards != nil {
 					// A build shard publishes its dealt mailbox-ID slice
 					// itself, so it needs the CDN address too.
@@ -1041,7 +1204,7 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 	// Frontend 0's batch is the one payload this process still moves: the
 	// coordinator owns its entry server, so this hop is unavoidable and
 	// costs one sub-batch-width, not one per chain hop.
-	if err := c.feedFirstGroup(service, round, numMailboxes, batch, chunkSize, 0, numUpstream); err != nil {
+	if err := c.feedFirstGroup(service, round, numMailboxes, batch, chunkSize, 0, numUpstream, plan.group(0)); err != nil {
 		err = fmt.Errorf("coordinator: feeding position 0: %w", err)
 		abortAll(err)
 		return nil, err
@@ -1060,7 +1223,7 @@ func (c *Coordinator) runChainForwarded(service wire.Service, round uint32, numM
 			if cf.feeder != nil {
 				err = cf.feeder.FeedBatch(service, round, numMailboxes, chunkSize, shardAddrs, k+1)
 			} else {
-				err = c.feedFirstGroup(service, round, numMailboxes, cf.batch, chunkSize, k+1, numUpstream)
+				err = c.feedFirstGroup(service, round, numMailboxes, cf.batch, chunkSize, k+1, numUpstream, plan.group(0))
 			}
 			if err != nil {
 				err = fmt.Errorf("coordinator: feeding position 0 as upstream %d: %w", k+1, err)
@@ -1119,14 +1282,13 @@ type upstreamEnder interface {
 }
 
 // feedFirstGroup deals one frontend's closed sub-batch across the first
-// position's shard set, chunk i to shard i mod N — the same deterministic
-// deal the daemons use between positions. Every shard gets its own
-// stream; an unsharded first position degenerates to the single-stream
-// feed. With more than one upstream feeder the begins JOIN the streams
-// the first feeder opened and the ends carry this feeder's upstream
-// index for the shards' counted fan-in.
-func (c *Coordinator) feedFirstGroup(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize, upstream, numUpstream int) error {
-	group := c.shardGroup(0)
+// position's PLANNED shard set, chunk i to shard i mod N — the same
+// deterministic deal the daemons use between positions. Every shard gets
+// its own stream; an unsharded first position degenerates to the
+// single-stream feed. With more than one upstream feeder the begins JOIN
+// the streams the first feeder opened and the ends carry this feeder's
+// upstream index for the shards' counted fan-in.
+func (c *Coordinator) feedFirstGroup(service wire.Service, round uint32, numMailboxes uint32, batch [][]byte, chunkSize, upstream, numUpstream int, group []Mixer) error {
 	first := make([]StreamMixer, len(group))
 	for s, m := range group {
 		sm, ok := m.(StreamMixer)

@@ -30,11 +30,15 @@
 // throughput. The group's contract keeps sharding invisible to both
 // clients and the anytrust argument:
 //
-//   - One key per position. Shard 0 (the lead) generates the round onion
-//     key and announces it; the other shards install the same key
-//     (ExportRoundKey/ImportRoundKey — group-internal traffic only).
+//   - One key per position. The ANNOUNCER (shard 0 — the member whose
+//     long-term signing key clients pin) generates the round onion key
+//     and announces it; the other shards install the same key
+//     (ExportRoundKey/ImportRoundKey — group-internal traffic only,
+//     gated per round to a coordinator-distributed peer allowlist).
 //     Clients wrap exactly one onion layer for the position, sharded or
-//     not.
+//     not. Hot-spare daemons (Config.Spare) are drafted into a benched
+//     member's slot the same way: they import the round key and take the
+//     slot's shard index for exactly that round.
 //
 //   - Divided noise, preserved scale. Each shard draws per-mailbox
 //     noise from Laplace(ceil(µ/N), b) — the position's MEAN divided,
@@ -45,13 +49,26 @@
 //     the effective scale and erode the guarantee.
 //
 //   - One full-batch shuffle, at the merge. Shards peel their slices
-//     WITHOUT shuffling (StreamEndShard) and hand them to the group's
-//     merge server, where the slice that arrives last completes the
-//     merge: MergeShuffle concatenates the slices in shard-index order
-//     and applies a single uniformly random permutation over the whole
-//     position's batch. The position's mixing contribution is therefore
-//     identical to an unsharded server's — never N smaller shuffles an
-//     observer could partition.
+//     WITHOUT shuffling (StreamEndShard) and hand them to the member
+//     hosting the group's MERGE ROLE this round, where the slice that
+//     arrives last completes the merge: MergeShuffle concatenates the
+//     slices in shard-index order and applies a single permutation over
+//     the whole position's batch. The position's mixing contribution is
+//     therefore identical to an unsharded server's — never N smaller
+//     shuffles an observer could partition.
+//
+//   - A role, not a machine. The merge/build-lead role is assigned by
+//     the coordinator per round (round-robin by default), because the
+//     merge member is the position's bandwidth funnel: it receives every
+//     other shard's slice and re-deals the full batch. To make the role
+//     freely movable, the permutation is DERIVED from the round private
+//     key (permutationReader) rather than drawn from the merge member's
+//     local randomness — every member holds the same key, so every
+//     member computes the same permutation, and a round's published
+//     mailboxes are byte-identical no matter who merged. The permutation
+//     stays secret exactly as long as the round key does, which is the
+//     secrecy the anytrust argument already demanded, and both die
+//     together at CloseRound.
 //
 // A shard group is one trust domain (it shares the round private key);
 // peeled-but-unshuffled slices travel only inside it. Positions with a
@@ -159,6 +176,10 @@ type Server struct {
 	// means unpinned.
 	shardIndex int
 	shardCount int
+	// spare marks a hot-spare daemon (Config.Spare): unpinned, but
+	// draftable into any shard slot of its position per round, which
+	// requires serving the group-internal key import/export surface.
+	spare bool
 
 	mu     sync.Mutex
 	rounds map[roundKey]*roundState
@@ -194,6 +215,15 @@ type Config struct {
 	// make one machine double as two shards.
 	ShardIndex int
 	ShardCount int
+	// Spare marks this daemon as a hot spare for its position
+	// (cmd/alpenhorn-mixer -spare): it sits idle until the coordinator
+	// benches a sick shard-group member and drafts the spare into that
+	// member's slot for the round. A spare stays unpinned (the slot it
+	// fills changes per draft) but serves the group-internal round-key
+	// import/export surface that is otherwise reserved for pinned
+	// members — deployments keep spares inside the shard network, and
+	// the per-round exportkey peer allowlist gates the surface besides.
+	Spare bool
 }
 
 // lockedReader serializes reads of a non-thread-safe randomness source so
@@ -245,6 +275,7 @@ func New(cfg Config) (*Server, error) {
 		parallelism:    par,
 		shardIndex:     cfg.ShardIndex,
 		shardCount:     cfg.ShardCount,
+		spare:          cfg.Spare,
 		rounds:         make(map[roundKey]*roundState),
 	}
 	if cfg.AddFriendNoise != nil {
@@ -291,6 +322,9 @@ func (s *Server) NewRound(service wire.Service, round uint32) (wire.MixerRoundKe
 // ShardIdentity returns the daemon's pinned (index, count) shard identity;
 // count 0 means unpinned.
 func (s *Server) ShardIdentity() (int, int) { return s.shardIndex, s.shardCount }
+
+// Spare reports whether this daemon is a hot spare (Config.Spare).
+func (s *Server) Spare() bool { return s.spare }
 
 // SetRoundShard places this server in a shard group for the round: it is
 // shard index of count servers jointly serving one chain position. It must
@@ -339,15 +373,17 @@ func (s *Server) RoundShard(service wire.Service, round uint32) (int, int) {
 // logical mixnet server split across machines: clients wrap one onion
 // layer per position, so every shard must peel with the same key.
 //
-// Only a server PINNED as a shard-group member (Config.ShardCount > 0)
-// serves the export: on an unsharded daemon a reachable export surface
-// would hand any peer the means to peel this position's layer and
-// collapse the anytrust argument. Pinned deployments must additionally
-// keep the surface inside the group's network — exactly like the
-// cdn.publish write surface stays off the client plane.
+// Only a server PINNED as a shard-group member (Config.ShardCount > 0) or
+// marked as a hot spare (Config.Spare) serves the export: on any other
+// daemon a reachable export surface would hand any peer the means to peel
+// this position's layer and collapse the anytrust argument. Deployments
+// must additionally keep the surface inside the group's network — exactly
+// like the cdn.publish write surface stays off the client plane — and the
+// rpc layer gates it per round to the coordinator-distributed peer
+// allowlist.
 func (s *Server) ExportRoundKey(service wire.Service, round uint32) ([]byte, error) {
-	if s.shardCount <= 0 {
-		return nil, errors.New("mixnet: round keys are only exportable inside a pinned shard group (-shard i/N)")
+	if s.shardCount <= 0 && !s.spare {
+		return nil, errors.New("mixnet: round keys are only exportable inside a pinned shard group (-shard i/N or -spare)")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -359,14 +395,14 @@ func (s *Server) ExportRoundKey(service wire.Service, round uint32) ([]byte, err
 }
 
 // ImportRoundKey installs a round onion key exported by the shard group's
-// lead, creating the round if this server has not opened it yet. Importing
-// the same key again is a no-op; a conflicting key is an error. Like the
-// export, it is refused outside a pinned shard group: an open import
-// surface would let any peer rotate a round key out from under the
-// announced settings.
+// key holder, creating the round if this server has not opened it yet.
+// Importing the same key again is a no-op; a conflicting key is an error.
+// Like the export, it is refused outside a pinned shard group or a hot
+// spare: an open import surface would let any peer rotate a round key out
+// from under the announced settings.
 func (s *Server) ImportRoundKey(service wire.Service, round uint32, privBytes []byte) error {
-	if s.shardCount <= 0 {
-		return errors.New("mixnet: round keys are only importable inside a pinned shard group (-shard i/N)")
+	if s.shardCount <= 0 && !s.spare {
+		return errors.New("mixnet: round keys are only importable inside a pinned shard group (-shard i/N or -spare)")
 	}
 	priv, err := onionbox.UnmarshalPrivateKey(privBytes)
 	if err != nil {
@@ -523,15 +559,16 @@ func (s *Server) Mix(service wire.Service, round uint32, numMailboxes uint32, ba
 	s.mu.Unlock()
 
 	out := decryptBatch(priv, batch, s.parallelism)
-	return s.finishBatch(service, numMailboxes, downstream, nb, len(batch), out, shards, true)
+	return s.finishBatch(service, round, priv, numMailboxes, downstream, nb, len(batch), out, shards, true)
 }
 
 // finishBatch appends the round's noise (prepared, or generated inline) to
 // the peeled messages, shuffles (unless this server is one shard of a
 // group, whose output is shuffled only at the group's merge), and updates
 // stats. It is the per-server barrier shared by Mix, StreamEnd, and
-// StreamEndShard.
-func (s *Server) finishBatch(service wire.Service, numMailboxes uint32, downstream []*onionbox.PublicKey, nb *noiseBatch, batchLen int, out [][]byte, shards int, doShuffle bool) ([][]byte, error) {
+// StreamEndShard. The permutation is derived from the round private key
+// (see permutationReader), so it is identical on every holder of the key.
+func (s *Server) finishBatch(service wire.Service, round uint32, priv *onionbox.PrivateKey, numMailboxes uint32, downstream []*onionbox.PublicKey, nb *noiseBatch, batchLen int, out [][]byte, shards int, doShuffle bool) ([][]byte, error) {
 	var noiseMsgs [][]byte
 	if nb != nil {
 		<-nb.done
@@ -552,7 +589,11 @@ func (s *Server) finishBatch(service wire.Service, numMailboxes uint32, downstre
 	out = append(out, noiseMsgs...)
 
 	if doShuffle {
-		if err := shuffle(s.randSrc, out); err != nil {
+		prnd, err := permutationReader(priv, service, round)
+		if err != nil {
+			return nil, err
+		}
+		if err := shuffle(prnd, out); err != nil {
 			return nil, err
 		}
 	}
@@ -565,20 +606,24 @@ func (s *Server) finishBatch(service wire.Service, numMailboxes uint32, downstre
 }
 
 // MergeShuffle is the shard group's barrier: it concatenates the group's
-// peeled outputs in shard-index order and applies ONE uniformly random
-// permutation over the whole position's batch, drawn from this server's
-// randomness. It runs on the group's merge server, triggered by whichever
-// shard's output arrives last; the result is exactly what an unsharded
-// server would emit — the position's permutation covers the full batch, so
-// splitting the peel across machines never weakens the anytrust mixing
-// argument.
+// peeled outputs in shard-index order and applies ONE permutation over
+// the whole position's batch, derived from the round private key every
+// member holds (permutationReader). It runs on whichever member hosts the
+// group's merge role this round, triggered by whichever shard's output
+// arrives last; the result is exactly what an unsharded server would emit
+// — the position's permutation covers the full batch, so splitting the
+// peel across machines never weakens the anytrust mixing argument, and
+// because the permutation is key-derived, rotating the merge role across
+// the group never changes the round's output.
 func (s *Server) MergeShuffle(service wire.Service, round uint32, parts [][][]byte) ([][]byte, error) {
 	s.mu.Lock()
-	_, err := s.openState(service, round)
-	s.mu.Unlock()
+	st, err := s.openState(service, round)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
+	priv := st.priv
+	s.mu.Unlock()
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -587,7 +632,11 @@ func (s *Server) MergeShuffle(service wire.Service, round uint32, parts [][][]by
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	if err := shuffle(s.randSrc, out); err != nil {
+	prnd, err := permutationReader(priv, service, round)
+	if err != nil {
+		return nil, err
+	}
+	if err := shuffle(prnd, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -155,6 +155,7 @@ func (s *Server) streamEnd(service wire.Service, round uint32, doShuffle bool) (
 		return nil, fmt.Errorf("mixnet: round %d (%s): no stream in progress", round, service)
 	}
 	st.stream = nil
+	priv := st.priv
 	downstream := st.downstream
 	nb := st.takeNoise(sm.numMailboxes)
 	shards := st.effectiveShards()
@@ -169,5 +170,5 @@ func (s *Server) streamEnd(service wire.Service, round uint32, doShuffle bool) (
 	for _, c := range sm.results {
 		out = append(out, c...)
 	}
-	return s.finishBatch(service, sm.numMailboxes, downstream, nb, sm.inputs, out, shards, doShuffle)
+	return s.finishBatch(service, round, priv, sm.numMailboxes, downstream, nb, sm.inputs, out, shards, doShuffle)
 }

@@ -3,6 +3,7 @@ package rpc
 import (
 	"context"
 	"crypto/ed25519"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -229,6 +230,9 @@ type MixerInfo struct {
 	// (a whole position to itself unless the coordinator says otherwise).
 	ShardIndex int `json:"shard_index,omitempty"`
 	ShardCount int `json:"shard_count,omitempty"`
+	// Spare marks a hot-spare daemon (-spare): unpinned, idle until the
+	// coordinator drafts it into a benched shard's slot for a round.
+	Spare bool `json:"spare,omitempty"`
 }
 
 type downstreamArgs struct {
@@ -398,6 +402,35 @@ func (m *MixerClient) SetRoundShard(service wire.Service, round uint32, index, c
 	}, nil)
 }
 
+// SetRoundShardPeers implements coordinator.ShardPeerMixer: SetRoundShard
+// plus the round's shard network — the dial addresses of every member the
+// coordinator placed in the group (spares included). The daemon refuses
+// mix.round.exportkey calls from any other host for the round, so a
+// drafted spare or rotated lead can pull the round key but a stray caller
+// cannot. An empty peer list preserves the ungated legacy behavior.
+func (m *MixerClient) SetRoundShardPeers(service wire.Service, round uint32, index, count int, peers []string) error {
+	return m.c.Call("mix.round.shard", shardArgs{
+		Service: service, Round: round, ShardIndex: index, ShardCount: count,
+		Peers: peers,
+	}, nil)
+}
+
+// ProbeTimeout bounds Probe's health check against an unresponsive daemon.
+const ProbeTimeout = time.Second
+
+// Probe implements coordinator.Prober: a cheap liveness check (mix.info on
+// the main connection, bounded by ProbeTimeout) used by the scheduler to
+// decide whether a benched daemon has recovered and whether a candidate is
+// reachable before planning it into a round. A dead TCP connection is
+// redialed by the transport, so a probe succeeding after a daemon restart
+// is the recovery signal itself.
+func (m *MixerClient) Probe() error {
+	ctx, cancel := context.WithTimeout(context.Background(), ProbeTimeout)
+	defer cancel()
+	var info MixerInfo
+	return m.c.CallContext(ctx, "mix.info", struct{}{}, &info)
+}
+
 // ImportRoundKeyFrom implements coordinator.ShardMixer: the daemon dials
 // the shard group's lead directly and installs the position's round onion
 // key. The private key moves server-to-server inside the group's trust
@@ -459,9 +492,10 @@ func (m *MixerClient) WaitRound(service wire.Service, round uint32) (wire.MixerR
 		}
 		if reply.Done {
 			stats := wire.MixerRoundStats{
-				Duration: time.Duration(reply.DurationMs) * time.Millisecond,
-				BytesIn:  reply.BytesIn,
-				BytesOut: reply.BytesOut,
+				Duration:    time.Duration(reply.DurationMs) * time.Millisecond,
+				BytesIn:     reply.BytesIn,
+				BytesOut:    reply.BytesOut,
+				AbortReason: reply.Reason,
 			}
 			if reply.Error != "" {
 				return stats, errors.New(reply.Error)
@@ -817,6 +851,32 @@ func registerStreamFrontend(s *Server, e *entry.Server, store MailboxSource, dir
 		sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
 		return out, nil
 	})
+}
+
+// RegisterCoordinatorStatus exposes a read-only coordinator scheduling
+// snapshot as coordinator.status: the per-daemon scoreboard (EWMA
+// duration and throughput, failure counts by abort reason, bench/spare
+// state) plus recent round health. The source callback is invoked per
+// request so the reply is always current; it typically returns a struct
+// built from coordinator.Scoreboard() and coordinator.Status(). The
+// surface is strictly observational — there is no mutating counterpart —
+// so serving it on the client-facing frontend listener is safe.
+func RegisterCoordinatorStatus(s *Server, source func() any) {
+	HandleFunc(s, "coordinator.status", func(struct{}) (any, error) {
+		return source(), nil
+	})
+}
+
+// CoordinatorStatus fetches the frontend's coordinator.status snapshot
+// as raw JSON (the payload shape belongs to the coordinator, not the
+// transport). Frontends that predate the surface return an
+// unknown-method error.
+func (f *FrontendClient) CoordinatorStatus(ctx context.Context) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := f.c.CallContext(ctx, "coordinator.status", struct{}{}, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
 }
 
 // RegisterPollFrontend exposes only the pre-event-stream frontend surface

@@ -3,6 +3,8 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	mathrand "math/rand"
+	"net"
 	"runtime"
 	"slices"
 	"strings"
@@ -40,8 +42,8 @@ import (
 //     generates its divided noise share; shards stream their peeled
 //     slices to the group's merge server (mix.merge.begin/chunk/end),
 //     and the deposit that completes the set — the last-arriving shard —
-//     triggers the position's single seeded shuffle over the concatenated
-//     batch (mixnet.MergeShuffle). The merge server then DEALS its
+//     triggers the position's single key-derived shuffle over the
+//     concatenated batch (mixnet.MergeShuffle). The merge server then DEALS its
 //     post-shuffle chunks round-robin across the successor position's
 //     shard set (or builds and publishes the mailboxes at the end of the
 //     chain). Fan-in is counted: an intake only closes once an
@@ -101,6 +103,12 @@ type route struct {
 	dealParts [][]byte
 	dealEnded bool
 
+	// Per-round data-plane deadline (routeArgs.DeadlineMs): peer-dial
+	// retries give up once it passes instead of burning the round
+	// against a dead peer. Zero means no deadline.
+	deadline   time.Time
+	deadlineMs int64
+
 	// Self-reported accounting for mix.round.wait.
 	opened   time.Time
 	duration time.Duration
@@ -109,17 +117,50 @@ type route struct {
 
 	done     chan struct{} // closed when err is final
 	err      error
+	reason   string // abort-reason code (wire.Abort*), "" on success
 	resolved bool
 }
 
 // Successor dial retry schedule: forwarding a round is the first traffic a
 // fresh chain sees, so transient dial failures (successor still binding,
 // connection racing a restart) get a few backed-off attempts before the
-// round aborts.
+// round aborts. Each backoff carries up to 100% random jitter so a shard
+// group whose members all lost the same peer does not retry in lockstep.
 const (
 	forwardDialAttempts = 4
 	forwardDialBackoff  = 100 * time.Millisecond
 )
+
+// errRoundDeadline marks a data-plane failure caused by the route's
+// per-round deadline expiring; classifyAbort maps it to wire.AbortSlow so
+// the coordinator's scheduler can tell a slow round from a crashed peer.
+var errRoundDeadline = errors.New("rpc: round deadline exceeded")
+
+// classifyAbort maps a route's terminal error to the abort-reason code
+// surfaced through mix.round.wait (wire.MixerRoundStats.AbortReason).
+func classifyAbort(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, errRoundDeadline):
+		return wire.AbortSlow
+	case strings.HasPrefix(err.Error(), "aborted: "):
+		return wire.AbortUpstream
+	case errors.Is(err, ErrTransport):
+		return wire.AbortCrashed
+	default:
+		return wire.AbortError
+	}
+}
+
+// hostOf strips the port from a host:port address; peer allowlists match
+// on host because a caller's source port is ephemeral.
+func hostOf(addr string) string {
+	if h, _, err := net.SplitHostPort(addr); err == nil {
+		return h
+	}
+	return addr
+}
 
 // waitPollInterval bounds how long one mix.round.wait call parks in the
 // daemon before replying "not done yet"; the client re-polls. Bounding the
@@ -149,6 +190,9 @@ type routeArgs struct {
 	// addresses, in shard order. Non-merge shards of such a group carry
 	// CDNAddr but no BuildShards.
 	BuildShards []string `json:"build_shards,omitempty"`
+	// DeadlineMs bounds the daemon's data-plane dial retries for the
+	// round, in milliseconds from route receipt; 0 means no deadline.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 type abortArgs struct {
@@ -160,6 +204,9 @@ type abortArgs struct {
 type waitReply struct {
 	Done  bool   `json:"done"`
 	Error string `json:"error,omitempty"`
+	// Reason classifies a failed round (wire.Abort* codes) so the
+	// coordinator can tell slow from crashed from misbehaving.
+	Reason string `json:"reason,omitempty"`
 	// Self-reported role accounting, valid when Done.
 	DurationMs int64  `json:"duration_ms,omitempty"`
 	BytesIn    uint64 `json:"bytes_in,omitempty"`
@@ -171,6 +218,11 @@ type shardArgs struct {
 	Round      uint32       `json:"round"`
 	ShardIndex int          `json:"shard_index"`
 	ShardCount int          `json:"shard_count"`
+	// Peers is the round's allowed shard network: the addresses of every
+	// group member (announcer, members, drafted spares). When set, the
+	// daemon serves mix.round.exportkey for this round only to callers
+	// whose host appears in it. Empty = legacy coordinator, no gate.
+	Peers []string `json:"peers,omitempty"`
 }
 
 type importKeyArgs struct {
@@ -201,6 +253,9 @@ type MixerDaemon struct {
 	outbox map[outKey][][]byte
 	routes map[outKey]*route
 	peers  map[string]*Client
+	// keyPeers is the per-round exportkey allowlist (shardArgs.Peers):
+	// the hosts allowed to pull this round's private key.
+	keyPeers map[outKey][]string
 }
 
 // PendingRoutes returns the number of rounds with an unresolved or
@@ -269,6 +324,7 @@ func (d *MixerDaemon) resolve(rt *route, err error) bool {
 	}
 	rt.resolved = true
 	rt.err = err
+	rt.reason = classifyAbort(err)
 	rt.duration = time.Since(rt.opened)
 	rt.mergeParts = nil // drop any half-merged slices
 	close(rt.done)
@@ -431,7 +487,7 @@ func (d *MixerDaemon) dealMailboxBuild(k outKey, rt *route, out [][]byte) {
 // mix.deal.* surface. Same discipline as every other data stream: the
 // idempotent begin retries with backoff, the data calls are at most once.
 func (d *MixerDaemon) pushBuildSlice(k outKey, rt *route, addr string, slice [][]byte) error {
-	c, err := d.openStream(addr, "mix.deal.begin", roundArgs{Service: k.service, Round: k.round})
+	c, err := d.openStream(rt, addr, "mix.deal.begin", roundArgs{Service: k.service, Round: k.round})
 	if err != nil {
 		return err
 	}
@@ -480,8 +536,8 @@ func (d *MixerDaemon) buildAndPublishSlice(k outKey, rt *route, slice [][]byte) 
 // addDeposit records one shard's peeled slice on the group's merge
 // server. The deposit that completes the set — the last-arriving shard —
 // performs the position's merge: the slices are concatenated in
-// shard-index order and shuffled ONCE with the merge server's seeded
-// randomness (mixnet.MergeShuffle), then the position's output moves on.
+// shard-index order and shuffled ONCE with the round key's derived
+// permutation (mixnet.MergeShuffle), then the position's output moves on.
 // Remote shards deliver their slices in chunks over the merge surface
 // (mix.merge.chunk appends, mix.merge.end calls this with a nil part);
 // the merge server's own forward goroutine delivers its slice whole.
@@ -515,13 +571,24 @@ func (d *MixerDaemon) addDeposit(k outKey, rt *route, shard int, part [][]byte) 
 // openStream dials addr and opens a chunked stream with retry/backoff on
 // the idempotent opening call: forwarding a round is often the first
 // traffic a fresh peer sees, so transient dial failures get a few
-// backed-off attempts before the round aborts.
-func (d *MixerDaemon) openStream(addr, method string, args any) (*Client, error) {
+// backed-off, jittered attempts before the round aborts. The route's
+// per-round deadline bounds the retries: against a peer that is DEAD
+// rather than starting, the daemon stops burning the round as soon as the
+// deadline passes and the abort is classified slow, not crashed-here.
+func (d *MixerDaemon) openStream(rt *route, addr, method string, args any) (*Client, error) {
 	c := d.peer(addr)
 	var err error
 	for attempt := 0; attempt < forwardDialAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(forwardDialBackoff << (attempt - 1))
+			backoff := forwardDialBackoff << (attempt - 1)
+			backoff += time.Duration(mathrand.Int63n(int64(backoff)))
+			if !rt.deadline.IsZero() && time.Now().Add(backoff).After(rt.deadline) {
+				return nil, fmt.Errorf("%w: opening stream to %s: %v", errRoundDeadline, addr, err)
+			}
+			time.Sleep(backoff)
+		}
+		if !rt.deadline.IsZero() && time.Now().After(rt.deadline) {
+			return nil, fmt.Errorf("%w: opening stream to %s", errRoundDeadline, addr)
 		}
 		err = c.CallOnce(method, args, nil)
 		if err == nil || !errors.Is(err, ErrTransport) {
@@ -564,7 +631,7 @@ func (rt *route) effectiveChunk() int {
 // failure aborts the round instead, and the next round carries the
 // traffic.
 func (d *MixerDaemon) pushDownstream(k outKey, rt *route, addr string, out [][]byte) error {
-	c, err := d.openStream(addr, "mix.stream.begin", mixArgs{
+	c, err := d.openStream(rt, addr, "mix.stream.begin", mixArgs{
 		Service: k.service, Round: k.round, NumMailboxes: rt.numMailboxes,
 	})
 	if err != nil {
@@ -630,7 +697,7 @@ func (d *MixerDaemon) dealDownstream(k outKey, rt *route, out [][]byte) error {
 // server over the merge surface. Same at-most-once discipline as
 // pushDownstream: only the idempotent opening call is retried.
 func (d *MixerDaemon) pushDeposit(k outKey, rt *route, out [][]byte) error {
-	c, err := d.openStream(rt.mergeAddr, "mix.merge.begin", mergeArgs{
+	c, err := d.openStream(rt, rt.mergeAddr, "mix.merge.begin", mergeArgs{
 		Service: k.service, Round: k.round, Shard: rt.shardIndex,
 	})
 	if err != nil {
@@ -665,10 +732,11 @@ func (d *MixerDaemon) pushDeposit(k outKey, rt *route, out [][]byte) error {
 // described at the top of this file.
 func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 	d := &MixerDaemon{
-		m:      m,
-		outbox: make(map[outKey][][]byte),
-		routes: make(map[outKey]*route),
-		peers:  make(map[string]*Client),
+		m:        m,
+		outbox:   make(map[outKey][][]byte),
+		routes:   make(map[outKey]*route),
+		peers:    make(map[string]*Client),
+		keyPeers: make(map[outKey][]string),
 	}
 
 	HandleFunc(s, "mix.info", func(struct{}) (any, error) {
@@ -683,6 +751,7 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 			StreamVersion: StreamVersionCDNShard,
 			ShardIndex:    shardIndex,
 			ShardCount:    shardCount,
+			Spare:         m.Spare(),
 		}, nil
 	})
 	HandleFunc(s, "mix.newround", func(a roundArgs) (any, error) {
@@ -695,13 +764,42 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 		return nil, m.PrepareNoise(a.Service, a.Round, a.NumMailboxes)
 	})
 	HandleFunc(s, "mix.round.shard", func(a shardArgs) (any, error) {
-		return nil, m.SetRoundShard(a.Service, a.Round, a.ShardIndex, a.ShardCount)
+		if err := m.SetRoundShard(a.Service, a.Round, a.ShardIndex, a.ShardCount); err != nil {
+			return nil, err
+		}
+		if len(a.Peers) > 0 {
+			// Install the round's shard-network allowlist so exportkey
+			// is gated BEFORE any group member pulls the key.
+			d.mu.Lock()
+			d.keyPeers[outKey{a.Service, a.Round}] = a.Peers
+			d.mu.Unlock()
+		}
+		return nil, nil
 	})
-	HandleFunc(s, "mix.round.exportkey", func(a roundArgs) (any, error) {
+	HandlePeerFunc(s, "mix.round.exportkey", func(peerAddr string, a roundArgs) (any, error) {
 		// Serves the round onion private key to the OTHER shards of this
 		// position (one logical server split across machines). Like
-		// cdn.publish, this surface must stay off the client plane: a
-		// deployment restricts it to the shard group's network.
+		// cdn.publish, this surface must stay off the client plane — and
+		// when the coordinator distributed the round's shard network
+		// (shardArgs.Peers), the caller's host must be in it: topology is
+		// verified here instead of merely trusted.
+		k := outKey{a.Service, a.Round}
+		d.mu.Lock()
+		allowed := d.keyPeers[k]
+		d.mu.Unlock()
+		if len(allowed) > 0 {
+			caller := hostOf(peerAddr)
+			ok := false
+			for _, p := range allowed {
+				if hostOf(p) == caller {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("rpc: round %d (%s): caller %s is outside the round's shard network", a.Round, a.Service, caller)
+			}
+		}
 		key, err := m.ExportRoundKey(a.Service, a.Round)
 		if err != nil {
 			return nil, err
@@ -783,7 +881,7 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 				rt.numMailboxes == a.NumMailboxes && rt.chunkSize == a.ChunkSize &&
 				rt.shardIndex == a.ShardIndex && rt.shardCount == shardCount &&
 				rt.mergeAddr == a.MergeAddr && rt.numUpstream == numUpstream &&
-				slices.Equal(rt.buildShards, a.BuildShards) {
+				slices.Equal(rt.buildShards, a.BuildShards) && rt.deadlineMs == a.DeadlineMs {
 				return nil, nil
 			}
 			return nil, fmt.Errorf("rpc: round %d (%s) already routed elsewhere", a.Round, a.Service)
@@ -798,8 +896,12 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 			shardCount:   shardCount,
 			mergeAddr:    a.MergeAddr,
 			numUpstream:  numUpstream,
+			deadlineMs:   a.DeadlineMs,
 			opened:       time.Now(),
 			done:         make(chan struct{}),
+		}
+		if a.DeadlineMs > 0 {
+			rt.deadline = rt.opened.Add(time.Duration(a.DeadlineMs) * time.Millisecond)
 		}
 		if shardCount > 1 && merge {
 			rt.mergeParts = make([][][]byte, shardCount)
@@ -914,6 +1016,7 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 			d.mu.Lock()
 			reply := waitReply{
 				Done:       true,
+				Reason:     rt.reason,
 				DurationMs: rt.duration.Milliseconds(),
 				BytesIn:    rt.bytesIn,
 				BytesOut:   rt.bytesOut,
@@ -1044,6 +1147,7 @@ func RegisterMixer(s *Server, m *mixnet.Server) *MixerDaemon {
 		k := outKey{a.Service, a.Round}
 		d.mu.Lock()
 		delete(d.outbox, k)
+		delete(d.keyPeers, k)
 		rt := d.routes[k]
 		delete(d.routes, k)
 		d.mu.Unlock()

@@ -72,23 +72,32 @@ func readFrame(r io.Reader) ([]byte, error) {
 // result.
 type Handler func(params json.RawMessage) (any, error)
 
+// PeerHandler is a Handler that also sees the caller's remote address
+// (host:port of the TCP connection). The transport is unauthenticated, so
+// a peer address is a topology signal, not an identity — it gates
+// server-plane surfaces like mix.round.exportkey to an allowlisted shard
+// network, on top of whatever the deployment's network layer enforces.
+type PeerHandler func(peerAddr string, params json.RawMessage) (any, error)
+
 // Server dispatches method calls to registered handlers.
 type Server struct {
-	mu       sync.Mutex
-	handlers map[string]Handler
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   bool
-	closing  chan struct{}
+	mu           sync.Mutex
+	handlers     map[string]Handler
+	peerHandlers map[string]PeerHandler
+	ln           net.Listener
+	conns        map[net.Conn]struct{}
+	wg           sync.WaitGroup
+	closed       bool
+	closing      chan struct{}
 }
 
 // NewServer creates an empty RPC server.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[string]Handler),
-		conns:    make(map[net.Conn]struct{}),
-		closing:  make(chan struct{}),
+		handlers:     make(map[string]Handler),
+		peerHandlers: make(map[string]PeerHandler),
+		conns:        make(map[net.Conn]struct{}),
+		closing:      make(chan struct{}),
 	}
 }
 
@@ -116,6 +125,23 @@ func HandleFunc[T any](s *Server, method string, fn func(T) (any, error)) {
 		}
 		return fn(arg)
 	})
+}
+
+// HandlePeerFunc registers a peer-aware handler with typed parameters:
+// fn receives the caller's remote address alongside the decoded params.
+// A peer-aware registration replaces any plain handler for the method.
+func HandlePeerFunc[T any](s *Server, method string, fn func(peerAddr string, arg T) (any, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peerHandlers[method] = func(peerAddr string, params json.RawMessage) (any, error) {
+		var arg T
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &arg); err != nil {
+				return nil, fmt.Errorf("rpc: bad params for %s: %w", method, err)
+			}
+		}
+		return fn(peerAddr, arg)
+	}
 }
 
 // Serve starts accepting connections on the listener and returns
@@ -201,6 +227,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.mu.Lock()
 		h := s.handlers[req.Method]
+		if ph := s.peerHandlers[req.Method]; ph != nil {
+			peerAddr := conn.RemoteAddr().String()
+			h = func(params json.RawMessage) (any, error) {
+				return ph(peerAddr, params)
+			}
+		}
 		s.mu.Unlock()
 
 		var resp response

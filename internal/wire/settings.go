@@ -32,12 +32,18 @@ type RouteSpec struct {
 	// BuildShards switches the LAST position's merge server to sharded
 	// mailbox building: after the merged shuffle it deals request bodies
 	// by mailbox ID to these addresses (its own shard group, in shard
-	// order, including itself at index 0) instead of building every
-	// mailbox itself. Each shard, merge server included, then builds its
-	// own mailbox-ID range and publishes it over its own shard-tagged
-	// cdn.publish stream. Non-merge shards of such a group carry CDNAddr
-	// (their publish target) but empty BuildShards.
+	// order, merge member included at its own shard index) instead of
+	// building every mailbox itself. Each shard, merge member included,
+	// then builds its own mailbox-ID range and publishes it over its own
+	// shard-tagged cdn.publish stream. Non-merge shards of such a group
+	// carry CDNAddr (their publish target) but empty BuildShards.
 	BuildShards []string
+	// DeadlineMs bounds the daemon's data-plane work for the round:
+	// peer-dial retries (successor streams, merge deposits, deal slices)
+	// give up once the deadline passes instead of burning the whole
+	// round against a dead peer. Milliseconds from route receipt; 0
+	// means no deadline (legacy coordinators).
+	DeadlineMs int64
 }
 
 // MixerRoundStats is one daemon's self-reported accounting for its
@@ -49,7 +55,21 @@ type MixerRoundStats struct {
 	Duration time.Duration
 	BytesIn  uint64
 	BytesOut uint64
+	// AbortReason classifies how the daemon's round ended so the
+	// coordinator's scheduler can tell a slow daemon from a crashed or
+	// misbehaving one: "" (completed), AbortSlow (round deadline),
+	// AbortCrashed (peer transport failure), AbortUpstream (another
+	// daemon aborted first), or AbortError (local failure).
+	AbortReason string
 }
+
+// Abort-reason codes carried in MixerRoundStats.AbortReason.
+const (
+	AbortSlow     = "slow"
+	AbortCrashed  = "crashed"
+	AbortUpstream = "upstream"
+	AbortError    = "error"
+)
 
 // RoundSettings describes everything a client needs to participate in one
 // round of one protocol: the per-round keys of every mixer and (for
